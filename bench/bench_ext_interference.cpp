@@ -1,0 +1,59 @@
+// Extension experiment: co-located tenant interference.
+//
+// Disaggregated memory is shared infrastructure; the paper's Takeaway 6
+// (and its citation of contention-aware performance prediction, ref [32])
+// concern exactly this: what happens when someone else's traffic rides the
+// same tier. This bench runs each workload on the NVM tier while a
+// background tenant streams 0..8 GB/s through the same channel, and on the
+// DRAM tier for contrast — showing that persistent memory, with its small
+// headroom, is far more interference-sensitive than DRAM.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tsx;
+  using namespace tsx::bench;
+  using namespace tsx::workloads;
+  print_header("EXTENSION", "noisy-neighbor interference per tier");
+
+  const double loads[] = {0.0, 1.0, 2.0, 4.0, 8.0};
+
+  for (const App app : {App::kBayes, App::kPagerank, App::kSort}) {
+    TablePrinter table({"background GB/s", "Tier 0 (s)", "slowdown",
+                        "Tier 2 (s)", "slowdown"});
+    double base0 = 0.0;
+    double base2 = 0.0;
+    for (const double gbps : loads) {
+      RunConfig cfg;
+      cfg.app = app;
+      cfg.scale = ScaleId::kLarge;
+      cfg.background_load_gbps = gbps;
+      cfg.tier = mem::TierId::kTier0;
+      const RunResult dram = run_workload(cfg);
+      cfg.tier = mem::TierId::kTier2;
+      const RunResult nvm = run_workload(cfg);
+      if (gbps == 0.0) {
+        base0 = dram.exec_time.sec();
+        base2 = nvm.exec_time.sec();
+      }
+      table.add_row({TablePrinter::num(gbps, 1),
+                     TablePrinter::num(dram.exec_time.sec(), 2),
+                     TablePrinter::num(dram.exec_time.sec() / base0, 2) + "x",
+                     TablePrinter::num(nvm.exec_time.sec(), 2),
+                     TablePrinter::num(nvm.exec_time.sec() / base2, 2) + "x"});
+    }
+    std::printf("--- %s-large under co-located streaming load\n",
+                to_string(app).c_str());
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading: the same background stream that DRAM absorbs (39.3 GB/s of\n"
+      "headroom) visibly squeezes the NVM tier (10.7 GB/s) — persistent\n"
+      "memory is 'even more susceptible to resource contention' (Takeaway 6),\n"
+      "which is why contention-aware prediction matters for disaggregated\n"
+      "deployments.\n");
+  return 0;
+}

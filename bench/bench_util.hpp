@@ -1,0 +1,61 @@
+// Shared helpers for the experiment-reproduction benches: the full
+// app x scale x tier sweep behind Fig. 2 / the takeaways, and small
+// formatting utilities.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::bench {
+
+using workloads::App;
+using workloads::RunConfig;
+using workloads::RunResult;
+using workloads::ScaleId;
+
+/// One run per (app, scale, tier) with the paper's default deployment
+/// (1 executor x 40 cores). ~84 simulations.
+inline std::vector<RunResult> full_fig2_sweep(std::uint64_t seed = 42) {
+  std::vector<RunResult> runs;
+  for (const App app : workloads::kAllApps) {
+    for (const ScaleId scale : workloads::kAllScales) {
+      for (const mem::TierId tier : mem::kAllTiers) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.scale = scale;
+        cfg.tier = tier;
+        cfg.seed = seed;
+        runs.push_back(workloads::run_workload(cfg));
+      }
+    }
+  }
+  return runs;
+}
+
+/// Index a sweep by (app, scale) -> 4 tiers.
+inline std::map<std::pair<App, ScaleId>, std::vector<const RunResult*>>
+group_by_workload(const std::vector<RunResult>& runs) {
+  std::map<std::pair<App, ScaleId>, std::vector<const RunResult*>> groups;
+  for (const RunResult& r : runs)
+    groups[{r.config.app, r.config.scale}].push_back(&r);
+  return groups;
+}
+
+inline std::string fmt_seconds(Duration d) {
+  return strfmt("%.2f", d.sec());
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("tieredspark reproduction; simulated testbed per DESIGN.md §3\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace tsx::bench

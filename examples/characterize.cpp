@@ -1,0 +1,71 @@
+// characterize: run a configurable slice of the paper's characterization
+// sweep and dump machine-readable CSV (for external plotting/analysis).
+//
+// Usage:
+//   characterize [--apps=sort,bayes] [--scales=tiny,small,large]
+//                [--tiers=0,1,2,3] [--repeats=1] [--seed=42]
+//                [--machine=nvm|cxl] [--out=/dev/stdout]
+//   characterize --apps=lda --tiers=0,2 --repeats=3
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/config.hpp"
+#include "core/strings.hpp"
+#include "workloads/report.hpp"
+#include "workloads/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsx;
+  using namespace tsx::workloads;
+
+  Config cli;
+  cli.parse_args(argc, argv);
+
+  std::vector<App> apps;
+  for (const auto& name :
+       split(cli.get_or("apps", "sort,repartition,als,bayes,rf,lda,pagerank"),
+             ','))
+    apps.push_back(app_from_name(name));
+  std::vector<ScaleId> scales;
+  for (const auto& label : split(cli.get_or("scales", "tiny,small,large"), ','))
+    scales.push_back(scale_from_label(label));
+  std::vector<mem::TierId> tiers;
+  for (const auto& t : split(cli.get_or("tiers", "0,1,2,3"), ','))
+    tiers.push_back(mem::tier_from_index(std::stoi(t)));
+  const int repeats = static_cast<int>(cli.get_int_or("repeats", 1));
+  const auto machine = cli.get_or("machine", "nvm") == "cxl"
+                           ? MachineVariant::kDramCxl
+                           : MachineVariant::kDramNvm;
+
+  std::vector<RunResult> results;
+  for (const App app : apps) {
+    for (const ScaleId scale : scales) {
+      for (const mem::TierId tier : tiers) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.scale = scale;
+        cfg.tier = tier;
+        cfg.machine = machine;
+        cfg.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 42));
+        for (RunResult& r : run_repeats(cfg, repeats)) {
+          std::fprintf(stderr, "done: %s (%.2f s simulated)\n",
+                       r.config.describe().c_str(), r.exec_time.sec());
+          results.push_back(std::move(r));
+        }
+      }
+    }
+  }
+
+  const std::string csv = results_to_csv(results);
+  const std::string out = cli.get_or("out", "");
+  if (out.empty() || out == "/dev/stdout") {
+    std::cout << csv;
+  } else {
+    std::ofstream file(out);
+    file << csv;
+    std::fprintf(stderr, "wrote %zu runs to %s\n", results.size(),
+                 out.c_str());
+  }
+  return 0;
+}

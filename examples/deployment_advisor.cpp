@@ -1,0 +1,76 @@
+// deployment_advisor: the paper's guidelines as a tool.
+//
+// Characterizes a set of workloads once (small scale, Tiers 0-2), fits the
+// cross-workload predictor, then — for the workload you ask about — issues
+// concrete deployment advice from a single Tier-0 profiling run: which
+// memory tier it can live on, fat vs skinny executors, and whether its
+// write profile endangers persistent-memory endurance.
+//
+// Usage:
+//   deployment_advisor [app] [--scale=large]
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/guidelines.hpp"
+#include "core/config.hpp"
+#include "workloads/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsx;
+  using namespace tsx::workloads;
+
+  Config cli;
+  const auto positional = cli.parse_args(argc, argv);
+  const App target =
+      positional.empty() ? App::kLda : app_from_name(positional[0]);
+  const ScaleId scale = scale_from_label(cli.get_or("scale", "large"));
+
+  // Characterization pass over the other workloads (the advisor's model
+  // must not need the target app's remote-tier runs).
+  std::printf("characterizing reference workloads...\n");
+  std::vector<RunResult> train;
+  std::vector<RunResult> profiles;
+  for (const App app : kAllApps) {
+    if (app == target) continue;
+    for (const ScaleId s : {ScaleId::kSmall, ScaleId::kLarge}) {
+      for (const mem::TierId tier :
+           {mem::TierId::kTier0, mem::TierId::kTier1, mem::TierId::kTier2,
+            mem::TierId::kTier3}) {
+        RunConfig cfg;
+        cfg.app = app;
+        cfg.scale = s;
+        cfg.tier = tier;
+        RunResult r = run_workload(cfg);
+        if (tier == mem::TierId::kTier0) profiles.push_back(r);
+        train.push_back(std::move(r));
+      }
+    }
+  }
+  const analysis::CrossWorkloadPredictor model =
+      analysis::CrossWorkloadPredictor::fit(train, profiles);
+
+  // One local profiling run of the target workload.
+  std::printf("profiling %s-%s on Tier 0...\n\n", to_string(target).c_str(),
+              to_string(scale).c_str());
+  RunConfig cfg;
+  cfg.app = target;
+  cfg.scale = scale;
+  cfg.tier = mem::TierId::kTier0;
+  const RunResult profile = run_workload(cfg);
+
+  const analysis::DeploymentAdvice advice =
+      analysis::advise(profile, model);
+  std::printf("=== deployment advice for %s-%s ===\n",
+              to_string(advice.app).c_str(),
+              to_string(advice.scale).c_str());
+  std::printf("%s", advice.summary.c_str());
+
+  // Honesty check: compare the prediction against a real Tier-2 run.
+  cfg.tier = mem::TierId::kTier2;
+  const RunResult truth = run_workload(cfg);
+  std::printf(
+      "\n(check: measured Tier-2 slowdown is %.2fx vs predicted %.2fx)\n",
+      truth.exec_time.sec() / profile.exec_time.sec(),
+      advice.predicted_t2_ratio);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "analysis/correlation_study.hpp"
+
+#include "core/error.hpp"
+#include "mem/machine.hpp"
+
+namespace tsx::analysis {
+
+std::vector<EventCorrelation> event_time_correlation(
+    const std::vector<workloads::RunResult>& runs) {
+  TSX_CHECK(runs.size() >= 3, "correlation needs at least 3 runs");
+  std::vector<double> time;
+  time.reserve(runs.size());
+  for (const auto& r : runs) time.push_back(r.exec_time.sec());
+
+  std::vector<EventCorrelation> out;
+  for (const metrics::SysEvent e : metrics::all_sys_events()) {
+    std::vector<double> xs;
+    xs.reserve(runs.size());
+    for (const auto& r : runs) xs.push_back(r.events[e]);
+    out.push_back({e, stats::pearson(xs, time)});
+  }
+  return out;
+}
+
+HwCorrelation hw_spec_correlation(
+    const std::vector<workloads::RunResult>& runs) {
+  TSX_CHECK(runs.size() >= 3, "need runs across at least 3 tiers");
+  const mem::TopologySpec topo = mem::testbed_topology();
+
+  std::vector<double> time;
+  std::vector<double> latency;
+  std::vector<double> bandwidth;
+  for (const auto& r : runs) {
+    const mem::TierSpec spec =
+        mem::resolve_tier(topo, r.config.socket, r.config.tier);
+    time.push_back(r.exec_time.sec());
+    latency.push_back(spec.read_latency.ns());
+    bandwidth.push_back(spec.read_bandwidth.to_gb_per_sec());
+  }
+
+  HwCorrelation out;
+  out.app = runs.front().config.app;
+  out.scale = runs.front().config.scale;
+  out.with_latency = stats::pearson(latency, time);
+  out.with_bandwidth = stats::pearson(bandwidth, time);
+  return out;
+}
+
+}  // namespace tsx::analysis

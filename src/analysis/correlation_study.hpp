@@ -1,0 +1,41 @@
+// Correlation studies of Sec. IV-F.
+//
+// Fig. 5: Pearson correlation between each system-level event and execution
+// time across a set of local (Tier 0) runs of one application.
+// Fig. 6: Pearson correlation between execution time and the tier's idle
+// latency / bandwidth across the four tiers, per application and workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+/// Per-event correlation with execution time over a run set (Fig. 5 row).
+struct EventCorrelation {
+  metrics::SysEvent event;
+  double pearson = 0.0;
+};
+
+/// Computes Fig. 5's row set for one application from its Tier-0 runs
+/// (across sizes and repeats).
+std::vector<EventCorrelation> event_time_correlation(
+    const std::vector<workloads::RunResult>& runs);
+
+/// Fig. 6 cell: correlation of execution time with latency and bandwidth
+/// across tiers for one (app, scale).
+struct HwCorrelation {
+  workloads::App app;
+  workloads::ScaleId scale;
+  double with_latency = 0.0;    ///< expected near +1
+  double with_bandwidth = 0.0;  ///< expected near -1
+};
+
+/// `runs` must hold one result per tier (any order) for one (app, scale).
+HwCorrelation hw_spec_correlation(
+    const std::vector<workloads::RunResult>& runs);
+
+}  // namespace tsx::analysis

@@ -1,0 +1,143 @@
+#include "analysis/cross_predictor.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace tsx::analysis {
+
+namespace {
+
+using workloads::RunResult;
+
+using ProfileKey = std::pair<workloads::App, workloads::ScaleId>;
+
+std::map<ProfileKey, const RunResult*> index_profiles(
+    const std::vector<RunResult>& profiles) {
+  std::map<ProfileKey, const RunResult*> out;
+  for (const RunResult& p : profiles) {
+    TSX_CHECK(p.config.tier == mem::TierId::kTier0,
+              "profiles must be Tier-0 runs");
+    out[{p.config.app, p.config.scale}] = &p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> CrossWorkloadPredictor::features(
+    const RunResult& profile, mem::TierId tier) {
+  const mem::TopologySpec topo = mem::testbed_topology();
+  const mem::TierSpec spec =
+      mem::resolve_tier(topo, profile.config.socket, tier);
+  const double lat_r = spec.read_latency.sec();
+  const double lat_w = spec.write_latency.sec();
+  const double inv_bw = 1.0 / spec.read_bandwidth.value();
+
+  const double instr = profile.events[metrics::SysEvent::kInstructions];
+  const double llc = profile.events[metrics::SysEvent::kLlcMisses];
+  const double mem_r = profile.events[metrics::SysEvent::kMemReads];
+  const double mem_w = profile.events[metrics::SysEvent::kMemWrites];
+
+  // Only physically-meaningful *time estimates* appear as features (event
+  // count x per-access cost on the target tier). Bare tier constants would
+  // take just three distinct values on the training tiers and explode when
+  // extrapolating to Tier 3's collapsed bandwidth.
+  return {
+      instr * 1e-9,           // base compute volume
+      llc * lat_r,            // latency-bound read stalls on this tier
+      mem_w * lat_w,          // write stalls (captures the NVM asymmetry)
+      mem_r * 64.0 * inv_bw,  // streaming transfer time on this tier
+  };
+}
+
+CrossWorkloadPredictor CrossWorkloadPredictor::fit(
+    const std::vector<RunResult>& training,
+    const std::vector<RunResult>& profiles) {
+  TSX_CHECK(!training.empty(), "no training runs");
+  const auto profile_index = index_profiles(profiles);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  std::vector<double> weights;
+  for (const RunResult& r : training) {
+    const auto it =
+        profile_index.find({r.config.app, r.config.scale});
+    TSX_CHECK(it != profile_index.end(),
+              "missing Tier-0 profile for a training run");
+    rows.push_back(features(*it->second, r.config.tier));
+    y.push_back(r.exec_time.sec());
+    // Relative-error loss: execution times span orders of magnitude and a
+    // plain squared loss would fit only the slowest runs.
+    weights.push_back(1.0 / (y.back() * y.back()));
+  }
+
+  // Every feature is a physical time component, so its coefficient must be
+  // non-negative — otherwise extrapolating to Tier 3 (whose streaming
+  // feature is ~20x beyond the training range) can swing negative. Active-
+  // set NNLS: fit, zero out the most negative coefficient, refit.
+  const std::size_t k = rows[0].size();
+  std::vector<bool> active(k, true);
+  stats::LinearModel fitted;
+  for (;;) {
+    std::vector<std::vector<double>> masked;
+    masked.reserve(rows.size());
+    for (const auto& row : rows) {
+      std::vector<double> m;
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) m.push_back(row[j]);
+      masked.push_back(std::move(m));
+    }
+    fitted = stats::fit_wls(masked, y, weights);
+    // Most negative non-intercept coefficient, if any.
+    int worst = -1;
+    double worst_value = 0.0;
+    for (std::size_t j = 0, mj = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      const double beta = fitted.beta[1 + mj];
+      if (beta < worst_value) {
+        worst_value = beta;
+        worst = static_cast<int>(j);
+      }
+      ++mj;
+    }
+    if (worst < 0) break;
+    active[static_cast<std::size_t>(worst)] = false;
+  }
+
+  // Reassemble a full-width model (zeros for deactivated features).
+  stats::LinearModel full;
+  full.beta.assign(k + 1, 0.0);
+  full.beta[0] = fitted.beta[0];
+  for (std::size_t j = 0, mj = 0; j < k; ++j) {
+    if (!active[j]) continue;
+    full.beta[j + 1] = fitted.beta[1 + mj];
+    ++mj;
+  }
+  full.r_squared = fitted.r_squared;
+  full.residual_stddev = fitted.residual_stddev;
+
+  CrossWorkloadPredictor p;
+  p.model_ = full;
+  return p;
+}
+
+Duration CrossWorkloadPredictor::predict(const RunResult& profile,
+                                         mem::TierId tier) const {
+  const double sec = model_.predict(features(profile, tier));
+  return Duration::seconds(std::max(0.0, sec));
+}
+
+double CrossWorkloadPredictor::relative_error(
+    const RunResult& profile, const RunResult& actual) const {
+  TSX_CHECK(profile.config.app == actual.config.app &&
+                profile.config.scale == actual.config.scale,
+            "profile does not match the measured run");
+  const double truth = actual.exec_time.sec();
+  TSX_CHECK(truth > 0.0, "measured time must be positive");
+  return std::abs(predict(profile, actual.config.tier).sec() - truth) /
+         truth;
+}
+
+}  // namespace tsx::analysis

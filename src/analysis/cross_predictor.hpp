@@ -1,0 +1,54 @@
+// Cross-workload tier-performance prediction.
+//
+// Sec. IV-F closes with: "by combining the hardware-related specifications
+// along with system-level metrics, we can create accurate predictions of
+// performance degradation across the different tiers". This model does
+// exactly that: it is trained *jointly over many workloads*, with features
+// built from each workload's local (Tier 0) event profile and the target
+// tier's specs — so it can predict a workload's execution time on a tier
+// it has never run on, including workloads never seen at fit time, as long
+// as their Tier-0 profile is available.
+//
+// Feature vector for (workload w, tier t):
+//   [ instr_w, llcmiss_w·L_t, memw_w·Lw_t, memr_w·64B/B_t ]
+// i.e. per-access event counts scaled into *time estimates* on the target
+// tier — a physically-motivated bilinear form fit with relative-error
+// weighted least squares.
+#pragma once
+
+#include <vector>
+
+#include "stats/ols.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+class CrossWorkloadPredictor {
+ public:
+  /// Fits on any set of runs. Each run needs a matching *Tier-0 profile*
+  /// run of the same (app, scale) in `profiles` (the local characterization
+  /// pass the paper's methodology assumes).
+  static CrossWorkloadPredictor fit(
+      const std::vector<workloads::RunResult>& training,
+      const std::vector<workloads::RunResult>& profiles);
+
+  /// Predicted execution time of the workload whose Tier-0 profile is
+  /// `profile`, on `tier`.
+  Duration predict(const workloads::RunResult& profile,
+                   mem::TierId tier) const;
+
+  /// Relative error against a measured run (profile must match app/scale).
+  double relative_error(const workloads::RunResult& profile,
+                        const workloads::RunResult& actual) const;
+
+  const stats::LinearModel& model() const { return model_; }
+
+  /// Exposed for tests: the feature row for (profile, tier).
+  static std::vector<double> features(const workloads::RunResult& profile,
+                                      mem::TierId tier);
+
+ private:
+  stats::LinearModel model_;
+};
+
+}  // namespace tsx::analysis

@@ -1,0 +1,57 @@
+#include "analysis/guidelines.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::analysis {
+
+DeploymentAdvice advise(const workloads::RunResult& profile,
+                        const CrossWorkloadPredictor& predictor,
+                        const GuidelinePolicy& policy) {
+  TSX_CHECK(profile.config.tier == mem::TierId::kTier0,
+            "advice needs a Tier-0 characterization run");
+  const double t0 = profile.exec_time.sec();
+  TSX_CHECK(t0 > 0.0, "profile has no execution time");
+
+  DeploymentAdvice advice;
+  advice.app = profile.config.app;
+  advice.scale = profile.config.scale;
+
+  auto ratio = [&](mem::TierId tier) {
+    return predictor.predict(profile, tier).sec() / t0;
+  };
+  advice.predicted_t1_ratio = ratio(mem::TierId::kTier1);
+  advice.predicted_t2_ratio = ratio(mem::TierId::kTier2);
+  advice.predicted_t3_ratio = ratio(mem::TierId::kTier3);
+
+  advice.nvm_suitable = advice.predicted_t2_ratio <= policy.nvm_tolerance;
+  advice.prefer_many_executors =
+      profile.tasks >= policy.many_task_threshold;
+  const double reads = profile.events[metrics::SysEvent::kMemReads];
+  const double writes = profile.events[metrics::SysEvent::kMemWrites];
+  advice.write_heavy =
+      reads > 0.0 && writes / reads >= policy.write_heavy_ratio;
+
+  std::string s;
+  s += strfmt("predicted slowdown: T1 %.2fx, T2 %.2fx, T3 %.2fx\n",
+              advice.predicted_t1_ratio, advice.predicted_t2_ratio,
+              advice.predicted_t3_ratio);
+  s += advice.nvm_suitable
+           ? "- NVM tier OK: expected degradation within tolerance "
+             "(Takeaway 1: this workload tolerates remote memory)\n"
+           : "- keep on DRAM: predicted NVM penalty exceeds tolerance "
+             "(Takeaways 2/4: latency-bound accesses dominate)\n";
+  s += advice.prefer_many_executors
+           ? "- deploy several skinny executors: enough tasks to amortize "
+             "startup and co-operation overheads (Takeaway 7)\n"
+           : "- deploy one fat executor: too few tasks, skinny executors "
+             "would pay registration and shuffle RPCs for nothing "
+             "(Takeaway 6)\n";
+  if (advice.write_heavy)
+    s += "- write-heavy profile: on persistent memory expect the write-"
+         "asymmetry penalty and budget device endurance (Takeaway 3)\n";
+  advice.summary = std::move(s);
+  return advice;
+}
+
+}  // namespace tsx::analysis

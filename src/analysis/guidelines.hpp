@@ -1,0 +1,56 @@
+// Deployment guidelines engine.
+//
+// The paper's stated deliverable is "a set of guidelines and key takeaways
+// for efficient deployment" of Spark analytics over tiered memory. This
+// module operationalizes them: given a workload's local (Tier 0)
+// characterization run and a fitted cross-workload predictor, it issues the
+// concrete advice a cluster operator needs — can this workload move to the
+// NVM tier, should executors be fat or skinny, and is its write profile a
+// device-lifetime concern.
+#pragma once
+
+#include <string>
+
+#include "analysis/cross_predictor.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+struct DeploymentAdvice {
+  workloads::App app;
+  workloads::ScaleId scale;
+
+  /// Predicted slowdown factors vs Tier 0 (from the cross predictor).
+  double predicted_t1_ratio = 1.0;
+  double predicted_t2_ratio = 1.0;
+  double predicted_t3_ratio = 1.0;
+
+  /// Takeaway-1/2 verdict: the workload tolerates the NVM tier if the
+  /// predicted Tier-2 slowdown stays under `nvm_tolerance`.
+  bool nvm_suitable = false;
+
+  /// Takeaway-6/7 verdict: enough tasks to amortize skinny-executor
+  /// overheads (prefer many executors) or not (prefer one fat executor).
+  bool prefer_many_executors = false;
+
+  /// Takeaway-3 flag: write-dominated profiles wear the persistent DIMMs
+  /// and suffer the asymmetry penalty.
+  bool write_heavy = false;
+
+  /// Human-readable rationale, one line per decision.
+  std::string summary;
+};
+
+struct GuidelinePolicy {
+  double nvm_tolerance = 1.25;       ///< max acceptable T2 slowdown factor
+  double write_heavy_ratio = 1.5;    ///< mem-writes / mem-reads threshold
+  std::size_t many_task_threshold = 300;  ///< tasks to justify skinny execs
+};
+
+/// Issues advice from a Tier-0 profile run. The predictor must have been
+/// fit on characterization data (it supplies the cross-tier estimates).
+DeploymentAdvice advise(const workloads::RunResult& tier0_profile,
+                        const CrossWorkloadPredictor& predictor,
+                        const GuidelinePolicy& policy = {});
+
+}  // namespace tsx::analysis

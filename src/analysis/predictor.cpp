@@ -1,0 +1,61 @@
+#include "analysis/predictor.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::analysis {
+
+std::vector<double> TierPredictor::features_for(const mem::TierSpec& spec) {
+  return {spec.read_latency.ns(), 1.0 / spec.read_bandwidth.to_gb_per_sec()};
+}
+
+TierPredictor TierPredictor::fit(
+    const std::vector<workloads::RunResult>& runs) {
+  TSX_CHECK(runs.size() >= 3, "predictor needs at least 3 tiers observed");
+  const mem::TopologySpec topo = mem::testbed_topology();
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (const auto& r : runs) {
+    rows.push_back(features_for(
+        mem::resolve_tier(topo, r.config.socket, r.config.tier)));
+    y.push_back(r.exec_time.sec());
+  }
+  TierPredictor p;
+  p.model_ = stats::fit_ols(rows, y);
+  return p;
+}
+
+Duration TierPredictor::predict(const mem::TopologySpec& topology,
+                                mem::SocketId socket,
+                                mem::TierId tier) const {
+  const std::vector<double> f =
+      features_for(mem::resolve_tier(topology, socket, tier));
+  return Duration::seconds(std::max(0.0, model_.predict(f)));
+}
+
+double TierPredictor::relative_error(
+    const workloads::RunResult& actual) const {
+  const Duration predicted =
+      predict(mem::testbed_topology(), actual.config.socket,
+              actual.config.tier);
+  const double truth = actual.exec_time.sec();
+  TSX_CHECK(truth > 0.0, "measured time must be positive");
+  return std::abs(predicted.sec() - truth) / truth;
+}
+
+double leave_one_tier_out_error(const std::vector<workloads::RunResult>& runs,
+                                mem::TierId held_out) {
+  std::vector<workloads::RunResult> train;
+  const workloads::RunResult* test = nullptr;
+  for (const auto& r : runs) {
+    if (r.config.tier == held_out)
+      test = &r;
+    else
+      train.push_back(r);
+  }
+  TSX_CHECK(test != nullptr, "held-out tier not present in runs");
+  return TierPredictor::fit(train).relative_error(*test);
+}
+
+}  // namespace tsx::analysis

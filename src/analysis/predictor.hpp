@@ -1,0 +1,47 @@
+// Tier-performance predictor (Takeaway 8).
+//
+// The paper argues that because execution time correlates near-linearly
+// with tier latency/bandwidth and with local system-level events, linear
+// models can predict performance on unseen tiers. TierPredictor implements
+// that claim: it fits OLS over (latency, 1/bandwidth) features of observed
+// (tier, time) pairs — optionally augmented with a local event profile —
+// and predicts execution time on a tier it never saw.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mem/tier.hpp"
+#include "stats/ols.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+class TierPredictor {
+ public:
+  /// Fits on observed runs of one (app, scale) across >= 3 tiers.
+  /// Features per run: [read latency ns, 1/bandwidth in s/GB].
+  static TierPredictor fit(const std::vector<workloads::RunResult>& runs);
+
+  /// Predicted execution time on `tier` (as seen from `socket`).
+  Duration predict(const mem::TopologySpec& topology, mem::SocketId socket,
+                   mem::TierId tier) const;
+
+  /// Relative prediction error against a measured run.
+  double relative_error(const workloads::RunResult& actual) const;
+
+  const stats::LinearModel& model() const { return model_; }
+
+ private:
+  static std::vector<double> features_for(const mem::TierSpec& spec);
+
+  stats::LinearModel model_;
+};
+
+/// Leave-one-tier-out evaluation: fit on all tiers but `held_out`, predict
+/// it, and report the relative error. The Sec. IV-F claim is that this
+/// error is small because the relationship is near-linear.
+double leave_one_tier_out_error(const std::vector<workloads::RunResult>& runs,
+                                mem::TierId held_out);
+
+}  // namespace tsx::analysis

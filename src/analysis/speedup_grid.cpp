@@ -1,0 +1,76 @@
+#include "analysis/speedup_grid.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+
+namespace tsx::analysis {
+
+double SpeedupGrid::min_speedup() const {
+  double lo = 1e300;
+  for (const auto& row : speedup)
+    for (const double s : row) lo = std::min(lo, s);
+  return lo;
+}
+
+double SpeedupGrid::max_speedup() const {
+  double hi = 0.0;
+  for (const auto& row : speedup)
+    for (const double s : row) hi = std::max(hi, s);
+  return hi;
+}
+
+std::string SpeedupGrid::render() const {
+  std::vector<std::string> headers{"executors \\ cores"};
+  for (const int c : core_axis) headers.push_back(std::to_string(c));
+  TablePrinter table(headers);
+  for (std::size_t e = 0; e < executor_axis.size(); ++e) {
+    std::vector<std::string> row{std::to_string(executor_axis[e])};
+    for (std::size_t c = 0; c < core_axis.size(); ++c)
+      row.push_back(strfmt("%.2fx", speedup[e][c]));
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+SpeedupGrid run_speedup_grid(const workloads::RunConfig& base,
+                             std::vector<int> executor_axis,
+                             std::vector<int> core_axis) {
+  TSX_CHECK(!executor_axis.empty() && !core_axis.empty(),
+            "grid axes must be non-empty");
+
+  SpeedupGrid grid;
+  grid.base = base;
+  grid.executor_axis = std::move(executor_axis);
+  grid.core_axis = std::move(core_axis);
+
+  workloads::RunConfig baseline = base;
+  baseline.executors = 1;
+  baseline.cores_per_executor = 40;
+  grid.baseline_time = workloads::run_workload(baseline).exec_time;
+
+  for (const int e : grid.executor_axis) {
+    std::vector<double> speedup_row;
+    std::vector<Duration> time_row;
+    for (const int c : grid.core_axis) {
+      workloads::RunConfig cell = base;
+      cell.executors = e;
+      cell.cores_per_executor = c;
+      const Duration t = (e == 1 && c == 40)
+                             ? grid.baseline_time
+                             : workloads::run_workload(cell).exec_time;
+      time_row.push_back(t);
+      speedup_row.push_back(grid.baseline_time / t);
+    }
+    grid.speedup.push_back(std::move(speedup_row));
+    grid.time.push_back(std::move(time_row));
+  }
+  return grid;
+}
+
+}  // namespace tsx::analysis

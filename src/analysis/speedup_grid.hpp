@@ -1,0 +1,40 @@
+// Executor/core scaling grids (Fig. 4).
+//
+// The paper sweeps executors x cores-per-executor and plots speedup (>1) or
+// slowdown (<1) relative to the default 1 executor x 40 cores. SpeedupGrid
+// runs the sweep for one (app, scale, tier) and normalizes against the
+// baseline cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+struct SpeedupGrid {
+  workloads::RunConfig base;            ///< configuration template
+  std::vector<int> executor_axis;       ///< Y axis (paper: 1..8)
+  std::vector<int> core_axis;           ///< X axis (paper: 5..40)
+  /// speedup[e][c] = baseline_time / time(executors=e_axis[e], cores=c_axis[c])
+  std::vector<std::vector<double>> speedup;
+  /// Raw times, same layout.
+  std::vector<std::vector<Duration>> time;
+  Duration baseline_time;
+
+  double min_speedup() const;
+  double max_speedup() const;
+  /// Worst slowdown as a factor >= 1 (paper quotes 3.11x).
+  double worst_slowdown() const { return 1.0 / min_speedup(); }
+
+  /// ASCII rendering of the grid.
+  std::string render() const;
+};
+
+/// Runs the grid. Baseline is 1 executor x 40 cores of the same template.
+SpeedupGrid run_speedup_grid(const workloads::RunConfig& base,
+                             std::vector<int> executor_axis,
+                             std::vector<int> core_axis);
+
+}  // namespace tsx::analysis

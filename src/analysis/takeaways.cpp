@@ -1,0 +1,96 @@
+#include "analysis/takeaways.hpp"
+
+#include <map>
+
+#include "core/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tsx::analysis {
+
+namespace {
+
+using workloads::App;
+using workloads::RunResult;
+using workloads::ScaleId;
+
+using Key = std::pair<App, ScaleId>;
+
+std::map<Key, std::array<const RunResult*, 4>> group_by_workload(
+    const std::vector<RunResult>& runs) {
+  std::map<Key, std::array<const RunResult*, 4>> groups;
+  for (const RunResult& r : runs) {
+    auto& slot = groups[{r.config.app, r.config.scale}];
+    slot[static_cast<std::size_t>(mem::index(r.config.tier))] = &r;
+  }
+  for (const auto& [key, slots] : groups)
+    for (const auto* p : slots)
+      TSX_CHECK(p != nullptr, "takeaways need one run per tier per workload");
+  return groups;
+}
+
+}  // namespace
+
+bool is_sensitive_app(App app) {
+  switch (app) {
+    case App::kRepartition:
+    case App::kBayes:
+    case App::kLda:
+    case App::kPagerank:
+      return true;
+    case App::kSort:
+    case App::kAls:
+    case App::kRf:
+      return false;
+  }
+  TSX_FAIL("bad App");
+}
+
+TakeawaySummary summarize_takeaways(const std::vector<RunResult>& runs) {
+  const auto groups = group_by_workload(runs);
+  TSX_CHECK(!groups.empty(), "no runs to summarize");
+
+  std::array<stats::Welford, 3> advantage;
+  stats::Welford nvm_extra;
+  stats::Welford sensitive_extra;
+  stats::Welford tolerant_extra;
+  stats::Welford energy_saving;
+
+  for (const auto& [key, tiers] : groups) {
+    const double t0 = tiers[0]->exec_time.sec();
+    for (int remote = 1; remote <= 3; ++remote) {
+      const double tr = tiers[static_cast<std::size_t>(remote)]->exec_time.sec();
+      // "Tier 0 achieves X% better execution time": saved fraction of the
+      // remote tier's time.
+      advantage[static_cast<std::size_t>(remote - 1)].add(100.0 *
+                                                          (tr - t0) / tr);
+    }
+
+    const double dram_avg =
+        0.5 * (tiers[0]->exec_time.sec() + tiers[1]->exec_time.sec());
+    const double nvm_avg =
+        0.5 * (tiers[2]->exec_time.sec() + tiers[3]->exec_time.sec());
+    const double extra_pct = 100.0 * (nvm_avg - dram_avg) / dram_avg;
+    nvm_extra.add(extra_pct);
+    (is_sensitive_app(key.first) ? sensitive_extra : tolerant_extra)
+        .add(extra_pct);
+
+    // Energy per DIMM: Tier-0 run's DRAM node vs Tier-2 run's NVM node.
+    const double dram_energy =
+        tiers[0]->bound_node_energy_per_dimm().j();
+    const double nvm_energy = tiers[2]->bound_node_energy_per_dimm().j();
+    if (nvm_energy > 0.0)
+      energy_saving.add(100.0 * (nvm_energy - dram_energy) / nvm_energy);
+  }
+
+  TakeawaySummary s;
+  for (int i = 0; i < 3; ++i)
+    s.tier0_advantage_pct[static_cast<std::size_t>(i)] =
+        advantage[static_cast<std::size_t>(i)].mean();
+  s.nvm_extra_time_pct = nvm_extra.mean();
+  s.sensitive_extra_time_pct = sensitive_extra.mean();
+  s.tolerant_extra_time_pct = tolerant_extra.mean();
+  s.dram_energy_saving_pct = energy_saving.mean();
+  return s;
+}
+
+}  // namespace tsx::analysis

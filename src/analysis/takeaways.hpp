@@ -1,0 +1,41 @@
+// Headline aggregates behind the paper's takeaways.
+//
+// Computes, from a set of Fig.-2-style runs (all apps x sizes x tiers), the
+// summary percentages the paper quotes in prose: Tier-0's average advantage
+// over each remote tier (Sec. IV-A), the NVM-vs-DRAM execution-time penalty
+// split by sensitivity class, and the DRAM energy saving (Sec. IV-D).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "workloads/runner.hpp"
+
+namespace tsx::analysis {
+
+struct TakeawaySummary {
+  /// Average % by which Tier 0 beats Tier 1/2/3 execution time
+  /// (paper: 44.2 / 66.4 / 90.1). Index 0 -> vs Tier 1, etc.
+  std::array<double, 3> tier0_advantage_pct{};
+
+  /// Average extra execution time of NVM-bound (Tier 2/3) vs DRAM-bound
+  /// (Tier 0/1) runs, % (paper: 76.7).
+  double nvm_extra_time_pct = 0.0;
+
+  /// Same split by sensitivity class (paper: 96.7 vs 31.1).
+  double sensitive_extra_time_pct = 0.0;  ///< repartition, bayes, lda, pagerank
+  double tolerant_extra_time_pct = 0.0;   ///< sort, als, rf
+
+  /// Average % less energy per DIMM on the Tier-0 DRAM node vs the Tier-2
+  /// NVM node (paper: 63.9).
+  double dram_energy_saving_pct = 0.0;
+};
+
+/// Whether the paper classes this app as degradation-sensitive (Sec. IV-A).
+bool is_sensitive_app(workloads::App app);
+
+/// `runs` must contain, for every (app, scale), one run per tier.
+TakeawaySummary summarize_takeaways(
+    const std::vector<workloads::RunResult>& runs);
+
+}  // namespace tsx::analysis

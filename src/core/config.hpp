@@ -1,0 +1,51 @@
+// Typed key-value configuration.
+//
+// Mirrors Spark's `SparkConf` string-map style ("spark.executor.cores" → "40")
+// while giving callers typed, checked accessors with defaults. Also parses
+// `--key=value` command-line overrides for the example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsx {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Sets (or overwrites) a key. Returns *this for chaining.
+  Config& set(const std::string& key, const std::string& value);
+  Config& set_int(const std::string& key, std::int64_t value);
+  Config& set_double(const std::string& key, double value);
+  Config& set_bool(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters: throw tsx::Error on missing key or parse failure.
+  std::string get(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Typed getters with defaults: never throw on a missing key.
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  bool get_bool_or(const std::string& key, bool dflt) const;
+
+  /// Parses `--key=value` arguments; unrecognized arguments are returned
+  /// untouched (positional arguments for the caller).
+  std::vector<std::string> parse_args(int argc, const char* const* argv);
+
+  /// All entries, sorted by key (for dumping effective configuration).
+  std::vector<std::pair<std::string, std::string>> entries() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tsx

@@ -1,0 +1,42 @@
+// Error handling primitives for tieredspark.
+//
+// The library throws tsx::Error (a std::runtime_error subtype carrying the
+// failing expression/location) for precondition and invariant violations.
+// TSX_CHECK is always on — simulation correctness depends on these checks and
+// their cost is negligible next to the work they guard.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tsx {
+
+/// Exception thrown on any precondition, postcondition or invariant failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the exception message and throws. Out-of-line so the macro below
+/// stays cheap at call sites.
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace tsx
+
+/// Verifies `expr`; on failure throws tsx::Error with location information.
+/// Usage: TSX_CHECK(x > 0, "x must be positive, got " + std::to_string(x));
+#define TSX_CHECK(expr, ...)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::tsx::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                         ::std::string{__VA_ARGS__});     \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure (unreachable code paths, exhaustive switches).
+#define TSX_FAIL(...)                                                     \
+  ::tsx::detail::throw_check_failure("unreachable", __FILE__, __LINE__,   \
+                                     ::std::string{__VA_ARGS__})

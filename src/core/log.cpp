@@ -1,0 +1,47 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tsx {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace log_internal {
+void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[tsx %-5s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace log_internal
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level)
+    : level_(level), active_(level >= g_level.load()) {}
+
+void LogLine::finish() {
+  if (active_) log_internal::emit(level_, stream_.str());
+  active_ = false;
+}
+
+}  // namespace detail
+
+}  // namespace tsx

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic, so logging exists for humans tracing a run
+// (e.g. `tier_explorer --verbose`), not for machine consumption. Output goes
+// to stderr so bench tables on stdout stay clean. Thread-safe at line
+// granularity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+/// Emits one formatted line if `level` passes the global threshold.
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_internal
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Stream-style log statement: TSX_LOG(kInfo) << "stage " << id << " done";
+#define TSX_LOG(level_suffix)                                         \
+  for (::tsx::detail::LogLine line(::tsx::LogLevel::level_suffix);    \
+       line.active(); line.finish())                                  \
+  line.stream()
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  bool active() const { return active_; }
+  void finish();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool active_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tsx

@@ -1,0 +1,34 @@
+// Small string utilities shared across the library (splitting for the text
+// workloads, joining for table output, printf-style formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsx {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields (tokenizer used by
+/// the text-analytics workloads).
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left/right pads `text` with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace tsx

@@ -1,0 +1,92 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end != cell.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TSX_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  TSX_CHECK(cells.size() == headers_.size(),
+            "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << (looks_numeric(row[c]) ? pad_left(row[c], widths[c])
+                                   : pad_right(row[c], widths[c]));
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string csv_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (!quote) {
+      out += cells[i];
+      continue;
+    }
+    out += '"';
+    for (const char ch : cells[i]) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace tsx

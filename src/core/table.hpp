@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark harness output.
+//
+// Every bench binary in this repository reproduces a table or figure from the
+// paper as rows of text; TablePrinter keeps that output aligned and uniform.
+// Columns are sized to their widest cell; numeric cells are right-aligned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsx {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (with a header separator) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a CSV line (used by the bench harnesses' machine-readable output).
+std::string csv_row(const std::vector<std::string>& cells);
+
+}  // namespace tsx

@@ -1,0 +1,50 @@
+#include "core/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tsx {
+
+namespace {
+
+std::string fmt(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+Duration Duration::infinite() {
+  return Duration{std::numeric_limits<double>::infinity()};
+}
+
+std::string to_string(Duration d) {
+  const double s = d.sec();
+  if (!std::isfinite(s)) return "inf";
+  if (s >= 1.0) return fmt(s, "s");
+  if (s >= 1e-3) return fmt(s * 1e3, "ms");
+  if (s >= 1e-6) return fmt(s * 1e6, "us");
+  return fmt(s * 1e9, "ns");
+}
+
+std::string to_string(Bytes b) {
+  const double v = b.b();
+  if (v >= 1024.0 * 1024.0 * 1024.0) return fmt(b.to_gib(), "GiB");
+  if (v >= 1024.0 * 1024.0) return fmt(b.to_mib(), "MiB");
+  if (v >= 1024.0) return fmt(b.to_kib(), "KiB");
+  return fmt(v, "B");
+}
+
+std::string to_string(Bandwidth bw) { return fmt(bw.to_gb_per_sec(), "GB/s"); }
+
+std::string to_string(Energy e) {
+  const double j = e.j();
+  if (j >= 1.0) return fmt(j, "J");
+  return fmt(j * 1e3, "mJ");
+}
+
+std::string to_string(Power p) { return fmt(p.w(), "W"); }
+
+}  // namespace tsx

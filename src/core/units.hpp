@@ -1,0 +1,154 @@
+// Physical quantities used throughout the simulator.
+//
+// Simulated time, data volume, energy and bandwidth appear in almost every
+// interface of this library. Mixing them up (ns vs s, bytes vs GB) is the
+// classic simulator bug, so the scalar payloads are wrapped in thin strong
+// types. Each type stores a double in a single canonical unit (seconds,
+// bytes, joules, bytes/second, watts) and offers named constructors for the
+// other units plus only physically meaningful arithmetic, e.g.
+//   Bytes / Bandwidth -> Duration,  Power * Duration -> Energy.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tsx {
+
+namespace detail {
+
+/// CRTP base providing the arithmetic shared by all scalar quantities.
+template <typename Derived>
+struct Quantity {
+  double v = 0.0;  ///< value in the canonical unit of `Derived`
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v(value) {}
+
+  constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.v + b.v};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.v - b.v};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.v / s};
+  }
+  /// Ratio of two like quantities is a plain scalar.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+
+  Derived& operator+=(Derived b) {
+    v += b.v;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived b) {
+    v -= b.v;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.v <=> b.v;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+};
+
+}  // namespace detail
+
+/// Simulated time span; canonical unit: seconds.
+struct Duration : detail::Quantity<Duration> {
+  using Quantity::Quantity;
+  static constexpr Duration seconds(double s) { return Duration{s}; }
+  static constexpr Duration millis(double ms) { return Duration{ms * 1e-3}; }
+  static constexpr Duration micros(double us) { return Duration{us * 1e-6}; }
+  static constexpr Duration nanos(double ns) { return Duration{ns * 1e-9}; }
+  static constexpr Duration zero() { return Duration{0.0}; }
+  /// Sentinel for "never" in event scheduling.
+  static Duration infinite();
+
+  constexpr double sec() const { return v; }
+  constexpr double ms() const { return v * 1e3; }
+  constexpr double us() const { return v * 1e6; }
+  constexpr double ns() const { return v * 1e9; }
+};
+
+/// Data volume; canonical unit: bytes.
+struct Bytes : detail::Quantity<Bytes> {
+  using Quantity::Quantity;
+  static constexpr Bytes of(double b) { return Bytes{b}; }
+  static constexpr Bytes kib(double k) { return Bytes{k * 1024.0}; }
+  static constexpr Bytes mib(double m) { return Bytes{m * 1024.0 * 1024.0}; }
+  static constexpr Bytes gib(double g) {
+    return Bytes{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  static constexpr Bytes zero() { return Bytes{0.0}; }
+
+  constexpr double b() const { return v; }
+  constexpr double to_kib() const { return v / 1024.0; }
+  constexpr double to_mib() const { return v / (1024.0 * 1024.0); }
+  constexpr double to_gib() const { return v / (1024.0 * 1024.0 * 1024.0); }
+};
+
+/// Transfer rate; canonical unit: bytes/second.
+struct Bandwidth : detail::Quantity<Bandwidth> {
+  using Quantity::Quantity;
+  static constexpr Bandwidth bytes_per_sec(double r) { return Bandwidth{r}; }
+  static constexpr Bandwidth gib_per_sec(double g) {
+    return Bandwidth{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  /// Decimal GB/s, the unit used in the paper's Table I.
+  static constexpr Bandwidth gb_per_sec(double g) {
+    return Bandwidth{g * 1e9};
+  }
+  static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  constexpr double to_gb_per_sec() const { return v / 1e9; }
+};
+
+/// Energy; canonical unit: joules.
+struct Energy : detail::Quantity<Energy> {
+  using Quantity::Quantity;
+  static constexpr Energy joules(double j) { return Energy{j}; }
+  static constexpr Energy millijoules(double mj) { return Energy{mj * 1e-3}; }
+  static constexpr Energy zero() { return Energy{0.0}; }
+
+  constexpr double j() const { return v; }
+  constexpr double to_mj() const { return v * 1e3; }
+};
+
+/// Power; canonical unit: watts.
+struct Power : detail::Quantity<Power> {
+  using Quantity::Quantity;
+  static constexpr Power watts(double w) { return Power{w}; }
+  static constexpr Power zero() { return Power{0.0}; }
+
+  constexpr double w() const { return v; }
+};
+
+// Cross-type physics. Only combinations with a physical meaning compile.
+constexpr Duration operator/(Bytes b, Bandwidth bw) {
+  return Duration{b.v / bw.v};
+}
+constexpr Bytes operator*(Bandwidth bw, Duration t) {
+  return Bytes{bw.v * t.v};
+}
+constexpr Bytes operator*(Duration t, Bandwidth bw) { return bw * t; }
+constexpr Energy operator*(Power p, Duration t) { return Energy{p.v * t.v}; }
+constexpr Energy operator*(Duration t, Power p) { return p * t; }
+constexpr Power operator/(Energy e, Duration t) { return Power{e.v / t.v}; }
+
+/// Human-readable renderings ("3.20 GiB", "172.1 ns", "10.7 GB/s", ...).
+std::string to_string(Duration d);
+std::string to_string(Bytes b);
+std::string to_string(Bandwidth bw);
+std::string to_string(Energy e);
+std::string to_string(Power p);
+
+}  // namespace tsx

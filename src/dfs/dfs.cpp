@@ -1,0 +1,104 @@
+#include "dfs/dfs.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::dfs {
+
+Dfs::Dfs(DiskSpec disk, Bytes block_size, int replication)
+    : disk_(disk), block_size_(block_size), replication_(replication) {
+  TSX_CHECK(block_size.b() > 0.0, "block size must be positive");
+  TSX_CHECK(replication >= 1, "replication must be >= 1");
+}
+
+std::size_t Dfs::blocks_for(Bytes size) const {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(size.b() / block_size_.b())));
+}
+
+FileStatus Dfs::write_text(const std::string& path,
+                           std::vector<std::string> lines) {
+  Bytes size = Bytes::zero();
+  for (const auto& line : lines)
+    size += Bytes::of(static_cast<double>(line.size() + 1));  // +\n
+
+  File file;
+  file.lines = std::move(lines);
+  file.size = size;
+  const std::size_t nblocks = blocks_for(size);
+  file.blocks.reserve(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b)
+    file.blocks.push_back(BlockId{next_block_++});
+  files_[path] = std::move(file);
+
+  return status(path);
+}
+
+std::vector<std::string> Dfs::read_text(const std::string& path) const {
+  const auto it = files_.find(path);
+  TSX_CHECK(it != files_.end(), "dfs: no such file: " + path);
+  return it->second.lines;
+}
+
+bool Dfs::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+void Dfs::remove(const std::string& path) {
+  TSX_CHECK(files_.erase(path) > 0, "dfs: remove of missing file: " + path);
+}
+
+FileStatus Dfs::status(const std::string& path) const {
+  const auto it = files_.find(path);
+  TSX_CHECK(it != files_.end(), "dfs: no such file: " + path);
+  return FileStatus{path, it->second.size, it->second.blocks.size(),
+                    replication_};
+}
+
+std::vector<std::string> Dfs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+Duration Dfs::read_time(Bytes bytes) const {
+  const auto seeks = static_cast<double>(blocks_for(bytes));
+  return bytes / disk_.bandwidth + disk_.seek * seeks;
+}
+
+Duration Dfs::write_time(Bytes bytes) const {
+  // The replication pipeline streams through each replica in series for the
+  // first byte but overlaps thereafter; model the classic pipeline cost of
+  // one traversal plus per-replica block handoffs.
+  const auto seeks =
+      static_cast<double>(blocks_for(bytes) * static_cast<std::size_t>(
+                                                  replication_));
+  return bytes / disk_.bandwidth + disk_.seek * seeks;
+}
+
+Duration Dfs::read_seek_overhead(Bytes bytes) const {
+  return disk_.seek * static_cast<double>(blocks_for(bytes));
+}
+
+Duration Dfs::write_seek_overhead(Bytes bytes) const {
+  return disk_.seek * static_cast<double>(blocks_for(bytes) *
+                                          static_cast<std::size_t>(
+                                              replication_));
+}
+
+std::size_t Dfs::block_count() const {
+  std::size_t n = 0;
+  for (const auto& [path, file] : files_) n += file.blocks.size();
+  return n;
+}
+
+Bytes Dfs::bytes_stored() const {
+  Bytes total = Bytes::zero();
+  for (const auto& [path, file] : files_)
+    total += file.size * static_cast<double>(replication_);
+  return total;
+}
+
+}  // namespace tsx::dfs

@@ -1,0 +1,92 @@
+// Simulated distributed file system (the HDFS substrate).
+//
+// The paper stores Spark job input/output on HDFS running on the same node.
+// This module reproduces the pieces that matter to the study: a namenode
+// mapping paths to fixed-size blocks, replicated block storage on a disk
+// medium with its own bandwidth/seek model, and cost estimation for reads
+// and writes so the Spark engine can charge realistic I/O time at job
+// boundaries. File *content* is held for real (vectors of text lines), so
+// save-then-read roundtrips are verifiable in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace tsx::dfs {
+
+struct DiskSpec {
+  /// Sequential throughput of the backing medium (testbed used SATA SSDs).
+  Bandwidth bandwidth = Bandwidth::gb_per_sec(0.5);
+  /// Per-block positioning/request overhead.
+  Duration seek = Duration::micros(100);
+};
+
+struct BlockId {
+  std::uint64_t value = 0;
+  auto operator<=>(const BlockId&) const = default;
+};
+
+struct FileStatus {
+  std::string path;
+  Bytes size;
+  std::size_t blocks = 0;
+  int replication = 1;
+};
+
+class Dfs {
+ public:
+  explicit Dfs(DiskSpec disk = {}, Bytes block_size = Bytes::mib(128),
+               int replication = 1);
+
+  /// Creates (or overwrites) a text file from lines. Returns its status.
+  FileStatus write_text(const std::string& path,
+                        std::vector<std::string> lines);
+
+  /// Reads a text file back; throws if missing.
+  std::vector<std::string> read_text(const std::string& path) const;
+
+  bool exists(const std::string& path) const;
+  void remove(const std::string& path);
+  FileStatus status(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  /// I/O time models used by the Spark engine when charging job-boundary
+  /// reads/writes. Writes pay the replication pipeline.
+  Duration read_time(Bytes bytes) const;
+  Duration write_time(Bytes bytes) const;
+
+  /// Fixed positioning overhead only (per-block seeks), excluding transfer
+  /// time — the engine charges the transfer itself through the machine's
+  /// shared storage channel so concurrent readers contend.
+  Duration read_seek_overhead(Bytes bytes) const;
+  Duration write_seek_overhead(Bytes bytes) const;
+
+  Bytes block_size() const { return block_size_; }
+  int replication() const { return replication_; }
+
+  /// Aggregate statistics.
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t block_count() const;
+  Bytes bytes_stored() const;
+
+ private:
+  struct File {
+    std::vector<std::string> lines;
+    Bytes size;
+    std::vector<BlockId> blocks;
+  };
+
+  std::size_t blocks_for(Bytes size) const;
+
+  DiskSpec disk_;
+  Bytes block_size_;
+  int replication_;
+  std::map<std::string, File> files_;
+  std::uint64_t next_block_ = 1;
+};
+
+}  // namespace tsx::dfs

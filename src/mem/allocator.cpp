@@ -1,0 +1,58 @@
+#include "mem/allocator.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+TieredAllocator::TieredAllocator(const TopologySpec& topology)
+    : topology_(topology),
+      used_(topology.nodes.size(), Bytes::zero()),
+      high_water_(topology.nodes.size(), Bytes::zero()) {}
+
+AllocationId TieredAllocator::allocate(NodeId node, Bytes bytes) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative allocation");
+  const auto n = static_cast<std::size_t>(node);
+  TSX_CHECK(n < used_.size(), "bad node id");
+  TSX_CHECK(used_[n] + bytes <= topology_.node(node).capacity,
+            "node " + topology_.node(node).name + " out of memory");
+  used_[n] += bytes;
+  if (used_[n] > high_water_[n]) high_water_[n] = used_[n];
+  const AllocationId id = next_id_++;
+  allocations_.emplace(id, Allocation{node, bytes});
+  return id;
+}
+
+void TieredAllocator::free(AllocationId id) {
+  const auto it = allocations_.find(id);
+  TSX_CHECK(it != allocations_.end(), "free of unknown allocation");
+  used_[static_cast<std::size_t>(it->second.node)] -= it->second.size;
+  allocations_.erase(it);
+}
+
+void TieredAllocator::resize(AllocationId id, Bytes new_size) {
+  TSX_CHECK(new_size.b() >= 0.0, "negative allocation size");
+  const auto it = allocations_.find(id);
+  TSX_CHECK(it != allocations_.end(), "resize of unknown allocation");
+  const auto n = static_cast<std::size_t>(it->second.node);
+  const Bytes updated = used_[n] - it->second.size + new_size;
+  TSX_CHECK(updated <= topology_.node(it->second.node).capacity,
+            "node " + topology_.node(it->second.node).name +
+                " out of memory on resize");
+  used_[n] = updated;
+  if (used_[n] > high_water_[n]) high_water_[n] = used_[n];
+  it->second.size = new_size;
+}
+
+Bytes TieredAllocator::used(NodeId node) const {
+  return used_.at(static_cast<std::size_t>(node));
+}
+
+Bytes TieredAllocator::capacity(NodeId node) const {
+  return topology_.node(node).capacity;
+}
+
+Bytes TieredAllocator::high_water(NodeId node) const {
+  return high_water_.at(static_cast<std::size_t>(node));
+}
+
+}  // namespace tsx::mem

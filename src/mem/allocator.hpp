@@ -1,0 +1,54 @@
+// Tier-bound capacity accounting.
+//
+// The block manager and shuffle subsystem allocate simulated buffers on a
+// specific memory node (the `membind` semantics of numactl). TieredAllocator
+// tracks used capacity per node, rejects over-subscription, and keeps a
+// high-water mark, so experiments can verify a workload actually fits the
+// tier it claims to run on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/units.hpp"
+#include "mem/topology.hpp"
+
+namespace tsx::mem {
+
+using AllocationId = std::uint64_t;
+
+class TieredAllocator {
+ public:
+  explicit TieredAllocator(const TopologySpec& topology);
+
+  /// Reserves `bytes` on `node`; throws tsx::Error if the node would
+  /// exceed capacity.
+  AllocationId allocate(NodeId node, Bytes bytes);
+
+  /// Releases a prior allocation. Double-free throws.
+  void free(AllocationId id);
+
+  /// Resizes an allocation in place (grow or shrink), keeping its node.
+  void resize(AllocationId id, Bytes new_size);
+
+  Bytes used(NodeId node) const;
+  Bytes capacity(NodeId node) const;
+  Bytes available(NodeId node) const { return capacity(node) - used(node); }
+  Bytes high_water(NodeId node) const;
+  std::size_t live_allocations() const { return allocations_.size(); }
+
+ private:
+  struct Allocation {
+    NodeId node;
+    Bytes size;
+  };
+
+  const TopologySpec& topology_;
+  std::vector<Bytes> used_;
+  std::vector<Bytes> high_water_;
+  std::unordered_map<AllocationId, Allocation> allocations_;
+  AllocationId next_id_ = 1;
+};
+
+}  // namespace tsx::mem

@@ -1,0 +1,43 @@
+#include "mem/background_load.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+BackgroundLoad::BackgroundLoad(MachineModel& machine, SocketId socket,
+                               TierId tier, Bandwidth rate,
+                               double write_fraction, Bytes chunk)
+    : machine_(machine),
+      socket_(socket),
+      tier_(tier),
+      rate_(rate),
+      write_fraction_(write_fraction),
+      chunk_(chunk) {
+  TSX_CHECK(rate.value() > 0.0, "background rate must be positive");
+  TSX_CHECK(write_fraction >= 0.0 && write_fraction <= 1.0,
+            "write fraction in [0,1]");
+  TSX_CHECK(chunk.b() > 0.0, "chunk must be positive");
+  arm();
+}
+
+void BackgroundLoad::arm() {
+  if (!running_) return;
+  // Deterministic read/write interleaving at the requested fraction.
+  const bool write =
+      write_fraction_ > 0.0 &&
+      static_cast<double>(chunks_ % 10) < write_fraction_ * 10.0;
+  ++chunks_;
+  generated_ += chunk_;
+  // The per-chunk rate cap shapes the stream to the requested bandwidth
+  // (bypassing the per-flow mlp machinery: this models an external tenant
+  // with its own demand profile).
+  const TierSpec spec = machine_.tier(socket_, tier_);
+  machine_.channel_for(socket_, spec.node)
+      .start_flow(chunk_, rate_, [this] { arm(); });
+  if (write)
+    machine_.traffic().record_write(spec.node, chunk_);
+  else
+    machine_.traffic().record_read(spec.node, chunk_);
+}
+
+}  // namespace tsx::mem

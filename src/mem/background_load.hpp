@@ -1,0 +1,55 @@
+// Noisy-neighbor background load generator.
+//
+// Disaggregated tiers are *shared*: other tenants' traffic contends for
+// the same channels (the paper cites contention-aware prediction for
+// exactly this reason, and Takeaway 6 is about executors competing over
+// shared memory). BackgroundLoad keeps a steady synthetic stream flowing
+// through one tier's channel — chunk by chunk, re-arming on completion —
+// so experiments can measure a workload under co-located pressure.
+//
+// The generator keeps the event queue non-empty for as long as it runs;
+// the Spark scheduler's stage barriers are condition-driven (Simulator::
+// step), so jobs complete normally while the load persists. Call `stop()`
+// when the experiment window ends.
+#pragma once
+
+#include "mem/machine.hpp"
+
+namespace tsx::mem {
+
+class BackgroundLoad {
+ public:
+  /// Starts immediately: a continuous stream of `rate`-capped chunks of
+  /// `chunk` bytes through `tier` as seen from `socket`, alternating
+  /// reads and writes with the given write fraction.
+  BackgroundLoad(MachineModel& machine, SocketId socket, TierId tier,
+                 Bandwidth rate, double write_fraction = 0.3,
+                 Bytes chunk = Bytes::mib(4));
+  ~BackgroundLoad() { stop(); }
+
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+
+  /// Stops re-arming; the in-flight chunk still drains (and then the event
+  /// queue can empty).
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  /// Bytes pushed so far.
+  Bytes generated() const { return generated_; }
+
+ private:
+  void arm();
+
+  MachineModel& machine_;
+  SocketId socket_;
+  TierId tier_;
+  Bandwidth rate_;
+  double write_fraction_;
+  Bytes chunk_;
+  bool running_ = true;
+  std::uint64_t chunks_ = 0;
+  Bytes generated_;
+};
+
+}  // namespace tsx::mem

@@ -1,0 +1,3 @@
+// calibration.hpp is all constexpr data; this translation unit exists so the
+// header is compiled at least once under the library's warning flags.
+#include "mem/calibration.hpp"

@@ -1,0 +1,35 @@
+#include "mem/energy.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+Energy EnergyModel::dynamic_energy(const MemNodeSpec& node,
+                                   const NodeTraffic& traffic) const {
+  const double pj = traffic.read_bytes.b() * node.tech->read_pj_per_byte +
+                    traffic.write_bytes.b() * node.tech->write_pj_per_byte;
+  return Energy::joules(pj * 1e-12);
+}
+
+Energy EnergyModel::static_energy(const MemNodeSpec& node,
+                                  Duration window) const {
+  TSX_CHECK(window.sec() >= 0.0, "negative energy window");
+  return node.tech->static_power_per_dimm * window *
+         static_cast<double>(node.dimms);
+}
+
+NodeEnergyReport EnergyModel::report(const MemNodeSpec& node,
+                                     const NodeTraffic& traffic,
+                                     Duration window) const {
+  NodeEnergyReport r;
+  r.dynamic_energy = dynamic_energy(node, traffic);
+  r.static_energy = static_energy(node, window);
+  r.total = r.dynamic_energy + r.static_energy;
+  r.average_power =
+      window.sec() > 0.0 ? r.total / window : Power::zero();
+  r.per_dimm = node.dimms > 0 ? r.total / static_cast<double>(node.dimms)
+                              : Energy::zero();
+  return r;
+}
+
+}  // namespace tsx::mem

@@ -1,0 +1,37 @@
+// DIMM energy accounting (the Fig. 2-bottom reproduction).
+//
+// Energy per node = dynamic (per-byte read/write) + static (per-DIMM power
+// integrated over the observation window). The model deliberately mirrors
+// the paper's observation mechanism — total energy over the run, not
+// instantaneous power — because that is what makes slow NVM runs *more*
+// expensive despite cheaper individual accesses.
+#pragma once
+
+#include "core/units.hpp"
+#include "mem/topology.hpp"
+#include "mem/traffic.hpp"
+
+namespace tsx::mem {
+
+struct NodeEnergyReport {
+  Energy dynamic_energy;
+  Energy static_energy;
+  Energy total;
+  Power average_power;     ///< total / window
+  Energy per_dimm;         ///< total / dimms — the unit Fig. 2 plots
+};
+
+class EnergyModel {
+ public:
+  /// Dynamic energy implied by the recorded traffic of `node`.
+  Energy dynamic_energy(const MemNodeSpec& node,
+                        const NodeTraffic& traffic) const;
+
+  /// Static energy of keeping `node`'s DIMMs online for `window`.
+  Energy static_energy(const MemNodeSpec& node, Duration window) const;
+
+  NodeEnergyReport report(const MemNodeSpec& node, const NodeTraffic& traffic,
+                          Duration window) const;
+};
+
+}  // namespace tsx::mem

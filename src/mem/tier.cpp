@@ -1,0 +1,82 @@
+#include "mem/tier.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+std::string to_string(TierId t) { return "Tier " + std::to_string(index(t)); }
+
+TierId tier_from_index(int i) {
+  TSX_CHECK(i >= 0 && i < 4, "tier index out of range");
+  return static_cast<TierId>(i);
+}
+
+TierSpec resolve_tier(const TopologySpec& topology, SocketId socket,
+                      TierId tier) {
+  TSX_CHECK(socket >= 0 && socket < topology.sockets, "bad socket id");
+
+  TierSpec spec;
+  spec.id = tier;
+  switch (tier) {
+    case TierId::kTier0:
+      spec.node = topology.dram_node_of(socket);
+      break;
+    case TierId::kTier1:
+      spec.node = topology.dram_node_of(1 - socket);
+      break;
+    case TierId::kTier2: {
+      // The larger (4-DIMM) NVM group, wherever it lives.
+      const NodeId a = topology.nvm_node_of(0);
+      const NodeId b = topology.nvm_node_of(1);
+      spec.node = topology.node(a).dimms >= topology.node(b).dimms ? a : b;
+      break;
+    }
+    case TierId::kTier3: {
+      const NodeId a = topology.nvm_node_of(0);
+      const NodeId b = topology.nvm_node_of(1);
+      spec.node = topology.node(a).dimms < topology.node(b).dimms ? a : b;
+      break;
+    }
+  }
+
+  const MemNodeSpec& node = topology.node(spec.node);
+  spec.tech = node.tech;
+  spec.remote = topology.is_remote(socket, spec.node);
+
+  const bool nvm = node.tech->kind == TechKind::kNvm;
+  Duration hop = Duration::zero();
+  if (spec.remote)
+    hop = nvm ? topology.upi.nvm_hop_latency : topology.upi.dram_hop_latency;
+
+  spec.read_latency = node.tech->read_latency + hop;
+  spec.write_latency = node.tech->write_latency() + hop;
+
+  spec.read_bandwidth = node.peak_read_bw();
+  spec.write_bandwidth = node.peak_write_bw();
+  if (spec.remote) {
+    if (nvm) {
+      // Cross-socket Optane collapses far below the UPI cap (Table I, Tier 3).
+      spec.read_bandwidth =
+          spec.read_bandwidth * topology.upi.nvm_remote_efficiency;
+      spec.write_bandwidth =
+          spec.write_bandwidth * topology.upi.nvm_remote_efficiency;
+    } else {
+      spec.read_bandwidth =
+          std::min(spec.read_bandwidth, topology.upi.bandwidth_cap);
+      spec.write_bandwidth =
+          std::min(spec.write_bandwidth, topology.upi.bandwidth_cap);
+    }
+  }
+  return spec;
+}
+
+std::array<TierSpec, 4> canonical_tiers(const TopologySpec& topology) {
+  // Socket 1 owns the 4-DIMM NVM group on the testbed, so its view yields
+  // the paper's Table I (local 4-DIMM NVM as Tier 2, far 2-DIMM as Tier 3).
+  std::array<TierSpec, 4> tiers;
+  for (const TierId t : kAllTiers)
+    tiers[static_cast<std::size_t>(index(t))] = resolve_tier(topology, 1, t);
+  return tiers;
+}
+
+}  // namespace tsx::mem

@@ -1,0 +1,64 @@
+// Memory tiers.
+//
+// The paper defines four access scenarios ("Tiers") combining locality and
+// technology. From the perspective of a compute socket:
+//
+//   Tier 0 — local DRAM            Tier 1 — remote DRAM
+//   Tier 2 — 4-DIMM NVM group      Tier 3 — 2-DIMM NVM group (far side)
+//
+// `resolve_tier` folds topology (hop latencies, UPI caps, remote-NVM
+// collapse) into a flat TierSpec; for the canonical socket (1, which owns
+// the 4-DIMM NVM group) the result reproduces Table I.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/units.hpp"
+#include "mem/topology.hpp"
+
+namespace tsx::mem {
+
+enum class TierId : int { kTier0 = 0, kTier1 = 1, kTier2 = 2, kTier3 = 3 };
+
+inline constexpr std::array<TierId, 4> kAllTiers = {
+    TierId::kTier0, TierId::kTier1, TierId::kTier2, TierId::kTier3};
+
+constexpr int index(TierId t) { return static_cast<int>(t); }
+std::string to_string(TierId t);
+TierId tier_from_index(int i);
+
+enum class AccessKind { kRead, kWrite };
+
+/// Fully resolved access characteristics of one tier as seen from one
+/// compute socket.
+struct TierSpec {
+  TierId id = TierId::kTier0;
+  NodeId node = 0;             ///< backing memory node
+  bool remote = false;         ///< crosses the UPI link
+  const MemoryTechnology* tech = nullptr;
+
+  Duration read_latency;       ///< idle dependent-load latency
+  Duration write_latency;
+  Bandwidth read_bandwidth;    ///< peak streaming bandwidth
+  Bandwidth write_bandwidth;
+
+  Duration latency(AccessKind kind) const {
+    return kind == AccessKind::kRead ? read_latency : write_latency;
+  }
+  Bandwidth bandwidth(AccessKind kind) const {
+    return kind == AccessKind::kRead ? read_bandwidth : write_bandwidth;
+  }
+};
+
+/// Resolves a tier relative to `socket`. Tier 0/1 are the local/remote DRAM
+/// nodes; Tier 2 is always the 4-DIMM NVM group and Tier 3 the 2-DIMM one,
+/// regardless of socket (their latency then depends on which socket asks).
+TierSpec resolve_tier(const TopologySpec& topology, SocketId socket,
+                      TierId tier);
+
+/// The canonical tier table (socket 1, which owns the 4-DIMM NVM group) —
+/// this is what the paper's Table I reports.
+std::array<TierSpec, 4> canonical_tiers(const TopologySpec& topology);
+
+}  // namespace tsx::mem

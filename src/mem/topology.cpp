@@ -1,0 +1,53 @@
+#include "mem/topology.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+const MemNodeSpec& TopologySpec::node(NodeId id) const {
+  TSX_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes.size(),
+            "node id out of range");
+  return nodes[static_cast<std::size_t>(id)];
+}
+
+NodeId TopologySpec::dram_node_of(SocketId socket) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].socket == socket && nodes[i].tech->kind == TechKind::kDram)
+      return static_cast<NodeId>(i);
+  TSX_FAIL("no DRAM node on socket " + std::to_string(socket));
+}
+
+NodeId TopologySpec::nvm_node_of(SocketId socket) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].socket == socket && nodes[i].tech->kind == TechKind::kNvm)
+      return static_cast<NodeId>(i);
+  TSX_FAIL("no NVM node on socket " + std::to_string(socket));
+}
+
+TopologySpec testbed_topology() {
+  TopologySpec t;
+  t.sockets = 2;
+  t.cores_per_socket = 20;
+  t.threads_per_core = 2;
+  t.nodes = {
+      MemNodeSpec{"D0", 0, &ddr4(), 2, Bytes::gib(64)},
+      MemNodeSpec{"D1", 1, &ddr4(), 2, Bytes::gib(64)},
+      MemNodeSpec{"N0", 0, &optane_dcpm(), 2, Bytes::gib(512)},
+      MemNodeSpec{"N1", 1, &optane_dcpm(), 4, Bytes::gib(1024)},
+  };
+  return t;
+}
+
+TopologySpec cxl_topology() {
+  TopologySpec t = testbed_topology();
+  // Same capacity layout, CXL-DRAM expanders instead of Optane. Cross-
+  // socket traffic to an expander behaves like remote DRAM over UPI — no
+  // directory-coherence collapse — so lift the remote-NVM efficiency to
+  // a plain UPI-style share.
+  t.nodes[2] = MemNodeSpec{"C0", 0, &cxl_dram(), 2, Bytes::gib(512)};
+  t.nodes[3] = MemNodeSpec{"C1", 1, &cxl_dram(), 4, Bytes::gib(1024)};
+  t.upi.nvm_remote_efficiency = 0.65;
+  return t;
+}
+
+}  // namespace tsx::mem

@@ -1,0 +1,51 @@
+#include "mem/traffic.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+namespace {
+constexpr double kCacheline = 64.0;
+
+std::uint64_t accesses_for(Bytes bytes) {
+  return static_cast<std::uint64_t>(std::ceil(bytes.b() / kCacheline));
+}
+}  // namespace
+
+void TrafficLedger::record_read(NodeId node, Bytes bytes) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative read traffic");
+  auto& t = per_node_.at(static_cast<std::size_t>(node));
+  t.read_bytes += bytes;
+  t.read_accesses += accesses_for(bytes);
+}
+
+void TrafficLedger::record_write(NodeId node, Bytes bytes) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative write traffic");
+  auto& t = per_node_.at(static_cast<std::size_t>(node));
+  t.write_bytes += bytes;
+  t.write_accesses += accesses_for(bytes);
+}
+
+const NodeTraffic& TrafficLedger::node(NodeId id) const {
+  return per_node_.at(static_cast<std::size_t>(id));
+}
+
+NodeTraffic TrafficLedger::sum(const std::vector<NodeId>& nodes) const {
+  NodeTraffic out;
+  for (const NodeId id : nodes) {
+    const NodeTraffic& t = node(id);
+    out.read_bytes += t.read_bytes;
+    out.write_bytes += t.write_bytes;
+    out.read_accesses += t.read_accesses;
+    out.write_accesses += t.write_accesses;
+  }
+  return out;
+}
+
+void TrafficLedger::reset() {
+  for (auto& t : per_node_) t = NodeTraffic{};
+}
+
+}  // namespace tsx::mem

@@ -1,0 +1,32 @@
+#include "mem/wear.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::mem {
+
+WearModel::WearModel(double endurance_cycles)
+    : endurance_cycles_(endurance_cycles) {
+  TSX_CHECK(endurance_cycles > 0.0, "endurance must be positive");
+}
+
+WearReport WearModel::report(const MemNodeSpec& node,
+                             const NodeTraffic& traffic,
+                             Duration window) const {
+  WearReport r;
+  // Total write budget under ideal wear leveling: capacity x endurance.
+  const double budget_bytes = node.capacity.b() * endurance_cycles_;
+  r.lifetime_fraction_used = traffic.write_bytes.b() / budget_bytes;
+  r.observed_write_rate = window.sec() > 0.0
+                              ? Bandwidth{traffic.write_bytes.b() / window.sec()}
+                              : Bandwidth::zero();
+  if (r.observed_write_rate.value() > 0.0) {
+    const double remaining = budget_bytes - traffic.write_bytes.b();
+    r.projected_lifetime =
+        Duration::seconds(remaining / r.observed_write_rate.value());
+  } else {
+    r.projected_lifetime = Duration::infinite();
+  }
+  return r;
+}
+
+}  // namespace tsx::mem

@@ -1,0 +1,39 @@
+// NVM write-endurance model (Takeaway 3's lifetime remark).
+//
+// Persistent memory cells tolerate a bounded number of writes. The model
+// converts a node's recorded write traffic into a consumed-lifetime fraction
+// under ideal wear leveling and projects time-to-wearout at the observed
+// write rate. Advisory only — the simulator never fails a worn device, it
+// reports.
+#pragma once
+
+#include "core/units.hpp"
+#include "mem/topology.hpp"
+#include "mem/traffic.hpp"
+
+namespace tsx::mem {
+
+struct WearReport {
+  double lifetime_fraction_used = 0.0;  ///< 0..1 of total endurance consumed
+  /// Projected time until endurance exhaustion at the window's average
+  /// write rate; infinite if the window saw no writes.
+  Duration projected_lifetime;
+  /// Average write bandwidth over the window.
+  Bandwidth observed_write_rate;
+};
+
+class WearModel {
+ public:
+  /// `endurance_cycles`: full-device overwrite count the media tolerates
+  /// (gen-1 Optane is commonly quoted around 10^6 line writes; the exact
+  /// value only scales the report).
+  explicit WearModel(double endurance_cycles = 1.0e6);
+
+  WearReport report(const MemNodeSpec& node, const NodeTraffic& traffic,
+                    Duration window) const;
+
+ private:
+  double endurance_cycles_;
+};
+
+}  // namespace tsx::mem

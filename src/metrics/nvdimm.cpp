@@ -1,0 +1,54 @@
+#include "metrics/nvdimm.hpp"
+
+#include <cmath>
+
+namespace tsx::metrics {
+
+namespace {
+
+DimmMediaCounters counters_for(const mem::MemNodeSpec& node,
+                               const mem::NodeTraffic& traffic,
+                               const MediaAmplification& amp) {
+  DimmMediaCounters c;
+  c.node_name = node.name;
+  c.dimms = node.dimms;
+  c.demand_read_bytes = traffic.read_bytes;
+  c.demand_write_bytes = traffic.write_bytes;
+  c.media_reads = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(traffic.read_accesses) *
+                   amp.read_ops_per_demand_access));
+  c.media_writes = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(traffic.write_accesses) *
+                   amp.write_ops_per_demand_access));
+  return c;
+}
+
+}  // namespace
+
+std::vector<DimmMediaCounters> nvdimm_counters(
+    const mem::MachineModel& machine, MediaAmplification amp) {
+  std::vector<DimmMediaCounters> out;
+  const mem::TopologySpec& topo = machine.topology();
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    if (topo.nodes[n].tech->kind != mem::TechKind::kNvm) continue;
+    out.push_back(counters_for(
+        topo.nodes[n], machine.traffic().node(static_cast<int>(n)), amp));
+  }
+  return out;
+}
+
+DimmMediaCounters nvdimm_totals(const mem::MachineModel& machine,
+                                MediaAmplification amp) {
+  DimmMediaCounters total;
+  total.node_name = "NVM-total";
+  for (const DimmMediaCounters& c : nvdimm_counters(machine, amp)) {
+    total.dimms += c.dimms;
+    total.media_reads += c.media_reads;
+    total.media_writes += c.media_writes;
+    total.demand_read_bytes += c.demand_read_bytes;
+    total.demand_write_bytes += c.demand_write_bytes;
+  }
+  return total;
+}
+
+}  // namespace tsx::metrics

@@ -1,0 +1,82 @@
+#include "metrics/system_events.hpp"
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace tsx::metrics {
+
+std::string to_string(SysEvent e) {
+  switch (e) {
+    case SysEvent::kInstructions: return "instructions";
+    case SysEvent::kCycles: return "cycles";
+    case SysEvent::kIpc: return "ipc";
+    case SysEvent::kLlcLoads: return "llc-loads";
+    case SysEvent::kLlcMisses: return "llc-misses";
+    case SysEvent::kBranchMisses: return "branch-misses";
+    case SysEvent::kMemReads: return "mem-reads";
+    case SysEvent::kMemWrites: return "mem-writes";
+    case SysEvent::kPageFaults: return "page-faults";
+    case SysEvent::kContextSwitches: return "context-switches";
+    case SysEvent::kCount: break;
+  }
+  TSX_FAIL("bad SysEvent");
+}
+
+std::vector<SysEvent> all_sys_events() {
+  std::vector<SysEvent> out;
+  out.reserve(kNumSysEvents);
+  for (int i = 0; i < kNumSysEvents; ++i)
+    out.push_back(static_cast<SysEvent>(i));
+  return out;
+}
+
+SystemEventSample synthesize_events(const spark::TaskCost& total,
+                                    Duration exec_time, std::size_t tasks,
+                                    std::uint64_t seed,
+                                    const EventSynthesisModel& m) {
+  Rng rng(splitmix64(seed));
+  auto noisy = [&](double x) {
+    return x * (1.0 + m.noise_sigma * rng.normal());
+  };
+
+  SystemEventSample s;
+  auto set = [&](SysEvent e, double v) {
+    s.values[static_cast<std::size_t>(e)] = v;
+  };
+
+  const double stream_bytes =
+      total.stream_read().b() + total.stream_write().b();
+  const double dep_accesses = total.dep_reads + total.dep_writes;
+
+  const double instructions =
+      noisy(total.cpu_seconds * m.core_ghz * 1e9 * m.baseline_ipc);
+  // Cycles integrate both useful work and stall time: use wall duration of
+  // busy cores approximated by cpu_seconds plus memory stall estimate.
+  const double cycles =
+      noisy((total.cpu_seconds + 0.4 * exec_time.sec()) * m.core_ghz * 1e9);
+  set(SysEvent::kInstructions, instructions);
+  set(SysEvent::kCycles, cycles);
+  set(SysEvent::kIpc, cycles > 0.0 ? instructions / cycles : 0.0);
+
+  const double llc_misses =
+      noisy(dep_accesses * m.llc_miss_per_dep_access +
+            (stream_bytes / 1024.0) * m.llc_miss_per_stream_kb);
+  set(SysEvent::kLlcMisses, llc_misses);
+  set(SysEvent::kLlcLoads, noisy(llc_misses * m.llc_load_to_miss_ratio));
+  set(SysEvent::kBranchMisses,
+      noisy(instructions / 1000.0 * m.branch_miss_per_kinst));
+
+  set(SysEvent::kMemReads,
+      noisy(total.stream_read().b() / 64.0 + total.dep_reads));
+  set(SysEvent::kMemWrites,
+      noisy(total.stream_write().b() / 64.0 + total.dep_writes));
+
+  set(SysEvent::kPageFaults,
+      noisy((stream_bytes / (1024.0 * 1024.0)) * m.page_fault_per_mb));
+  set(SysEvent::kContextSwitches,
+      noisy(static_cast<double>(tasks) * m.context_switch_per_task +
+            exec_time.sec() * m.context_switch_per_sec));
+  return s;
+}
+
+}  // namespace tsx::metrics

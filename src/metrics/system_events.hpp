@@ -1,0 +1,71 @@
+// System-level event synthesis (the perf-counter substrate of Sec. IV-F).
+//
+// On the real testbed, system-level events (instructions, LLC misses, page
+// faults, ...) come from perf; here they are synthesized from what the
+// simulated run actually did — charged cpu work, dependent accesses,
+// streamed bytes, task counts — with small deterministic measurement noise.
+// The synthesis keeps the causal structure the correlation study needs:
+// events are monotone in the underlying work that also drives execution
+// time, with per-event noise floors that differ in how tightly they track it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "spark/scheduler.hpp"
+
+namespace tsx::metrics {
+
+/// The event set reported per run (Fig. 5's rows).
+enum class SysEvent : int {
+  kInstructions = 0,
+  kCycles,
+  kIpc,
+  kLlcLoads,
+  kLlcMisses,
+  kBranchMisses,
+  kMemReads,
+  kMemWrites,
+  kPageFaults,
+  kContextSwitches,
+  kCount
+};
+
+inline constexpr int kNumSysEvents = static_cast<int>(SysEvent::kCount);
+
+std::string to_string(SysEvent e);
+std::vector<SysEvent> all_sys_events();
+
+struct SystemEventSample {
+  std::array<double, kNumSysEvents> values{};
+  double operator[](SysEvent e) const {
+    return values[static_cast<std::size_t>(e)];
+  }
+};
+
+/// Synthesis calibration.
+struct EventSynthesisModel {
+  double core_ghz = 2.1;          ///< Xeon Gold 5218R base clock
+  double baseline_ipc = 1.7;
+  double llc_miss_per_dep_access = 1.0;
+  double llc_miss_per_stream_kb = 4.0;   ///< misses per KiB streamed
+  double llc_load_to_miss_ratio = 3.2;
+  double branch_miss_per_kinst = 3.1;    ///< per 1000 instructions
+  double page_fault_per_mb = 18.0;       ///< faults per MiB first-touched
+  double context_switch_per_task = 6.0;
+  double context_switch_per_sec = 220.0;
+  double noise_sigma = 0.04;             ///< multiplicative measurement noise
+};
+
+/// Synthesizes the event sample of one run from its aggregate task cost and
+/// duration. `seed` controls the (deterministic) noise draw; repeats of the
+/// same configuration pass different seeds.
+SystemEventSample synthesize_events(const spark::TaskCost& total,
+                                    Duration exec_time, std::size_t tasks,
+                                    std::uint64_t seed,
+                                    const EventSynthesisModel& model = {});
+
+}  // namespace tsx::metrics

@@ -1,0 +1,51 @@
+#include "sim/core_pool.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::sim {
+
+CorePool::CorePool(Simulator& simulator, std::string name, std::size_t cores)
+    : sim_(simulator), name_(std::move(name)), total_(cores) {
+  TSX_CHECK(cores > 0, "core pool needs at least one core");
+}
+
+void CorePool::settle() {
+  const Duration dt = sim_.now() - last_update_;
+  if (dt.sec() > 0.0)
+    busy_core_seconds_ += dt.sec() * static_cast<double>(busy_);
+  last_update_ = sim_.now();
+}
+
+void CorePool::acquire(std::function<void()> on_acquired) {
+  settle();
+  if (busy_ < total_) {
+    ++busy_;
+    // Fire asynchronously so acquire() never re-enters caller logic.
+    sim_.schedule_in(Duration::zero(), std::move(on_acquired));
+    return;
+  }
+  waiters_.push_back(std::move(on_acquired));
+}
+
+void CorePool::release() {
+  settle();
+  TSX_CHECK(busy_ > 0, "release without matching acquire on " + name_);
+  if (!waiters_.empty()) {
+    // Hand the core straight to the oldest waiter; busy count is unchanged.
+    auto next = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim_.schedule_in(Duration::zero(), std::move(next));
+    return;
+  }
+  --busy_;
+}
+
+double CorePool::busy_core_seconds() const {
+  const Duration dt = sim_.now() - last_update_;
+  if (dt.sec() > 0.0)
+    busy_core_seconds_ += dt.sec() * static_cast<double>(busy_);
+  last_update_ = sim_.now();
+  return busy_core_seconds_;
+}
+
+}  // namespace tsx::sim

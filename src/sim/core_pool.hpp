@@ -1,0 +1,55 @@
+// Simulated CPU core pool.
+//
+// Each Spark executor binds to a pool of hardware threads on one socket.
+// Tasks acquire a core, hold it for their simulated duration, and release it;
+// waiters queue FIFO. The pool also integrates busy core-seconds, which the
+// energy model and utilization metrics consume.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "core/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace tsx::sim {
+
+class CorePool {
+ public:
+  CorePool(Simulator& simulator, std::string name, std::size_t cores);
+
+  CorePool(const CorePool&) = delete;
+  CorePool& operator=(const CorePool&) = delete;
+
+  /// Requests one core. `on_acquired` fires (possibly immediately, as a
+  /// zero-delay event) once a core is available; the holder must call
+  /// `release()` exactly once when done.
+  void acquire(std::function<void()> on_acquired);
+
+  /// Returns a core to the pool, waking the oldest waiter if any.
+  void release();
+
+  std::size_t total_cores() const { return total_; }
+  std::size_t busy_cores() const { return busy_; }
+  std::size_t queued() const { return waiters_.size(); }
+
+  /// Integrated busy core-seconds since construction, up to `now()`.
+  double busy_core_seconds() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void settle();  ///< folds elapsed time into the busy-seconds integral
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t total_;
+  std::size_t busy_ = 0;
+  std::deque<std::function<void()>> waiters_;
+  mutable TimePoint last_update_ = Duration::zero();
+  mutable double busy_core_seconds_ = 0.0;
+};
+
+}  // namespace tsx::sim

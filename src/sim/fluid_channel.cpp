@@ -1,0 +1,149 @@
+#include "sim/fluid_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tsx::sim {
+
+namespace {
+/// Completions within this many bytes are treated as done (guards float
+/// accumulation error; far below any modeled transfer size).
+constexpr double kEpsilonBytes = 1e-6;
+
+/// Minimum virtual-time step a rescheduled completion must make. Below the
+/// ulp of `now`, now + dt == now and the completion event would re-fire at
+/// the same instant forever; everything that would finish within this slack
+/// is therefore treated as finished now.
+Duration min_progress(TimePoint now) {
+  return Duration::seconds(
+      std::max(1e-12, std::abs(now.sec()) * 4.0 * 2.3e-16));
+}
+}  // namespace
+
+FluidChannel::FluidChannel(Simulator& simulator, std::string name,
+                           Bandwidth capacity)
+    : sim_(simulator), name_(std::move(name)), capacity_(capacity) {
+  TSX_CHECK(capacity.value() > 0.0, "channel capacity must be positive");
+}
+
+FlowId FluidChannel::start_flow(Bytes volume, Bandwidth rate_cap,
+                                std::function<void()> on_complete) {
+  TSX_CHECK(volume.b() >= 0.0, "negative flow volume");
+  TSX_CHECK(rate_cap.value() > 0.0, "flow rate cap must be positive");
+  advance();
+  const FlowId id = next_id_++;
+  if (volume.b() <= kEpsilonBytes) {
+    // Zero-byte flows complete "immediately" but still asynchronously, so
+    // callers observe uniform completion semantics.
+    drained_total_ += volume;
+    sim_.schedule_in(Duration::zero(), std::move(on_complete));
+    return id;
+  }
+  flows_.emplace(id, Flow{volume, rate_cap, Bandwidth::zero(),
+                          std::move(on_complete)});
+  reshare();
+  return id;
+}
+
+void FluidChannel::abort_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance();
+  flows_.erase(it);
+  reshare();
+}
+
+void FluidChannel::set_capacity(Bandwidth capacity) {
+  TSX_CHECK(capacity.value() > 0.0, "channel capacity must be positive");
+  advance();
+  capacity_ = capacity;
+  reshare();
+}
+
+double FluidChannel::utilization() const {
+  double allocated = 0.0;
+  for (const auto& [id, flow] : flows_) allocated += flow.rate.value();
+  return capacity_.value() <= 0.0 ? 0.0 : allocated / capacity_.value();
+}
+
+Bandwidth FluidChannel::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? Bandwidth::zero() : it->second.rate;
+}
+
+void FluidChannel::advance() {
+  const Duration dt = sim_.now() - last_update_;
+  last_update_ = sim_.now();
+  if (dt.sec() <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const Bytes moved = flow.rate * dt;
+    flow.remaining -= moved;
+    drained_total_ += moved;
+    if (flow.remaining.b() < 0.0) flow.remaining = Bytes::zero();
+  }
+}
+
+void FluidChannel::reshare() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (flows_.empty()) return;
+
+  // Water-filling: process flows by ascending cap; each takes
+  // min(cap, remaining_capacity / remaining_flows).
+  std::vector<std::pair<double, FlowId>> by_cap;
+  by_cap.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) by_cap.emplace_back(flow.cap.value(), id);
+  std::sort(by_cap.begin(), by_cap.end());
+
+  double left = capacity_.value();
+  std::size_t flows_left = by_cap.size();
+  for (const auto& [cap, id] : by_cap) {
+    const double fair = left / static_cast<double>(flows_left);
+    const double rate = std::min(cap, fair);
+    flows_.at(id).rate = Bandwidth{rate};
+    left -= rate;
+    --flows_left;
+  }
+
+  // Next completion under the new constant rates; never schedule below the
+  // minimum representable progress or the event could re-fire at `now`.
+  Duration soonest = Duration::infinite();
+  for (const auto& [id, flow] : flows_) {
+    TSX_CHECK(flow.rate.value() > 0.0, "water-filling produced a zero rate");
+    soonest = std::min(soonest, flow.remaining / flow.rate);
+  }
+  soonest = std::max(soonest, min_progress(sim_.now()));
+
+  pending_event_ = sim_.schedule_in(soonest, [this] {
+    has_pending_event_ = false;
+    advance();
+    // Collect all flows that finished at this instant — by bytes or by
+    // having less residual drain time than the clock can represent — then
+    // fire callbacks after the channel state is consistent (callbacks may
+    // start new flows).
+    const Duration slack = min_progress(sim_.now());
+    std::vector<std::function<void()>> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      Flow& flow = it->second;
+      const bool drained = flow.remaining.b() <= kEpsilonBytes ||
+                           flow.remaining <= flow.rate * slack;
+      if (drained) {
+        drained_total_ += flow.remaining;  // account the residual bytes
+        done.push_back(std::move(flow.on_complete));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reshare();
+    for (auto& fn : done) fn();
+  });
+  has_pending_event_ = true;
+}
+
+}  // namespace tsx::sim

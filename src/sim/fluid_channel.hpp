@@ -1,0 +1,91 @@
+// Processor-sharing fluid model of a memory channel.
+//
+// Each memory node in the machine model exposes one FluidChannel. Tasks push
+// "flows" (a number of bytes to transfer with a per-flow rate cap) through
+// it; the channel divides its capacity across active flows by *water-filling*:
+// flows whose cap is below their fair share get their cap, and the slack is
+// redistributed among the remaining flows. This reproduces the paper's two
+// regimes with one mechanism:
+//
+//  * latency-bound workloads have per-flow caps (MLP-limited demand) far
+//    below capacity, so throttling capacity (Intel MBA, Fig. 3) changes
+//    nothing until the cap crosses total demand;
+//  * many concurrent executors (Fig. 4) push total demand past capacity, so
+//    shares shrink and tasks slow down — memory-bus contention.
+//
+// Between events flow progress is linear, so completions are computed in
+// closed form and re-derived whenever the flow set or the capacity changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace tsx::sim {
+
+using FlowId = std::uint64_t;
+
+class FluidChannel {
+ public:
+  /// `name` is used in traces; `capacity` is the channel's peak bandwidth.
+  FluidChannel(Simulator& simulator, std::string name, Bandwidth capacity);
+
+  FluidChannel(const FluidChannel&) = delete;
+  FluidChannel& operator=(const FluidChannel&) = delete;
+
+  /// Starts a flow of `volume` bytes whose source can sustain at most
+  /// `rate_cap`; `on_complete` fires (as a simulator event) when the last
+  /// byte drains. Returns an id usable with `abort_flow`.
+  FlowId start_flow(Bytes volume, Bandwidth rate_cap,
+                    std::function<void()> on_complete);
+
+  /// Aborts an in-progress flow without firing its completion callback.
+  /// Aborting an unknown/finished flow is a no-op.
+  void abort_flow(FlowId id);
+
+  /// Rescales capacity (MBA throttling). Takes effect immediately; active
+  /// flows are re-shared from the current instant.
+  void set_capacity(Bandwidth capacity);
+  Bandwidth capacity() const { return capacity_; }
+
+  /// Sum of currently allocated rates divided by capacity, in [0, 1].
+  double utilization() const;
+
+  /// Currently allocated rate of one flow (0 if unknown).
+  Bandwidth flow_rate(FlowId id) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes ever pushed to completion through this channel.
+  Bytes drained_total() const { return drained_total_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Flow {
+    Bytes remaining;
+    Bandwidth cap;
+    Bandwidth rate;  ///< current water-filling allocation
+    std::function<void()> on_complete;
+  };
+
+  /// Advances all flows to `sim_.now()` under the current rates.
+  void advance();
+  /// Recomputes rates (water-filling) and the next completion event.
+  void reshare();
+
+  Simulator& sim_;
+  std::string name_;
+  Bandwidth capacity_;
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  FlowId next_id_ = 1;
+  TimePoint last_update_ = Duration::zero();
+  EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  Bytes drained_total_ = Bytes::zero();
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,28 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace tsx::sim {
+
+void TraceSink::emit(Duration at, std::string category, std::string message) {
+  if (!enabled_) return;
+  records_.push_back({at, std::move(category), std::move(message)});
+}
+
+std::vector<TraceRecord> TraceSink::by_category(
+    const std::string& category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (r.category == category) out.push_back(r);
+  return out;
+}
+
+std::string TraceSink::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : records_)
+    os << tsx::to_string(r.at) << " [" << r.category << "] " << r.message
+       << '\n';
+  return os.str();
+}
+
+}  // namespace tsx::sim

@@ -1,0 +1,47 @@
+// Lightweight simulation trace.
+//
+// Components emit (time, category, message) records through a TraceSink;
+// tests assert on ordering and causality, and `--trace` in the examples dumps
+// the stream. Disabled sinks cost one branch per emit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace tsx::sim {
+
+struct TraceRecord {
+  Duration at;
+  std::string category;
+  std::string message;
+};
+
+class TraceSink {
+ public:
+  /// An inactive sink drops records.
+  TraceSink() = default;
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void emit(Duration at, std::string category, std::string message);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Records whose category matches exactly.
+  std::vector<TraceRecord> by_category(const std::string& category) const;
+
+  /// Renders the whole trace, one record per line.
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,42 @@
+// Accumulators.
+//
+// Spark's write-only shared counters: tasks add, only the driver reads.
+// The engine executes tasks synchronously inside the DES, so the
+// accumulator is a plain shared cell with an associative add — but the API
+// mirrors Spark's so driver programs read naturally, and `add` charges the
+// (tiny) bookkeeping cost to the task.
+#pragma once
+
+#include <memory>
+
+#include "spark/task.hpp"
+
+namespace tsx::spark {
+
+template <typename T>
+class Accumulator {
+ public:
+  explicit Accumulator(T zero) : cell_(std::make_shared<T>(std::move(zero))) {}
+
+  /// Task-side: fold `amount` into the accumulator.
+  void add(const T& amount, TaskContext& ctx) const {
+    *cell_ += amount;
+    ctx.charge_cpu_unscaled(Duration::nanos(ctx.costs().agg_cpu_ns));
+  }
+
+  /// Driver-side read (call after the job completes, like Spark).
+  const T& value() const { return *cell_; }
+
+  /// Resets to a new zero (between jobs).
+  void reset(T zero) { *cell_ = std::move(zero); }
+
+ private:
+  std::shared_ptr<T> cell_;
+};
+
+template <typename T>
+Accumulator<T> make_accumulator(T zero = T{}) {
+  return Accumulator<T>(std::move(zero));
+}
+
+}  // namespace tsx::spark

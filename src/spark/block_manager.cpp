@@ -1,0 +1,69 @@
+#include "spark/block_manager.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::spark {
+
+BlockManager::BlockManager(mem::TieredAllocator& allocator, Bytes budget,
+                           mem::NodeId node)
+    : allocator_(allocator), budget_(budget), node_(node) {}
+
+BlockManager::~BlockManager() { clear(); }
+
+bool BlockManager::has(const BlockKey& key) const {
+  return blocks_.count(key) > 0;
+}
+
+const std::any* BlockManager::get(const BlockKey& key) {
+  const auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.data;
+}
+
+Bytes BlockManager::size_of(const BlockKey& key) const {
+  const auto it = blocks_.find(key);
+  TSX_CHECK(it != blocks_.end(), "size_of unknown block");
+  return it->second.size;
+}
+
+bool BlockManager::put(const BlockKey& key, std::any data, Bytes size) {
+  TSX_CHECK(size.b() >= 0.0, "negative block size");
+  if (has(key)) drop(key);  // overwrite semantics
+  if (size > budget_) return false;
+  while (bytes_cached_ + size > budget_ && !blocks_.empty()) evict_one();
+  // Physical capacity on the bound node can also be the binding constraint.
+  if (size > allocator_.available(node_)) return false;
+
+  const mem::AllocationId alloc = allocator_.allocate(node_, size);
+  lru_.push_front(key);
+  blocks_.emplace(key, Block{std::move(data), size, alloc, lru_.begin()});
+  bytes_cached_ += size;
+  return true;
+}
+
+void BlockManager::drop(const BlockKey& key) {
+  const auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  allocator_.free(it->second.allocation);
+  bytes_cached_ -= it->second.size;
+  lru_.erase(it->second.lru_pos);
+  blocks_.erase(it);
+}
+
+void BlockManager::clear() {
+  while (!blocks_.empty()) drop(blocks_.begin()->first);
+}
+
+void BlockManager::evict_one() {
+  TSX_CHECK(!lru_.empty(), "evict from empty block manager");
+  const BlockKey victim = lru_.back();
+  drop(victim);
+  ++evictions_;
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,85 @@
+// Block manager: the storage side of Spark's unified memory.
+//
+// Cached RDD partitions live here as type-erased blocks, accounted against
+// both the engine's storage budget (storage_fraction x executor memory) and
+// the physical capacity of the memory node they are bound to (via
+// TieredAllocator). Eviction is LRU, matching Spark's MEMORY_ONLY behaviour
+// of dropping the least recently used blocks when storage is full.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "core/units.hpp"
+#include "mem/allocator.hpp"
+
+namespace tsx::spark {
+
+struct BlockKey {
+  int rdd_id = 0;
+  std::size_t partition = 0;
+  auto operator<=>(const BlockKey&) const = default;
+};
+
+class BlockManager {
+ public:
+  /// `budget` is the engine-level storage budget; `node` the memory node
+  /// all blocks bind to (the executors' membind target).
+  BlockManager(mem::TieredAllocator& allocator, Bytes budget,
+               mem::NodeId node);
+  ~BlockManager();
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
+
+  bool has(const BlockKey& key) const;
+
+  /// Fetches a block and marks it most recently used; nullptr on miss.
+  const std::any* get(const BlockKey& key);
+
+  Bytes size_of(const BlockKey& key) const;
+
+  /// Stores a block, evicting LRU blocks as needed. Returns false (and
+  /// stores nothing) if the block alone exceeds the budget — the partition
+  /// is then recomputed on every use, like an uncacheable Spark block.
+  bool put(const BlockKey& key, std::any data, Bytes size);
+
+  /// Drops one block (no-op if absent).
+  void drop(const BlockKey& key);
+
+  /// Drops everything.
+  void clear();
+
+  Bytes bytes_cached() const { return bytes_cached_; }
+  Bytes budget() const { return budget_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  mem::NodeId node() const { return node_; }
+
+ private:
+  struct Block {
+    std::any data;
+    Bytes size;
+    mem::AllocationId allocation;
+    std::list<BlockKey>::iterator lru_pos;
+  };
+
+  void evict_one();
+
+  mem::TieredAllocator& allocator_;
+  Bytes budget_;
+  mem::NodeId node_;
+  Bytes bytes_cached_;
+  std::map<BlockKey, Block> blocks_;
+  std::list<BlockKey> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tsx::spark

@@ -1,0 +1,41 @@
+#include "spark/conf.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::spark {
+
+SparkConf SparkConf::from(const Config& config) {
+  SparkConf conf;
+  conf.executor_instances = static_cast<int>(
+      config.get_int_or("spark.executor.instances", conf.executor_instances));
+  conf.cores_per_executor = static_cast<int>(
+      config.get_int_or("spark.executor.cores", conf.cores_per_executor));
+  conf.cpu_node_bind = static_cast<mem::SocketId>(
+      config.get_int_or("spark.cpu.node", conf.cpu_node_bind));
+  conf.mem_bind = mem::tier_from_index(static_cast<int>(
+      config.get_int_or("spark.mem.tier", mem::index(conf.mem_bind))));
+  conf.shuffle_partitions = static_cast<int>(
+      config.get_int_or("spark.shuffle.partitions", conf.shuffle_partitions));
+  if (config.contains("spark.shuffle.tier"))
+    conf.shuffle_bind = mem::tier_from_index(
+        static_cast<int>(config.get_int("spark.shuffle.tier")));
+  if (config.contains("spark.cache.tier"))
+    conf.cache_bind = mem::tier_from_index(
+        static_cast<int>(config.get_int("spark.cache.tier")));
+  conf.zero_copy_shuffle =
+      config.get_bool_or("spark.shuffle.zerocopy", conf.zero_copy_shuffle);
+  TSX_CHECK(conf.executor_instances >= 1, "need at least one executor");
+  TSX_CHECK(conf.cores_per_executor >= 1, "need at least one core");
+  return conf;
+}
+
+std::string SparkConf::describe() const {
+  return strfmt(
+      "%d executor(s) x %d core(s), cpunodebind=%d, membind=%s, "
+      "shuffle.partitions=%d",
+      executor_instances, cores_per_executor, cpu_node_bind,
+      mem::to_string(mem_bind).c_str(), effective_shuffle_partitions());
+}
+
+}  // namespace tsx::spark

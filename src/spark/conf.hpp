@@ -1,0 +1,89 @@
+// Spark engine configuration.
+//
+// Mirrors the knobs the paper varies — number of executors, cores per
+// executor, the NUMA/tier binding applied via numactl — plus the engine
+// internals (shuffle partitions, storage fraction) it leaves at defaults.
+// Defaults reproduce the paper's default deployment: one executor using all
+// 40 hardware threads of one socket, bound to Tier 0.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "mem/tier.hpp"
+#include "spark/task.hpp"
+
+namespace tsx::spark {
+
+struct SparkConf {
+  /// Number of executor processes (paper: 1..8 in Fig. 4).
+  int executor_instances = 1;
+  /// Cores (hardware threads) per executor (paper: 5..40).
+  int cores_per_executor = 40;
+
+  /// numactl --cpunodebind: socket whose cores every executor binds to.
+  mem::SocketId cpu_node_bind = 1;
+  /// numactl --membind: memory tier executors allocate from.
+  mem::TierId mem_bind = mem::TierId::kTier0;
+
+  /// Per-access-type placement (the Sec. IV-G exploration): shuffle buffers
+  /// and cached blocks can be bound to tiers different from the heap.
+  /// Unset means "follow mem_bind" (plain numactl behaviour).
+  std::optional<mem::TierId> shuffle_bind;
+  std::optional<mem::TierId> cache_bind;
+
+  /// Resolved tier for a stream class.
+  mem::TierId tier_for(StreamClass cls) const {
+    switch (cls) {
+      case StreamClass::kShuffle: return shuffle_bind.value_or(mem_bind);
+      case StreamClass::kCache: return cache_bind.value_or(mem_bind);
+      case StreamClass::kHeap: break;
+    }
+    return mem_bind;
+  }
+
+  /// Zero-copy shuffle over a unified memory space (Sec. IV-G's "avoid
+  /// shuffling operations" direction): reducers map the producers' buffers
+  /// directly instead of serializing through private copies. Halves shuffle
+  /// stream traffic and skips the (de)serialization cpu.
+  bool zero_copy_shuffle = false;
+
+  /// Shuffle/reduce-side parallelism (spark.sql.shuffle.partitions
+  /// analogue). 0 means "derive from total cores".
+  int shuffle_partitions = 0;
+
+  /// Fraction of executor memory reserved for storage (cached RDDs).
+  double storage_fraction = 0.5;
+  /// Executor heap analogue, used for cache-capacity accounting.
+  Bytes executor_memory = Bytes::gib(16);
+
+  /// Fixed overheads of the framework. These dominate tiny workloads, which
+  /// is what makes the paper's tiny runs tier-insensitive.
+  Duration executor_launch = Duration::seconds(2.0);
+  /// Each *additional* executor registers serially with the driver (worker
+  /// JVM spin-up + registration RPC) — the fixed price of skinny-executor
+  /// deployments, which only pays off when there are enough tasks.
+  Duration executor_register = Duration::millis(250);
+  Duration job_submit_overhead = Duration::millis(120);
+  Duration stage_overhead = Duration::millis(45);
+  /// Task dispatch is serialized in the driver<->executor RPC loop; each
+  /// queued task of an executor pays this in turn. With many executors the
+  /// loops run in parallel — the "skinny executors" scheduling advantage.
+  Duration task_dispatch = Duration::millis(3);
+
+  /// Derived: total task slots.
+  int total_cores() const { return executor_instances * cores_per_executor; }
+  int effective_shuffle_partitions() const {
+    return shuffle_partitions > 0 ? shuffle_partitions : total_cores();
+  }
+
+  /// Builds a SparkConf from a generic Config (e.g. parsed CLI flags):
+  /// keys spark.executor.instances, spark.executor.cores, spark.cpu.node,
+  /// spark.mem.tier, spark.shuffle.partitions.
+  static SparkConf from(const Config& config);
+
+  std::string describe() const;
+};
+
+}  // namespace tsx::spark

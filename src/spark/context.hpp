@@ -1,0 +1,79 @@
+// SparkContext: the engine's root object.
+//
+// Owns the executors, the DAG scheduler, the shuffle store, the block
+// manager and the capacity allocator, all wired to one MachineModel (and
+// thus one Simulator). Typed RDD factories are free functions in rdd.hpp
+// (parallelize / generate_rdd / text_file) so this header stays template-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dfs/dfs.hpp"
+#include "mem/allocator.hpp"
+#include "mem/machine.hpp"
+#include "spark/block_manager.hpp"
+#include "spark/conf.hpp"
+#include "spark/cost_model.hpp"
+#include "spark/executor.hpp"
+#include "spark/scheduler.hpp"
+#include "spark/shuffle.hpp"
+
+namespace tsx::spark {
+
+class SparkContext {
+ public:
+  SparkContext(mem::MachineModel& machine, dfs::Dfs& dfs, SparkConf conf,
+               std::uint64_t seed = 42);
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  mem::MachineModel& machine() { return machine_; }
+  dfs::Dfs& dfs() { return dfs_; }
+  const SparkConf& conf() const { return conf_; }
+  const CostModel& costs() const { return costs_; }
+
+  DAGScheduler& scheduler() { return scheduler_; }
+  ShuffleStore& shuffle_store() { return shuffle_store_; }
+  BlockManager& block_manager() { return *block_manager_; }
+  mem::TieredAllocator& allocator() { return allocator_; }
+  std::vector<std::unique_ptr<Executor>>& executors() { return executors_; }
+
+  int next_rdd_id() { return next_rdd_id_++; }
+  std::uint64_t job_seed() const { return seed_; }
+
+  /// Virtual dataset scaling (DESIGN.md §3): workloads generate a sample of
+  /// the nominal data and scale charged costs by nominal/sample.
+  double cost_multiplier() const { return cost_multiplier_; }
+  void set_cost_multiplier(double m);
+
+  /// Total task slots across executors (Spark's default parallelism).
+  int default_parallelism() const { return conf_.total_cores(); }
+
+  /// The memory tier executors are bound to, resolved from the canonical
+  /// compute socket.
+  mem::TierSpec bound_tier() const {
+    return machine_.tier(conf_.cpu_node_bind, conf_.mem_bind);
+  }
+
+  Duration now() const { return machine_.simulator().now(); }
+
+ private:
+  mem::MachineModel& machine_;
+  dfs::Dfs& dfs_;
+  SparkConf conf_;
+  CostModel costs_;
+  std::uint64_t seed_;
+  double cost_multiplier_ = 1.0;
+  int next_rdd_id_ = 0;
+
+  mem::TieredAllocator allocator_;
+  ShuffleStore shuffle_store_;
+  std::unique_ptr<BlockManager> block_manager_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  DAGScheduler scheduler_;
+};
+
+}  // namespace tsx::spark

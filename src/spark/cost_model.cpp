@@ -1,0 +1,10 @@
+#include "spark/cost_model.hpp"
+
+namespace tsx::spark {
+
+const CostModel& default_cost_model() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,64 @@
+// Operator cost model.
+//
+// RDD operators execute for real on host data, then charge simulated cpu
+// time and memory traffic through these per-element / per-byte constants.
+// The constants abstract what a JVM executor core does per record: iterator
+// plumbing, object allocation, (de)serialization, hashing, comparison — and
+// how often a record's processing dereferences through the object graph
+// into a memory stall. They were tuned once so that local-tier (Tier 0)
+// runs of the seven workloads land in a HiBench-plausible magnitude range;
+// everything tier-*relative* then emerges from the machine model, not from
+// these numbers.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace tsx::spark {
+
+struct CostModel {
+  // --- CPU per element -----------------------------------------------------
+  double map_cpu_ns = 140.0;         ///< narrow transform incl. lambda body
+  double filter_cpu_ns = 70.0;
+  double hash_cpu_ns = 90.0;         ///< hashing/partitioning a record
+  double compare_cpu_ns = 45.0;      ///< one comparison in a sort
+  double serialize_cpu_ns_per_byte = 0.8;
+  double deserialize_cpu_ns_per_byte = 1.0;
+  double agg_cpu_ns = 110.0;         ///< combiner/reduce step per record
+
+  // --- Memory behaviour ----------------------------------------------------
+  /// Streaming concurrency: outstanding cachelines of a bulk copy
+  /// (serialized buffers, cache block writes).
+  double stream_mlp = 8.0;
+  /// Dependent-access concurrency: JVM object-graph walks, hash probes and
+  /// tree descents expose very little memory-level parallelism; this is the
+  /// knob that makes the workloads latency-bound (Takeaway 4).
+  double dep_mlp = 1.0;
+
+  /// Dependent accesses a narrow operator pays per record just to reach the
+  /// record's object graph (header + field indirection).
+  double record_dep_reads = 3.0;
+  /// Dependent accesses a narrow operator pays per record for the result
+  /// object it allocates (JVM allocation + card marking; on a membind'd
+  /// executor every allocation lands on the bound tier).
+  double record_dep_writes = 3.0;
+  /// Dependent accesses charged per record inserted into a hash table
+  /// (bucket write + occasional chain walk).
+  double hash_insert_dep_writes = 8.0;
+  /// Dependent accesses per hash probe.
+  double hash_probe_dep_reads = 8.0;
+  /// Dependent accesses per record scattered into a shuffle bucket (random
+  /// append target).
+  double shuffle_scatter_dep_writes = 4.0;
+  /// Dependent accesses per comparison once a sort's working set spills out
+  /// of cache (fraction of comparisons that miss).
+  double sort_miss_fraction = 0.25;
+
+  // --- Spill / shuffle -----------------------------------------------------
+  /// Bytes of shuffle file overhead per record (framing, offsets).
+  double shuffle_record_overhead_bytes = 8.0;
+};
+
+/// The library-wide default cost model.
+const CostModel& default_cost_model();
+
+}  // namespace tsx::spark

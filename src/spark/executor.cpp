@@ -1,0 +1,106 @@
+#include "spark/executor.hpp"
+
+#include <string>
+#include <vector>
+
+namespace tsx::spark {
+
+namespace {
+constexpr double kCacheline = 64.0;
+}
+
+Executor::Executor(mem::MachineModel& machine, ExecutorSpec spec,
+                   const SparkConf& conf, const CostModel& costs)
+    : machine_(machine),
+      spec_(spec),
+      conf_(conf),
+      costs_(costs),
+      pool_(machine.simulator(), "executor" + std::to_string(spec.id),
+            static_cast<std::size_t>(spec.cores)) {}
+
+void Executor::submit(Work work) {
+  sim::Simulator& sim = machine_.simulator();
+  // Serialized dispatch: each task leaves the driver loop task_dispatch
+  // after the previous one, never before "now".
+  const Duration dispatch_at =
+      std::max(sim.now(), next_dispatch_) + conf_.task_dispatch;
+  next_dispatch_ = dispatch_at;
+
+  auto shared = std::make_shared<Work>(std::move(work));
+  sim.schedule_at(dispatch_at, [this, shared] {
+    // A task needs one of this executor's slots *and* a hardware thread of
+    // the bound socket — multiple executors oversubscribing one socket
+    // queue on the shared core pool.
+    pool_.acquire([this, shared] {
+      machine_.socket_cores(spec_.socket).acquire([this, shared] {
+        // Task starts: run the host computation now, then replay its cost.
+        auto cost = std::make_shared<TaskCost>(shared->host());
+        run_phases(cost, [this, shared, cost] {
+          machine_.socket_cores(spec_.socket).release();
+          pool_.release();
+          ++tasks_completed_;
+          shared->done(*cost);
+        });
+      });
+    });
+  });
+}
+
+void Executor::run_phases(std::shared_ptr<TaskCost> cost,
+                          std::function<void()> finish) {
+  sim::Simulator& sim = machine_.simulator();
+
+  // Build the memory phase list: dependent reads on the heap tier, then
+  // per-class streaming reads, per-class streaming writes, and finally
+  // dependent writes. Classes route to their bound tiers, so e.g. shuffle
+  // buffers can live on a different tier than the heap (SparkConf).
+  auto requests = std::make_shared<std::vector<mem::TransferRequest>>();
+  auto add = [&](mem::AccessKind kind, Bytes volume, double mlp,
+                 StreamClass cls) {
+    if (volume.b() <= 0.0) return;
+    requests->push_back(mem::TransferRequest{
+        spec_.socket, conf_.tier_for(cls), kind, volume, mlp});
+  };
+  add(mem::AccessKind::kRead, Bytes::of(cost->dep_reads * kCacheline),
+      costs_.dep_mlp, StreamClass::kHeap);
+  for (int c = 0; c < kNumStreamClasses; ++c) {
+    const auto cls = static_cast<StreamClass>(c);
+    add(mem::AccessKind::kRead, cost->stream_read(cls), costs_.stream_mlp,
+        cls);
+  }
+  for (int c = 0; c < kNumStreamClasses; ++c) {
+    const auto cls = static_cast<StreamClass>(c);
+    add(mem::AccessKind::kWrite, cost->stream_write(cls), costs_.stream_mlp,
+        cls);
+  }
+  add(mem::AccessKind::kWrite, Bytes::of(cost->dep_writes * kCacheline),
+      costs_.dep_mlp, StreamClass::kHeap);
+
+  // Disk phases (shared storage channel), then the memory chain, executed
+  // sequentially through a self-advancing continuation.
+  auto state = std::make_shared<std::function<void(std::size_t)>>();
+  auto fin = std::make_shared<std::function<void()>>(std::move(finish));
+  *state = [this, requests, state, fin](std::size_t next) {
+    if (next >= requests->size()) {
+      (*fin)();
+      return;
+    }
+    machine_.submit_transfer((*requests)[next],
+                             [state, next] { (*state)(next + 1); });
+  };
+
+  auto disk_write = [this, cost, state] {
+    machine_.storage_channel().start_flow(
+        cost->disk_write, machine_.storage_channel().capacity(),
+        [state] { (*state)(0); });
+  };
+  auto disk_read = [this, cost, disk_write] {
+    machine_.storage_channel().start_flow(
+        cost->disk_read, machine_.storage_channel().capacity(), disk_write);
+  };
+  // Phase 0: fixed I/O latency + cpu burn, then disk, then memory chain.
+  sim.schedule_in(Duration::seconds(cost->io_seconds + cost->cpu_seconds),
+                  disk_read);
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,74 @@
+// Simulated Spark executor.
+//
+// An executor is a worker process bound (numactl-style) to a compute socket
+// and a memory tier. It owns a pool of task slots ("cores"), a serialized
+// dispatch loop (the driver<->executor RPC path), and converts a task's
+// accumulated TaskCost into simulated phases:
+//
+//   dispatch -> core acquire -> blocking I/O -> cpu burn
+//            -> dependent-read flow -> stream-read flow
+//            -> stream-write flow -> dependent-write flow -> done
+//
+// Memory flows run on the FluidChannel of the executor's bound tier, so
+// concurrent tasks — on this and every other executor bound to the same
+// node — contend for bandwidth, and dependent flows see loaded latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mem/machine.hpp"
+#include "spark/conf.hpp"
+#include "spark/cost_model.hpp"
+#include "spark/task.hpp"
+
+namespace tsx::spark {
+
+struct ExecutorSpec {
+  int id = 0;
+  mem::SocketId socket = 1;
+  int cores = 40;
+  mem::TierId tier = mem::TierId::kTier0;
+};
+
+class Executor {
+ public:
+  Executor(mem::MachineModel& machine, ExecutorSpec spec,
+           const SparkConf& conf, const CostModel& costs);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  struct Work {
+    /// Host-side computation; runs at simulated task start and returns the
+    /// charged cost profile.
+    std::function<TaskCost()> host;
+    /// Fires when the task's last simulated phase completes.
+    std::function<void(const TaskCost&)> done;
+  };
+
+  /// Queues one task. Dispatch is serialized per executor; execution
+  /// parallelism is bounded by the executor's core count.
+  void submit(Work work);
+
+  const ExecutorSpec& spec() const { return spec_; }
+  std::uint64_t tasks_completed() const { return tasks_completed_; }
+  /// Integrated busy core-seconds (occupancy of this executor's slots).
+  double busy_core_seconds() const { return pool_.busy_core_seconds(); }
+
+ private:
+  /// Chains the simulated phases for an already-computed cost profile.
+  void run_phases(std::shared_ptr<TaskCost> cost,
+                  std::function<void()> finish);
+
+  mem::MachineModel& machine_;
+  ExecutorSpec spec_;
+  const SparkConf& conf_;
+  const CostModel& costs_;
+  sim::CorePool pool_;
+  Duration next_dispatch_ = Duration::zero();
+  std::uint64_t tasks_completed_ = 0;
+};
+
+}  // namespace tsx::spark

@@ -1,0 +1,771 @@
+// Typed RDDs: sources, narrow transformations and actions.
+//
+// RDD<T> is an immutable, lazily evaluated, partitioned collection with
+// lineage — the Spark programming model. Narrow transformations (map,
+// filter, flatMap, ...) pipeline inside one stage: a task computes its
+// partition by recursively computing the parent partition in the same call.
+// Keyed/shuffling operations live in pair_rdd.hpp.
+//
+// Every compute() both *does the work on host data* (so results are real and
+// testable) and *charges* the TaskContext with the simulated cost of that
+// work under the engine's cost model.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "spark/context.hpp"
+#include "spark/rdd_base.hpp"
+#include "spark/sizer.hpp"
+#include "spark/task.hpp"
+
+namespace tsx::spark {
+
+template <typename T>
+class RDD : public RddBase {
+ public:
+  using value_type = T;
+  using RddBase::RddBase;
+
+  /// Computes partition `part` (recursively computing narrow parents) and
+  /// charges `ctx` for the simulated work.
+  virtual std::vector<T> compute(std::size_t part, TaskContext& ctx) const = 0;
+
+  /// shared_ptr to this RDD with its concrete element type.
+  std::shared_ptr<const RDD<T>> self() const {
+    return std::static_pointer_cast<const RDD<T>>(shared_from_this());
+  }
+  std::shared_ptr<RDD<T>> self() {
+    return std::static_pointer_cast<RDD<T>>(shared_from_this());
+  }
+};
+
+template <typename T>
+using RddPtr = std::shared_ptr<RDD<T>>;
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Partitioned in-memory collection (SparkContext.parallelize analogue).
+/// compute() charges a streaming read of the partition's bytes: the driver
+/// data lives on the executors' bound tier once distributed.
+template <typename T>
+class ParallelCollectionRDD final : public RDD<T> {
+ public:
+  ParallelCollectionRDD(SparkContext* sc, std::vector<T> data,
+                        std::size_t partitions)
+      : RDD<T>(sc, "parallelize"),
+        data_(std::make_shared<std::vector<T>>(std::move(data))),
+        partitions_(partitions) {
+    TSX_CHECK(partitions > 0, "parallelize needs at least one partition");
+  }
+
+  std::size_t num_partitions() const override { return partitions_; }
+  std::vector<Dependency> dependencies() const override { return {}; }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    TSX_CHECK(part < partitions_, "partition out of range");
+    const std::size_t n = data_->size();
+    const std::size_t lo = part * n / partitions_;
+    const std::size_t hi = (part + 1) * n / partitions_;
+    std::vector<T> out(data_->begin() + static_cast<std::ptrdiff_t>(lo),
+                       data_->begin() + static_cast<std::ptrdiff_t>(hi));
+    ctx.charge_stream_read(Bytes::of(est_bytes_all(out)));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<std::vector<T>> data_;
+  std::size_t partitions_;
+};
+
+/// Deterministic per-partition generator source. The generator receives a
+/// partition-seeded Rng (independent of stage numbering, so the same
+/// partition always regenerates identical data across jobs and stages).
+/// With `charge_input_io` the partition additionally pays DFS read time and
+/// a memory stream write, modeling "read the prepared dataset from HDFS".
+template <typename T>
+class GenerateRDD final : public RDD<T> {
+ public:
+  using Generator = std::function<std::vector<T>(std::size_t part, Rng& rng)>;
+
+  GenerateRDD(SparkContext* sc, std::string name, std::size_t partitions,
+              Generator generator, bool charge_input_io)
+      : RDD<T>(sc, std::move(name)),
+        partitions_(partitions),
+        generator_(std::move(generator)),
+        charge_input_io_(charge_input_io) {
+    TSX_CHECK(partitions > 0, "generator needs at least one partition");
+  }
+
+  std::size_t num_partitions() const override { return partitions_; }
+  std::vector<Dependency> dependencies() const override { return {}; }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    TSX_CHECK(part < partitions_, "partition out of range");
+    std::uint64_t mix = this->context()->job_seed() ^
+                        (static_cast<std::uint64_t>(this->id()) << 40) ^
+                        (part * 0x9e3779b97f4a7c15ULL);
+    Rng rng(splitmix64(mix));
+    std::vector<T> out = generator_(part, rng);
+    const Bytes bytes = Bytes::of(est_bytes_all(out));
+    if (charge_input_io_) {
+      ctx.charge_io(this->context()->dfs().read_seek_overhead(bytes));
+      ctx.charge_disk_read(bytes);
+      ctx.charge_cpu_ns(bytes.b() * ctx.costs().deserialize_cpu_ns_per_byte);
+      ctx.charge_dep_writes(static_cast<double>(out.size()) *
+                            ctx.costs().record_dep_writes);
+      ctx.charge_stream_write(bytes);  // page cache -> executor heap
+    } else {
+      ctx.charge_cpu_ns(static_cast<double>(out.size()) *
+                        ctx.costs().map_cpu_ns);
+      ctx.charge_stream_write(bytes);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t partitions_;
+  Generator generator_;
+  bool charge_input_io_;
+};
+
+// ---------------------------------------------------------------------------
+// Narrow transformations
+// ---------------------------------------------------------------------------
+
+template <typename T, typename U>
+class MapRDD final : public RDD<U> {
+ public:
+  MapRDD(RddPtr<T> parent, std::function<U(const T&)> fn, std::string name)
+      : RDD<U>(parent->context(), std::move(name)),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<U> compute(std::size_t part, TaskContext& ctx) const override {
+    const std::vector<T> in = parent_->compute(part, ctx);
+    std::vector<U> out;
+    out.reserve(in.size());
+    for (const T& x : in) out.push_back(fn_(x));
+    ctx.charge_cpu_ns(static_cast<double>(in.size()) * ctx.costs().map_cpu_ns);
+    ctx.charge_dep_reads(static_cast<double>(in.size()) *
+                         ctx.costs().record_dep_reads);
+    ctx.charge_dep_writes(static_cast<double>(out.size()) *
+                          ctx.costs().record_dep_writes);
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+  std::function<U(const T&)> fn_;
+};
+
+template <typename T>
+class FilterRDD final : public RDD<T> {
+ public:
+  FilterRDD(RddPtr<T> parent, std::function<bool(const T&)> pred)
+      : RDD<T>(parent->context(), "filter"),
+        parent_(std::move(parent)),
+        pred_(std::move(pred)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    std::vector<T> in = parent_->compute(part, ctx);
+    std::vector<T> out;
+    for (T& x : in)
+      if (pred_(x)) out.push_back(std::move(x));
+    ctx.charge_cpu_ns(static_cast<double>(in.size()) *
+                      ctx.costs().filter_cpu_ns);
+    ctx.charge_dep_reads(static_cast<double>(in.size()) *
+                         ctx.costs().record_dep_reads);
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+  std::function<bool(const T&)> pred_;
+};
+
+template <typename T, typename U>
+class FlatMapRDD final : public RDD<U> {
+ public:
+  FlatMapRDD(RddPtr<T> parent, std::function<std::vector<U>(const T&)> fn,
+             std::string name)
+      : RDD<U>(parent->context(), std::move(name)),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<U> compute(std::size_t part, TaskContext& ctx) const override {
+    const std::vector<T> in = parent_->compute(part, ctx);
+    std::vector<U> out;
+    for (const T& x : in) {
+      std::vector<U> piece = fn_(x);
+      std::move(piece.begin(), piece.end(), std::back_inserter(out));
+    }
+    ctx.charge_cpu_ns(static_cast<double>(in.size() + out.size()) *
+                      ctx.costs().map_cpu_ns);
+    ctx.charge_dep_reads(static_cast<double>(in.size() + out.size()) *
+                         ctx.costs().record_dep_reads);
+    ctx.charge_dep_writes(static_cast<double>(out.size()) *
+                          ctx.costs().record_dep_writes);
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+  std::function<std::vector<U>(const T&)> fn_;
+};
+
+/// Whole-partition transformation (mapPartitions): the function sees all
+/// records of a partition at once and charges through the context itself if
+/// it does more than linear work.
+template <typename T, typename U>
+class MapPartitionsRDD final : public RDD<U> {
+ public:
+  using Fn = std::function<std::vector<U>(std::vector<T>, TaskContext&)>;
+
+  MapPartitionsRDD(RddPtr<T> parent, Fn fn, std::string name)
+      : RDD<U>(parent->context(), std::move(name)),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<U> compute(std::size_t part, TaskContext& ctx) const override {
+    return fn_(parent_->compute(part, ctx), ctx);
+  }
+
+ private:
+  RddPtr<T> parent_;
+  Fn fn_;
+};
+
+template <typename T>
+class UnionRDD final : public RDD<T> {
+ public:
+  UnionRDD(RddPtr<T> left, RddPtr<T> right)
+      : RDD<T>(left->context(), "union"),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  std::size_t num_partitions() const override {
+    return left_->num_partitions() + right_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(left_), Dependency::on(right_)};
+  }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    if (part < left_->num_partitions()) return left_->compute(part, ctx);
+    return right_->compute(part - left_->num_partitions(), ctx);
+  }
+
+ private:
+  RddPtr<T> left_;
+  RddPtr<T> right_;
+};
+
+/// Bernoulli sample of the parent.
+template <typename T>
+class SampleRDD final : public RDD<T> {
+ public:
+  SampleRDD(RddPtr<T> parent, double fraction)
+      : RDD<T>(parent->context(), "sample"),
+        parent_(std::move(parent)),
+        fraction_(fraction) {
+    TSX_CHECK(fraction >= 0.0 && fraction <= 1.0, "sample fraction in [0,1]");
+  }
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    std::vector<T> in = parent_->compute(part, ctx);
+    // Deterministic in (rdd, partition), independent of stage numbering.
+    std::uint64_t mix = mix_for(part);
+    Rng rng(splitmix64(mix));
+    std::vector<T> out;
+    for (T& x : in)
+      if (rng.bernoulli(fraction_)) out.push_back(std::move(x));
+    ctx.charge_cpu_ns(static_cast<double>(in.size()) *
+                      ctx.costs().filter_cpu_ns);
+    return out;
+  }
+
+ private:
+  std::uint64_t mix_for(std::size_t part) const {
+    return this->context()->job_seed() ^
+           (static_cast<std::uint64_t>(this->id()) << 40) ^
+           (part * 0x9e3779b97f4a7c15ULL);
+  }
+
+  RddPtr<T> parent_;
+  double fraction_;
+};
+
+/// Reduces the partition count without a shuffle by concatenating ranges of
+/// parent partitions (Spark's coalesce(n, shuffle=false)).
+template <typename T>
+class CoalescedRDD final : public RDD<T> {
+ public:
+  CoalescedRDD(RddPtr<T> parent, std::size_t partitions)
+      : RDD<T>(parent->context(), "coalesce"),
+        parent_(std::move(parent)),
+        partitions_(partitions) {
+    TSX_CHECK(partitions > 0, "coalesce needs at least one partition");
+    TSX_CHECK(partitions <= parent_->num_partitions(),
+              "coalesce cannot grow the partition count (use repartition)");
+  }
+
+  std::size_t num_partitions() const override { return partitions_; }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    TSX_CHECK(part < partitions_, "partition out of range");
+    const std::size_t n = parent_->num_partitions();
+    const std::size_t lo = part * n / partitions_;
+    const std::size_t hi = (part + 1) * n / partitions_;
+    std::vector<T> out;
+    for (std::size_t p = lo; p < hi; ++p) {
+      std::vector<T> piece = parent_->compute(p, ctx);
+      std::move(piece.begin(), piece.end(), std::back_inserter(out));
+    }
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+  std::size_t partitions_;
+};
+
+/// Pairs each record with a unique id using Spark's zipWithUniqueId scheme
+/// (id = index-within-partition * numPartitions + partition), which needs
+/// no cross-partition counting job.
+template <typename T>
+class ZipWithUniqueIdRDD final : public RDD<std::pair<T, std::uint64_t>> {
+ public:
+  explicit ZipWithUniqueIdRDD(RddPtr<T> parent)
+      : RDD<std::pair<T, std::uint64_t>>(parent->context(),
+                                         "zipWithUniqueId"),
+        parent_(std::move(parent)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<std::pair<T, std::uint64_t>> compute(
+      std::size_t part, TaskContext& ctx) const override {
+    std::vector<T> in = parent_->compute(part, ctx);
+    std::vector<std::pair<T, std::uint64_t>> out;
+    out.reserve(in.size());
+    const auto stride = static_cast<std::uint64_t>(num_partitions());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      out.emplace_back(std::move(in[i]),
+                       static_cast<std::uint64_t>(i) * stride + part);
+    ctx.charge_cpu_ns(static_cast<double>(out.size()) *
+                      ctx.costs().map_cpu_ns * 0.5);
+    return out;
+  }
+
+ private:
+  RddPtr<T> parent_;
+};
+
+/// Cached RDD (persist(MEMORY_ONLY)). First computation stores the partition
+/// in the block manager on the bound tier (charging a streaming write);
+/// subsequent computations read it back (streaming read) without recomputing
+/// the lineage. If the block cannot be cached, the lineage recomputes.
+template <typename T>
+class CachedRDD final : public RDD<T> {
+ public:
+  explicit CachedRDD(RddPtr<T> parent)
+      : RDD<T>(parent->context(), "cache:" + parent->name()),
+        parent_(std::move(parent)) {}
+
+  std::size_t num_partitions() const override {
+    return parent_->num_partitions();
+  }
+  std::vector<Dependency> dependencies() const override {
+    return {Dependency::on(parent_)};
+  }
+
+  std::vector<T> compute(std::size_t part, TaskContext& ctx) const override {
+    BlockManager& blocks = this->context()->block_manager();
+    const BlockKey key{this->id(), part};
+    if (const std::any* hit = blocks.get(key)) {
+      const Bytes size = blocks.size_of(key);
+      // Cached partitions are unscaled host samples; the charge multiplier
+      // in the context restores the virtual volume.
+      ctx.charge_stream_read(size, StreamClass::kCache);
+      ctx.charge_cpu_ns(size.b() * 0.02);  // object graph traversal
+      return std::any_cast<const std::vector<T>&>(*hit);
+    }
+    std::vector<T> data = parent_->compute(part, ctx);
+    const Bytes size = Bytes::of(est_bytes_all(data));
+    ctx.charge_stream_write(size, StreamClass::kCache);
+    blocks.put(key, data, size);
+    return data;
+  }
+
+ private:
+  RddPtr<T> parent_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+template <typename T>
+RddPtr<T> parallelize(SparkContext& sc, std::vector<T> data,
+                      std::size_t partitions) {
+  return std::make_shared<ParallelCollectionRDD<T>>(&sc, std::move(data),
+                                                    partitions);
+}
+
+template <typename T>
+RddPtr<T> generate_rdd(SparkContext& sc, std::string name,
+                       std::size_t partitions,
+                       typename GenerateRDD<T>::Generator generator,
+                       bool charge_input_io = true) {
+  return std::make_shared<GenerateRDD<T>>(&sc, std::move(name), partitions,
+                                          std::move(generator),
+                                          charge_input_io);
+}
+
+/// Reads a DFS text file as one partition per block-sized slice.
+RddPtr<std::string> inline text_file(SparkContext& sc, const std::string& path,
+                                     std::size_t min_partitions = 0) {
+  const auto lines = std::make_shared<std::vector<std::string>>(
+      sc.dfs().read_text(path));
+  const dfs::FileStatus st = sc.dfs().status(path);
+  std::size_t parts = std::max<std::size_t>(
+      {st.blocks, min_partitions, std::size_t{1}});
+  parts = std::min(parts, std::max<std::size_t>(lines->size(), 1));
+  return generate_rdd<std::string>(
+      sc, "textFile:" + path, parts,
+      [lines, parts](std::size_t p, Rng&) {
+        const std::size_t n = lines->size();
+        const std::size_t lo = p * n / parts;
+        const std::size_t hi = (p + 1) * n / parts;
+        return std::vector<std::string>(
+            lines->begin() + static_cast<std::ptrdiff_t>(lo),
+            lines->begin() + static_cast<std::ptrdiff_t>(hi));
+      },
+      /*charge_input_io=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Fluent transformation helpers
+// ---------------------------------------------------------------------------
+
+template <typename T, typename F>
+auto map_rdd(RddPtr<T> parent, F fn, std::string name = "map") {
+  using U = std::invoke_result_t<F, const T&>;
+  return std::static_pointer_cast<RDD<U>>(std::make_shared<MapRDD<T, U>>(
+      std::move(parent), std::function<U(const T&)>(std::move(fn)),
+      std::move(name)));
+}
+
+template <typename T, typename F>
+RddPtr<T> filter_rdd(RddPtr<T> parent, F pred) {
+  return std::make_shared<FilterRDD<T>>(
+      std::move(parent), std::function<bool(const T&)>(std::move(pred)));
+}
+
+template <typename T, typename F>
+auto flat_map_rdd(RddPtr<T> parent, F fn, std::string name = "flatMap") {
+  using Vec = std::invoke_result_t<F, const T&>;
+  using U = typename Vec::value_type;
+  return std::static_pointer_cast<RDD<U>>(std::make_shared<FlatMapRDD<T, U>>(
+      std::move(parent),
+      std::function<std::vector<U>(const T&)>(std::move(fn)),
+      std::move(name)));
+}
+
+template <typename U, typename T>
+RddPtr<U> map_partitions_rdd(
+    RddPtr<T> parent,
+    typename MapPartitionsRDD<T, U>::Fn fn,
+    std::string name = "mapPartitions") {
+  return std::make_shared<MapPartitionsRDD<T, U>>(std::move(parent),
+                                                  std::move(fn),
+                                                  std::move(name));
+}
+
+template <typename T>
+RddPtr<T> union_rdd(RddPtr<T> left, RddPtr<T> right) {
+  return std::make_shared<UnionRDD<T>>(std::move(left), std::move(right));
+}
+
+template <typename T>
+RddPtr<T> sample_rdd(RddPtr<T> parent, double fraction) {
+  return std::make_shared<SampleRDD<T>>(std::move(parent), fraction);
+}
+
+template <typename T>
+RddPtr<T> cache_rdd(RddPtr<T> parent) {
+  return std::make_shared<CachedRDD<T>>(std::move(parent));
+}
+
+template <typename T>
+RddPtr<T> coalesce_rdd(RddPtr<T> parent, std::size_t partitions) {
+  return std::make_shared<CoalescedRDD<T>>(std::move(parent), partitions);
+}
+
+template <typename T>
+RddPtr<std::pair<T, std::uint64_t>> zip_with_unique_id(RddPtr<T> parent) {
+  return std::make_shared<ZipWithUniqueIdRDD<T>>(std::move(parent));
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+/// collect(): materializes every partition at the driver.
+template <typename T>
+std::vector<T> collect(const RddPtr<T>& rdd, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  auto slots = std::make_shared<std::vector<std::vector<T>>>(parts);
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, slots](std::size_t p, TaskContext& ctx) {
+        (*slots)[p] = rdd->compute(p, ctx);
+        // Results serialize back to the driver.
+        ctx.charge_cpu_ns(est_bytes_all((*slots)[p]) *
+                          ctx.costs().serialize_cpu_ns_per_byte);
+      },
+      parts, "collect:" + rdd->name());
+  if (metrics) *metrics = jm;
+  std::vector<T> out;
+  for (auto& slot : *slots)
+    std::move(slot.begin(), slot.end(), std::back_inserter(out));
+  return out;
+}
+
+/// count(): number of records.
+template <typename T>
+std::size_t count(const RddPtr<T>& rdd, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  auto counts = std::make_shared<std::vector<std::size_t>>(parts, 0);
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, counts](std::size_t p, TaskContext& ctx) {
+        (*counts)[p] = rdd->compute(p, ctx).size();
+      },
+      parts, "count:" + rdd->name());
+  if (metrics) *metrics = jm;
+  return std::accumulate(counts->begin(), counts->end(), std::size_t{0});
+}
+
+/// reduce(): fold all records with an associative combiner. Throws on an
+/// empty RDD, like Spark.
+template <typename T, typename F>
+T reduce(const RddPtr<T>& rdd, F combine, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  auto partials = std::make_shared<std::vector<std::vector<T>>>(parts);
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, &combine, partials](std::size_t p, TaskContext& ctx) {
+        std::vector<T> data = rdd->compute(p, ctx);
+        ctx.charge_cpu_ns(static_cast<double>(data.size()) *
+                          ctx.costs().agg_cpu_ns);
+        if (data.empty()) return;
+        T acc = std::move(data.front());
+        for (std::size_t i = 1; i < data.size(); ++i)
+          acc = combine(acc, data[i]);
+        (*partials)[p] = {std::move(acc)};
+      },
+      parts, "reduce:" + rdd->name());
+  if (metrics) *metrics = jm;
+  std::vector<T> tops;
+  for (auto& slot : *partials)
+    if (!slot.empty()) tops.push_back(std::move(slot.front()));
+  TSX_CHECK(!tops.empty(), "reduce of empty RDD");
+  T acc = std::move(tops.front());
+  for (std::size_t i = 1; i < tops.size(); ++i) acc = combine(acc, tops[i]);
+  return acc;
+}
+
+/// saveAsTextFile(): renders records with `format` and writes one DFS file.
+/// Charges the result tasks with serialization cpu and DFS write I/O.
+template <typename T, typename F>
+void save_as_text_file(const RddPtr<T>& rdd, const std::string& path,
+                       F format, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  auto slots = std::make_shared<std::vector<std::vector<std::string>>>(parts);
+  dfs::Dfs& fs = rdd->context()->dfs();
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, &format, slots, &fs](std::size_t p, TaskContext& ctx) {
+        const std::vector<T> data = rdd->compute(p, ctx);
+        std::vector<std::string>& lines = (*slots)[p];
+        lines.reserve(data.size());
+        double bytes = 0.0;
+        for (const T& x : data) {
+          lines.push_back(format(x));
+          bytes += static_cast<double>(lines.back().size()) + 1.0;
+        }
+        ctx.charge_cpu_ns(bytes * ctx.costs().serialize_cpu_ns_per_byte);
+        ctx.charge_stream_read(Bytes::of(bytes));
+        ctx.charge_io(fs.write_seek_overhead(Bytes::of(bytes)));
+        ctx.charge_disk_write(Bytes::of(bytes));
+      },
+      parts, "saveAsTextFile:" + rdd->name());
+  if (metrics) *metrics = jm;
+  std::vector<std::string> all;
+  for (auto& slot : *slots)
+    std::move(slot.begin(), slot.end(), std::back_inserter(all));
+  fs.write_text(path, std::move(all));
+}
+
+/// take(n): computes partitions incrementally (1, then 4x batches) until
+/// `n` records are available — like Spark, it avoids touching the whole
+/// dataset for a small prefix.
+template <typename T>
+std::vector<T> take(const RddPtr<T>& rdd, std::size_t n) {
+  std::vector<T> out;
+  if (n == 0) return out;
+  const std::size_t total = rdd->num_partitions();
+  std::size_t next = 0;
+  std::size_t batch = 1;
+  while (out.size() < n && next < total) {
+    const std::size_t count = std::min(batch, total - next);
+    auto slots = std::make_shared<std::vector<std::vector<T>>>(count);
+    const std::size_t offset = next;
+    rdd->context()->scheduler().run_job(
+        rdd,
+        [&rdd, slots, offset](std::size_t p, TaskContext& ctx) {
+          (*slots)[p] = rdd->compute(offset + p, ctx);
+        },
+        count, "take:" + rdd->name());
+    for (auto& slot : *slots) {
+      for (T& x : slot) {
+        if (out.size() >= n) break;
+        out.push_back(std::move(x));
+      }
+    }
+    next += count;
+    batch *= 4;
+  }
+  return out;
+}
+
+/// first(): the first record; throws on an empty RDD.
+template <typename T>
+T first(const RddPtr<T>& rdd) {
+  std::vector<T> head = take(rdd, 1);
+  TSX_CHECK(!head.empty(), "first() of empty RDD");
+  return std::move(head.front());
+}
+
+/// Numeric total of all records.
+template <typename T>
+  requires std::is_arithmetic_v<T>
+double sum(const RddPtr<T>& rdd, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  auto partials = std::make_shared<std::vector<double>>(parts, 0.0);
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, partials](std::size_t p, TaskContext& ctx) {
+        double acc = 0.0;
+        for (const T& x : rdd->compute(p, ctx)) acc += static_cast<double>(x);
+        (*partials)[p] = acc;
+      },
+      parts, "sum:" + rdd->name());
+  if (metrics) *metrics = jm;
+  return std::accumulate(partials->begin(), partials->end(), 0.0);
+}
+
+template <typename T>
+T min(const RddPtr<T>& rdd) {
+  return reduce(rdd, [](const T& a, const T& b) { return a < b ? a : b; });
+}
+
+template <typename T>
+T max(const RddPtr<T>& rdd) {
+  return reduce(rdd, [](const T& a, const T& b) { return a < b ? b : a; });
+}
+
+/// Largest `n` records (descending), merged from per-partition top-n —
+/// only n records per partition travel to the driver.
+template <typename T>
+std::vector<T> top_n(const RddPtr<T>& rdd, std::size_t n) {
+  auto tops = map_partitions_rdd<T>(
+      rdd,
+      [n](std::vector<T> data, TaskContext& ctx) {
+        const std::size_t keep = std::min(n, data.size());
+        std::partial_sort(data.begin(),
+                          data.begin() + static_cast<std::ptrdiff_t>(keep),
+                          data.end(), std::greater<T>{});
+        data.resize(keep);
+        ctx.charge_cpu_ns(static_cast<double>(data.size()) *
+                          ctx.costs().compare_cpu_ns * 8.0);
+        return data;
+      },
+      "topN");
+  std::vector<T> all = collect(tops);
+  std::sort(all.begin(), all.end(), std::greater<T>{});
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+/// foreach(): runs a side-effecting function over every record on the
+/// executors (charged like a map); nothing returns to the driver.
+template <typename T, typename F>
+void for_each(const RddPtr<T>& rdd, F fn, JobMetrics* metrics = nullptr) {
+  const std::size_t parts = rdd->num_partitions();
+  JobMetrics jm = rdd->context()->scheduler().run_job(
+      rdd,
+      [&rdd, &fn](std::size_t p, TaskContext& ctx) {
+        const std::vector<T> data = rdd->compute(p, ctx);
+        for (const T& x : data) fn(x);
+        ctx.charge_cpu_ns(static_cast<double>(data.size()) *
+                          ctx.costs().map_cpu_ns);
+      },
+      parts, "foreach:" + rdd->name());
+  if (metrics) *metrics = jm;
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,16 @@
+#include "spark/rdd_base.hpp"
+
+#include "core/strings.hpp"
+#include "spark/context.hpp"
+
+namespace tsx::spark {
+
+RddBase::RddBase(SparkContext* sc, std::string name)
+    : sc_(sc), name_(std::move(name)), id_(sc->next_rdd_id()) {}
+
+std::string RddBase::describe() const {
+  return strfmt("%s[%d] (%zu partitions)", name_.c_str(), id_,
+                num_partitions());
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,58 @@
+// Type-erased RDD base and lineage dependencies.
+//
+// The DAG scheduler never sees record types: it walks RddBase lineage,
+// splits stages at shuffle dependencies, and launches tasks. All typed
+// computation lives in the RDD<T> templates (rdd.hpp / pair_rdd.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spark/shuffle.hpp"
+
+namespace tsx::spark {
+
+class SparkContext;
+
+/// One incoming edge of the lineage graph: either a narrow dependency on a
+/// parent RDD (pipelined into the same stage) or a shuffle dependency
+/// (stage boundary).
+struct Dependency {
+  std::shared_ptr<RddBase> narrow;
+  std::shared_ptr<ShuffleDependencyBase> shuffle;
+
+  static Dependency on(std::shared_ptr<RddBase> parent) {
+    return Dependency{std::move(parent), nullptr};
+  }
+  static Dependency via(std::shared_ptr<ShuffleDependencyBase> dep) {
+    return Dependency{nullptr, std::move(dep)};
+  }
+  bool is_shuffle() const { return shuffle != nullptr; }
+};
+
+class RddBase : public std::enable_shared_from_this<RddBase> {
+ public:
+  RddBase(SparkContext* sc, std::string name);
+  virtual ~RddBase() = default;
+
+  RddBase(const RddBase&) = delete;
+  RddBase& operator=(const RddBase&) = delete;
+
+  virtual std::size_t num_partitions() const = 0;
+  virtual std::vector<Dependency> dependencies() const = 0;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SparkContext* context() const { return sc_; }
+
+  /// "name[id] (n partitions)" for logs and debug strings.
+  std::string describe() const;
+
+ private:
+  SparkContext* sc_;
+  std::string name_;
+  int id_;
+};
+
+}  // namespace tsx::spark

@@ -1,0 +1,161 @@
+#include "spark/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "spark/context.hpp"
+
+namespace tsx::spark {
+
+namespace {
+bool contains(const std::vector<int>& xs, int x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+}  // namespace
+
+void DAGScheduler::collect_shuffles(
+    const RddBase& rdd,
+    std::vector<std::shared_ptr<ShuffleDependencyBase>>& order,
+    std::vector<int>& seen_rdds, std::vector<int>& seen_shuffles) const {
+  if (contains(seen_rdds, rdd.id())) return;
+  seen_rdds.push_back(rdd.id());
+  for (const Dependency& dep : rdd.dependencies()) {
+    if (dep.is_shuffle()) {
+      if (contains(seen_shuffles, dep.shuffle->shuffle_id())) continue;
+      seen_shuffles.push_back(dep.shuffle->shuffle_id());
+      if (sc_.shuffle_store().is_complete(dep.shuffle->shuffle_id()))
+        continue;  // map output reuse: already materialized by a prior job
+      collect_shuffles(*dep.shuffle->parent(), order, seen_rdds,
+                       seen_shuffles);
+      order.push_back(dep.shuffle);  // post-order: parents first
+    } else {
+      collect_shuffles(*dep.narrow, order, seen_rdds, seen_shuffles);
+    }
+  }
+}
+
+void DAGScheduler::advance(Duration d) {
+  // run_until (not run): background activity — e.g. a noisy-neighbor load
+  // generator — may keep the event queue permanently non-empty.
+  sim::Simulator& sim = sc_.machine().simulator();
+  sim.run_until(sim.now() + d);
+}
+
+StageRecord DAGScheduler::run_stage(const std::string& label,
+                                    std::size_t num_tasks, const TaskFn& task,
+                                    JobMetrics& metrics) {
+  TSX_CHECK(num_tasks > 0, "stage with zero tasks: " + label);
+  advance(sc_.conf().stage_overhead);
+
+  StageRecord record;
+  record.stage_id = next_stage_id_++;
+  record.label = label;
+  record.tasks = num_tasks;
+  record.start = sc_.now();
+
+  // Snapshot per-channel drained volume to derive stage-average bandwidth.
+  const auto channels = sc_.machine().all_memory_channels();
+  std::vector<double> drained_before;
+  drained_before.reserve(channels.size());
+  for (const auto* ch : channels) drained_before.push_back(ch->drained_total().b());
+
+  auto& executors = sc_.executors();
+  auto remaining = std::make_shared<std::size_t>(num_tasks);
+  for (std::size_t p = 0; p < num_tasks; ++p) {
+    Executor& executor = *executors[task_counter_++ % executors.size()];
+    const int stage_id = record.stage_id;
+    executor.submit(Executor::Work{
+        [this, stage_id, p, &task]() -> TaskCost {
+          // Per-task rng stream: deterministic in (job seed, stage, task).
+          std::uint64_t mix = sc_.job_seed() ^
+                              (static_cast<std::uint64_t>(stage_id) << 32) ^
+                              static_cast<std::uint64_t>(p);
+          TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
+                          Rng(splitmix64(mix)));
+          task(p, ctx);
+          return ctx.cost();
+        },
+        [this, remaining, &metrics](const TaskCost& cost) {
+          metrics.total_cost += cost;
+          lifetime_cost_ += cost;
+          --*remaining;
+        }});
+  }
+
+  // The stage barrier: step the simulator until the last task (and its
+  // memory flows) completes. Stepping — rather than draining — tolerates
+  // concurrent background activity (noisy-neighbor load generators).
+  sim::Simulator& sim = sc_.machine().simulator();
+  while (*remaining > 0) {
+    TSX_CHECK(sim.step() > 0,
+              "deadlock: stage " + label + " has unfinished tasks but no "
+              "pending events");
+  }
+
+  record.end = sc_.now();
+  if (record.duration().sec() > 0.0) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      const Bandwidth avg{
+          (channels[c]->drained_total().b() - drained_before[c]) /
+          record.duration().sec()};
+      if (avg > record.peak_channel_bandwidth) {
+        record.peak_channel_bandwidth = avg;
+        record.peak_channel = channels[c]->name();
+      }
+    }
+  }
+  metrics.num_tasks += num_tasks;
+  metrics.num_stages += 1;
+  tasks_run_ += num_tasks;
+  TSX_LOG(kInfo) << "stage " << record.stage_id << " [" << label << "] "
+                 << num_tasks << " tasks in "
+                 << tsx::to_string(record.duration());
+  return record;
+}
+
+JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
+                                 const ResultFn& result_task,
+                                 std::size_t result_partitions,
+                                 const std::string& name) {
+  TSX_CHECK(final_rdd != nullptr, "run_job on null RDD");
+
+  if (!executors_launched_) {
+    // Executors spin up in parallel, but each additional one registers
+    // serially with the driver.
+    const auto extra =
+        static_cast<double>(sc_.executors().size() - 1);
+    advance(sc_.conf().executor_launch +
+            sc_.conf().executor_register * extra);
+    executors_launched_ = true;
+  }
+  advance(sc_.conf().job_submit_overhead);
+
+  JobMetrics metrics;
+  metrics.job = name;
+  metrics.start = sc_.now();
+
+  std::vector<std::shared_ptr<ShuffleDependencyBase>> shuffle_order;
+  std::vector<int> seen_rdds;
+  std::vector<int> seen_shuffles;
+  collect_shuffles(*final_rdd, shuffle_order, seen_rdds, seen_shuffles);
+
+  for (const auto& dep : shuffle_order) {
+    const auto map_tasks = dep->parent()->num_partitions();
+    metrics.stages.push_back(run_stage(
+        "shuffle-map:" + dep->parent()->name(), map_tasks,
+        [&dep](std::size_t p, TaskContext& ctx) { dep->run_map_task(p, ctx); },
+        metrics));
+    sc_.shuffle_store().mark_complete(dep->shuffle_id());
+  }
+
+  metrics.stages.push_back(
+      run_stage("result:" + final_rdd->name(), result_partitions, result_task,
+                metrics));
+
+  metrics.end = sc_.now();
+  ++jobs_run_;
+  return metrics;
+}
+
+}  // namespace tsx::spark

@@ -1,0 +1,88 @@
+#include "spark/shuffle.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::spark {
+
+int ShuffleStore::register_shuffle(std::size_t map_partitions,
+                                   std::size_t reduce_partitions) {
+  TSX_CHECK(map_partitions > 0 && reduce_partitions > 0,
+            "shuffle needs at least one partition on each side");
+  Shuffle s;
+  s.maps = map_partitions;
+  s.reduces = reduce_partitions;
+  s.cells.resize(map_partitions * reduce_partitions);
+  s.sizes.resize(map_partitions * reduce_partitions, Bytes::zero());
+  shuffles_.push_back(std::move(s));
+  return static_cast<int>(shuffles_.size()) - 1;
+}
+
+const ShuffleStore::Shuffle& ShuffleStore::shuffle_at(int id) const {
+  TSX_CHECK(id >= 0 && static_cast<std::size_t>(id) < shuffles_.size(),
+            "unknown shuffle id");
+  return shuffles_[static_cast<std::size_t>(id)];
+}
+
+ShuffleStore::Shuffle& ShuffleStore::shuffle_at(int id) {
+  TSX_CHECK(id >= 0 && static_cast<std::size_t>(id) < shuffles_.size(),
+            "unknown shuffle id");
+  return shuffles_[static_cast<std::size_t>(id)];
+}
+
+void ShuffleStore::put_bucket(int shuffle, std::size_t map_part,
+                              std::size_t reduce_part, std::any records,
+                              Bytes size) {
+  Shuffle& s = shuffle_at(shuffle);
+  TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
+            "bucket coordinates out of range");
+  const std::size_t idx = map_part * s.reduces + reduce_part;
+  TSX_CHECK(!s.cells[idx].has_value(), "bucket written twice");
+  s.cells[idx] = std::move(records);
+  s.sizes[idx] = size;
+  bytes_held_ += size;
+  bytes_written_total_ += size;
+}
+
+const std::any& ShuffleStore::bucket(int shuffle, std::size_t map_part,
+                                     std::size_t reduce_part) const {
+  const Shuffle& s = shuffle_at(shuffle);
+  TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
+            "bucket coordinates out of range");
+  return s.cells[map_part * s.reduces + reduce_part];
+}
+
+Bytes ShuffleStore::bucket_size(int shuffle, std::size_t map_part,
+                                std::size_t reduce_part) const {
+  const Shuffle& s = shuffle_at(shuffle);
+  TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
+            "bucket coordinates out of range");
+  return s.sizes[map_part * s.reduces + reduce_part];
+}
+
+std::size_t ShuffleStore::map_partitions(int shuffle) const {
+  return shuffle_at(shuffle).maps;
+}
+
+std::size_t ShuffleStore::reduce_partitions(int shuffle) const {
+  return shuffle_at(shuffle).reduces;
+}
+
+void ShuffleStore::mark_complete(int shuffle) {
+  shuffle_at(shuffle).complete = true;
+}
+
+bool ShuffleStore::is_complete(int shuffle) const {
+  return shuffle_at(shuffle).complete;
+}
+
+void ShuffleStore::clear(int shuffle) {
+  Shuffle& s = shuffle_at(shuffle);
+  for (auto& cell : s.cells) cell.reset();
+  for (auto& size : s.sizes) {
+    bytes_held_ -= size;
+    size = Bytes::zero();
+  }
+  s.complete = false;
+}
+
+}  // namespace tsx::spark

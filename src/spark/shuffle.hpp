@@ -1,0 +1,100 @@
+// Shuffle subsystem.
+//
+// A shuffle moves every record from M map partitions into R reduce buckets.
+// ShuffleStore is the engine-wide bucket storage (the BlockManager role for
+// shuffle files): map tasks deposit type-erased record batches per
+// (shuffle, map, reduce) cell, reduce tasks fetch a full column. The typed
+// logic — partitioning by key, combining, charging serialization costs —
+// lives in ShuffleDependency<K,V> (pair_rdd.hpp); the scheduler drives map
+// stages only through ShuffleDependencyBase.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/units.hpp"
+#include "spark/task.hpp"
+
+namespace tsx::spark {
+
+class RddBase;
+
+class ShuffleStore {
+ public:
+  /// Registers a new shuffle and returns its id.
+  int register_shuffle(std::size_t map_partitions,
+                       std::size_t reduce_partitions);
+
+  void put_bucket(int shuffle, std::size_t map_part, std::size_t reduce_part,
+                  std::any records, Bytes size);
+
+  /// Bucket contents; empty std::any if the map task produced no records
+  /// for this reduce partition.
+  const std::any& bucket(int shuffle, std::size_t map_part,
+                         std::size_t reduce_part) const;
+  Bytes bucket_size(int shuffle, std::size_t map_part,
+                    std::size_t reduce_part) const;
+
+  std::size_t map_partitions(int shuffle) const;
+  std::size_t reduce_partitions(int shuffle) const;
+
+  /// Stage-barrier bookkeeping: a shuffle whose map outputs exist is not
+  /// recomputed by later jobs on the same lineage (Spark reuses map output).
+  void mark_complete(int shuffle);
+  bool is_complete(int shuffle) const;
+
+  /// Drops a shuffle's buckets (lineage cleanup between experiments).
+  void clear(int shuffle);
+
+  /// Total bytes currently held across all buckets.
+  Bytes bytes_held() const { return bytes_held_; }
+  /// Total bytes ever written into the store.
+  Bytes bytes_written_total() const { return bytes_written_total_; }
+
+ private:
+  struct Shuffle {
+    std::size_t maps = 0;
+    std::size_t reduces = 0;
+    // cell (m, r) at index m * reduces + r
+    std::vector<std::any> cells;
+    std::vector<Bytes> sizes;
+    bool complete = false;
+  };
+
+  const Shuffle& shuffle_at(int id) const;
+  Shuffle& shuffle_at(int id);
+
+  std::vector<Shuffle> shuffles_;
+  Bytes bytes_held_;
+  Bytes bytes_written_total_;
+};
+
+/// Type-erased face of a shuffle dependency, all the DAG scheduler needs:
+/// the parent lineage to materialize and a way to run one map task.
+class ShuffleDependencyBase {
+ public:
+  ShuffleDependencyBase(int shuffle_id, std::shared_ptr<RddBase> parent,
+                        std::size_t reduce_partitions)
+      : shuffle_id_(shuffle_id),
+        parent_(std::move(parent)),
+        reduce_partitions_(reduce_partitions) {}
+  virtual ~ShuffleDependencyBase() = default;
+
+  int shuffle_id() const { return shuffle_id_; }
+  const std::shared_ptr<RddBase>& parent() const { return parent_; }
+  std::size_t reduce_partitions() const { return reduce_partitions_; }
+
+  /// Computes parent partition `map_part`, partitions it by key and writes
+  /// the buckets (charging the context for the work).
+  virtual void run_map_task(std::size_t map_part, TaskContext& ctx) const = 0;
+
+ protected:
+  int shuffle_id_;
+  std::shared_ptr<RddBase> parent_;
+  std::size_t reduce_partitions_;
+};
+
+}  // namespace tsx::spark

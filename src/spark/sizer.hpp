@@ -1,0 +1,88 @@
+// Serialized-size estimation for records.
+//
+// The engine charges memory and shuffle traffic in bytes, so it needs the
+// approximate serialized size of any record type flowing through an RDD.
+// `est_bytes` is an overload set covering arithmetic types, strings, pairs,
+// tuples, arrays and containers; user-defined record structs opt in by
+// providing a free function `double est_bytes(const TheirType&)` in their
+// own namespace (found by the unqualified calls below after ADL).
+//
+// All overloads are declared before any definition so that nested types
+// (e.g. pair<K, vector<V>>) resolve regardless of declaration order.
+#pragma once
+
+#include <array>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tsx::spark {
+
+// --- declarations ----------------------------------------------------------
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+double est_bytes(const T&);
+
+double est_bytes(const std::string& s);
+
+template <typename A, typename B>
+double est_bytes(const std::pair<A, B>& p);
+
+template <typename... Ts>
+double est_bytes(const std::tuple<Ts...>& t);
+
+template <typename T, std::size_t N>
+double est_bytes(const std::array<T, N>& a);
+
+template <typename T>
+double est_bytes(const std::vector<T>& v);
+
+// --- definitions -----------------------------------------------------------
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+double est_bytes(const T&) {
+  return static_cast<double>(sizeof(T));
+}
+
+inline double est_bytes(const std::string& s) {
+  return 8.0 + static_cast<double>(s.size());  // length header + payload
+}
+
+template <typename A, typename B>
+double est_bytes(const std::pair<A, B>& p) {
+  return est_bytes(p.first) + est_bytes(p.second);
+}
+
+template <typename... Ts>
+double est_bytes(const std::tuple<Ts...>& t) {
+  return std::apply(
+      [](const Ts&... parts) { return (0.0 + ... + est_bytes(parts)); }, t);
+}
+
+template <typename T, std::size_t N>
+double est_bytes(const std::array<T, N>& a) {
+  double total = 0.0;
+  for (const auto& x : a) total += est_bytes(x);
+  return total;
+}
+
+template <typename T>
+double est_bytes(const std::vector<T>& v) {
+  double total = 16.0;  // vector header
+  for (const auto& x : v) total += est_bytes(x);
+  return total;
+}
+
+/// Total estimated size of a record batch.
+template <typename T>
+double est_bytes_all(const std::vector<T>& batch) {
+  double total = 0.0;
+  for (const auto& x : batch) total += est_bytes(x);
+  return total;
+}
+
+}  // namespace tsx::spark

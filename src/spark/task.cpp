@@ -1,0 +1,106 @@
+#include "spark/task.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::spark {
+
+std::string to_string(StreamClass c) {
+  switch (c) {
+    case StreamClass::kHeap: return "heap";
+    case StreamClass::kShuffle: return "shuffle";
+    case StreamClass::kCache: return "cache";
+  }
+  TSX_FAIL("bad StreamClass");
+}
+
+Bytes TaskCost::stream_read() const {
+  Bytes total;
+  for (const Bytes& b : stream_read_by) total += b;
+  return total;
+}
+
+Bytes TaskCost::stream_write() const {
+  Bytes total;
+  for (const Bytes& b : stream_write_by) total += b;
+  return total;
+}
+
+TaskCost& TaskCost::operator+=(const TaskCost& other) {
+  cpu_seconds += other.cpu_seconds;
+  io_seconds += other.io_seconds;
+  disk_read += other.disk_read;
+  disk_write += other.disk_write;
+  for (int c = 0; c < kNumStreamClasses; ++c) {
+    stream_read_by[static_cast<std::size_t>(c)] +=
+        other.stream_read_by[static_cast<std::size_t>(c)];
+    stream_write_by[static_cast<std::size_t>(c)] +=
+        other.stream_write_by[static_cast<std::size_t>(c)];
+  }
+  dep_reads += other.dep_reads;
+  dep_writes += other.dep_writes;
+  return *this;
+}
+
+bool TaskCost::is_zero() const {
+  return cpu_seconds == 0.0 && io_seconds == 0.0 && disk_read.b() == 0.0 &&
+         disk_write.b() == 0.0 && stream_read().b() == 0.0 &&
+         stream_write().b() == 0.0 && dep_reads == 0.0 && dep_writes == 0.0;
+}
+
+TaskContext::TaskContext(int stage_id, std::size_t partition,
+                         const CostModel& costs, double cost_multiplier,
+                         Rng rng)
+    : stage_id_(stage_id),
+      partition_(partition),
+      costs_(costs),
+      multiplier_(cost_multiplier),
+      rng_(rng) {
+  TSX_CHECK(cost_multiplier >= 1.0, "cost multiplier must be >= 1");
+}
+
+void TaskContext::charge_cpu(Duration cpu) {
+  TSX_CHECK(cpu.sec() >= 0.0, "negative cpu charge");
+  cost_.cpu_seconds += cpu.sec() * multiplier_;
+}
+
+void TaskContext::charge_cpu_unscaled(Duration cpu) {
+  TSX_CHECK(cpu.sec() >= 0.0, "negative cpu charge");
+  cost_.cpu_seconds += cpu.sec();
+}
+
+void TaskContext::charge_stream_read(Bytes bytes, StreamClass cls) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative stream read charge");
+  cost_.stream_read_by[static_cast<std::size_t>(cls)] += bytes * multiplier_;
+}
+
+void TaskContext::charge_stream_write(Bytes bytes, StreamClass cls) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative stream write charge");
+  cost_.stream_write_by[static_cast<std::size_t>(cls)] += bytes * multiplier_;
+}
+
+void TaskContext::charge_dep_reads(double accesses) {
+  TSX_CHECK(accesses >= 0.0, "negative dep read charge");
+  cost_.dep_reads += accesses * multiplier_;
+}
+
+void TaskContext::charge_dep_writes(double accesses) {
+  TSX_CHECK(accesses >= 0.0, "negative dep write charge");
+  cost_.dep_writes += accesses * multiplier_;
+}
+
+void TaskContext::charge_io(Duration io) {
+  TSX_CHECK(io.sec() >= 0.0, "negative io charge");
+  cost_.io_seconds += io.sec() * multiplier_;
+}
+
+void TaskContext::charge_disk_read(Bytes bytes) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative disk read charge");
+  cost_.disk_read += bytes * multiplier_;
+}
+
+void TaskContext::charge_disk_write(Bytes bytes) {
+  TSX_CHECK(bytes.b() >= 0.0, "negative disk write charge");
+  cost_.disk_write += bytes * multiplier_;
+}
+
+}  // namespace tsx::spark

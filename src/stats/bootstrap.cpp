@@ -1,0 +1,43 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quantiles.hpp"
+
+namespace tsx::stats {
+
+Interval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, std::size_t resamples, Rng& rng) {
+  TSX_CHECK(!sample.empty(), "bootstrap of empty sample");
+  TSX_CHECK(confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)");
+  TSX_CHECK(resamples >= 10, "too few bootstrap resamples");
+
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> draw(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& d : draw) d = sample[rng.uniform_u64(sample.size())];
+    stats.push_back(statistic(draw));
+  }
+  const double alpha = 1.0 - confidence;
+  Interval ci;
+  ci.lo = quantile(stats, alpha / 2.0);
+  ci.hi = quantile(stats, 1.0 - alpha / 2.0);
+  ci.point = statistic(sample);
+  return ci;
+}
+
+Interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                           std::size_t resamples, Rng& rng) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return summarize(s).mean; },
+      confidence, resamples, rng);
+}
+
+}  // namespace tsx::stats

@@ -1,0 +1,32 @@
+// Bootstrap confidence intervals for reported ratios.
+//
+// EXPERIMENTS.md quotes average tier-degradation percentages; the bootstrap
+// puts a CI on those means so the "shape holds" claims aren't single-number
+// artifacts of one seed.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/rng.hpp"
+
+namespace tsx::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< statistic on the original sample
+};
+
+/// Percentile-bootstrap CI for an arbitrary statistic of one sample.
+/// `confidence` is e.g. 0.95; `resamples` the number of bootstrap draws.
+Interval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, std::size_t resamples, Rng& rng);
+
+/// Convenience: CI of the sample mean.
+Interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                           std::size_t resamples, Rng& rng);
+
+}  // namespace tsx::stats

@@ -1,0 +1,83 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace tsx::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  TSX_CHECK(x.size() == y.size(), "pearson needs equal-length samples");
+  TSX_CHECK(x.size() >= 2, "pearson needs at least two observations");
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  const double r = sxy / std::sqrt(sxx * syy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+std::vector<double> ranks(std::span<const double> sample) {
+  const std::size_t n = sample.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sample[a] < sample[b]; });
+  std::vector<double> out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && sample[order[j + 1]] == sample[order[i]]) ++j;
+    // Average rank over the tie group [i, j]; ranks are 1-based.
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::vector<double> rx = ranks(x);
+  const std::vector<double> ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+std::vector<double> correlate_all(std::span<const Series> features,
+                                  std::span<const double> target) {
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (const auto& f : features) {
+    TSX_CHECK(f.values.size() == target.size(),
+              "series " + f.name + " length mismatch");
+    out.push_back(pearson(f.values, target));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> correlation_matrix(
+    std::span<const Series> features) {
+  const std::size_t k = features.size();
+  std::vector<std::vector<double>> m(k, std::vector<double>(k, 1.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson(features[i].values, features[j].values);
+      m[i][j] = r;
+      m[j][i] = r;
+    }
+  }
+  return m;
+}
+
+}  // namespace tsx::stats

@@ -1,0 +1,38 @@
+// Correlation measures used by the Sec. IV-F reproduction (Figs. 5 and 6):
+// Pearson's r between system-level events / hardware specs and execution
+// time, plus Spearman's rank correlation as a robustness check.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsx::stats {
+
+/// Pearson product-moment correlation coefficient in [-1, 1].
+/// Returns 0 when either input is (numerically) constant — matching the
+/// convention of reporting "no linear relationship" for degenerate columns.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on mid-ranks, handling ties).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Mid-ranks of a sample (ties get the average of their rank range).
+std::vector<double> ranks(std::span<const double> sample);
+
+/// Named column of observations for matrix-style correlation studies.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Pearson correlation of every series against a target series, in input
+/// order. All series must have the target's length.
+std::vector<double> correlate_all(std::span<const Series> features,
+                                  std::span<const double> target);
+
+/// Full symmetric correlation matrix (features x features).
+std::vector<std::vector<double>> correlation_matrix(
+    std::span<const Series> features);
+
+}  // namespace tsx::stats

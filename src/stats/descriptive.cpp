@@ -1,0 +1,82 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::stats {
+
+void Welford::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Welford::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+double Welford::min() const {
+  TSX_CHECK(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Welford::max() const {
+  TSX_CHECK(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  Welford w;
+  for (const double x : sample) {
+    w.add(x);
+    s.sum += x;
+  }
+  s.count = w.count();
+  if (s.count == 0) return s;
+  s.mean = w.mean();
+  s.stddev = w.stddev();
+  s.min = w.min();
+  s.max = w.max();
+  return s;
+}
+
+double geometric_mean(std::span<const double> sample) {
+  TSX_CHECK(!sample.empty(), "geometric mean of empty sample");
+  double log_sum = 0.0;
+  for (const double x : sample) {
+    TSX_CHECK(x > 0.0, "geometric mean needs positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace tsx::stats

@@ -1,0 +1,52 @@
+// Descriptive statistics.
+//
+// Welford's online algorithm keeps running mean/variance numerically stable
+// over the long accumulations the metric registry performs; Summary is the
+// one-shot batch equivalent used when a full sample vector is in hand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tsx::stats {
+
+/// Online mean/variance accumulator (Welford). O(1) per observation.
+class Welford {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const Welford& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the batch summary of `sample` (empty input gives zeros).
+Summary summarize(std::span<const double> sample);
+
+/// Geometric mean; all inputs must be positive.
+double geometric_mean(std::span<const double> sample);
+
+}  // namespace tsx::stats

@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tsx::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  TSX_CHECK(hi > lo, "histogram needs hi > lo");
+  TSX_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  TSX_CHECK(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  TSX_CHECK(bin < counts_.size(), "histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::sparkline() const {
+  static constexpr char kLevels[] = " .:-=+*#";
+  constexpr std::size_t kNumLevels = sizeof(kLevels) - 1;
+  const std::size_t peak =
+      total_ == 0 ? 1 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  out.reserve(counts_.size());
+  for (const std::size_t c : counts_) {
+    const std::size_t level =
+        c == 0 ? 0
+               : 1 + (c * (kNumLevels - 2)) / std::max<std::size_t>(peak, 1);
+    out += kLevels[std::min(level, kNumLevels - 1)];
+  }
+  return out;
+}
+
+}  // namespace tsx::stats

@@ -1,0 +1,40 @@
+// Fixed-bin histogram, used for distribution sanity checks in tests and for
+// the ASCII density sketches the MBA bench prints next to each violin row.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsx::stats {
+
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins over [lo, hi). Values outside the range
+  /// are clamped into the first/last bin so mass is never silently dropped.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Index of the fullest bin (mode).
+  std::size_t mode_bin() const;
+
+  /// One-line ASCII density sketch, e.g. " .:-=+*#".
+  std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tsx::stats

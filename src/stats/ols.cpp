@@ -1,0 +1,121 @@
+#include "stats/ols.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::stats {
+
+double LinearModel::predict(std::span<const double> features) const {
+  TSX_CHECK(features.size() + 1 == beta.size(),
+            "feature width does not match fitted model");
+  double y = beta[0];
+  for (std::size_t i = 0; i < features.size(); ++i)
+    y += beta[i + 1] * features[i];
+  return y;
+}
+
+std::vector<double> cholesky_solve(std::vector<double> a,
+                                   std::vector<double> b, std::size_t n) {
+  TSX_CHECK(a.size() == n * n && b.size() == n, "cholesky dimension mismatch");
+  // In-place lower-triangular factorization A = L Lᵀ.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    TSX_CHECK(diag > 0.0, "matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Back substitution Lᵀ x = z.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  return b;
+}
+
+namespace {
+
+LinearModel fit_impl(std::span<const std::vector<double>> rows,
+                     std::span<const double> y,
+                     std::span<const double> weights) {
+  TSX_CHECK(rows.size() == y.size(), "OLS rows/response length mismatch");
+  TSX_CHECK(!rows.empty(), "OLS needs observations");
+  const std::size_t k = rows[0].size() + 1;  // + intercept
+  TSX_CHECK(rows.size() >= k, "OLS needs at least as many rows as coefficients");
+
+  // Accumulate XᵀWX and XᵀWy with the implicit leading 1 column.
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  std::vector<double> xi(k);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    TSX_CHECK(rows[r].size() + 1 == k, "OLS ragged feature rows");
+    const double w = weights.empty() ? 1.0 : weights[r];
+    TSX_CHECK(w > 0.0, "weights must be positive");
+    xi[0] = 1.0;
+    for (std::size_t j = 1; j < k; ++j) xi[j] = rows[r][j - 1];
+    for (std::size_t i = 0; i < k; ++i) {
+      xty[i] += w * xi[i] * y[r];
+      for (std::size_t j = 0; j < k; ++j)
+        xtx[i * k + j] += w * xi[i] * xi[j];
+    }
+  }
+
+  LinearModel model;
+  try {
+    model.beta = cholesky_solve(xtx, xty, k);
+  } catch (const Error&) {
+    // Collinear features: ridge-regularize the diagonal and retry. The tiny
+    // penalty leaves well-posed problems numerically unchanged.
+    double trace = 0.0;
+    for (std::size_t i = 0; i < k; ++i) trace += xtx[i * k + i];
+    const double ridge = 1e-8 * (trace / static_cast<double>(k)) + 1e-12;
+    for (std::size_t i = 0; i < k; ++i) xtx[i * k + i] += ridge;
+    model.beta = cholesky_solve(xtx, xty, k);
+  }
+
+  // Fit diagnostics.
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double pred = model.predict(rows[r]);
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - y_mean) * (y[r] - y_mean);
+  }
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  const std::size_t dof = rows.size() > k ? rows.size() - k : 1;
+  model.residual_stddev = std::sqrt(ss_res / static_cast<double>(dof));
+  return model;
+}
+
+}  // namespace
+
+LinearModel fit_ols(std::span<const std::vector<double>> rows,
+                    std::span<const double> y) {
+  return fit_impl(rows, y, {});
+}
+
+LinearModel fit_wls(std::span<const std::vector<double>> rows,
+                    std::span<const double> y,
+                    std::span<const double> weights) {
+  TSX_CHECK(weights.size() == rows.size(), "one weight per observation");
+  return fit_impl(rows, y, weights);
+}
+
+}  // namespace tsx::stats

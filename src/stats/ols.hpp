@@ -1,0 +1,45 @@
+// Ordinary least squares regression.
+//
+// Sec. IV-F of the paper argues that execution time on remote tiers is
+// predictable from hardware specs (latency, bandwidth) and local system-level
+// events with *linear* models. The tier-performance predictor in
+// tsx::analysis fits exactly such models with this solver.
+//
+// Solves the normal equations (XᵀX)β = Xᵀy by Cholesky decomposition with a
+// small ridge fallback when XᵀX is near-singular (collinear features).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tsx::stats {
+
+/// A fitted linear model y ≈ β₀ + Σ βᵢ xᵢ.
+struct LinearModel {
+  std::vector<double> beta;  ///< beta[0] is the intercept
+  double r_squared = 0.0;    ///< coefficient of determination on the fit set
+  double residual_stddev = 0.0;
+
+  /// Predicted response for one feature row (size = beta.size() - 1).
+  double predict(std::span<const double> features) const;
+};
+
+/// Fits OLS with intercept. `rows` is a list of feature vectors (all the
+/// same length), `y` the responses. Requires rows.size() == y.size() and
+/// more observations than coefficients.
+LinearModel fit_ols(std::span<const std::vector<double>> rows,
+                    std::span<const double> y);
+
+/// Weighted least squares: minimizes sum_i w_i (y_i - x_i beta)^2. With
+/// w_i = 1/y_i^2 this becomes relative-error regression — the right loss
+/// when responses span orders of magnitude. Weights must be positive.
+LinearModel fit_wls(std::span<const std::vector<double>> rows,
+                    std::span<const double> y,
+                    std::span<const double> weights);
+
+/// Cholesky solve of A x = b for symmetric positive-definite A (row-major,
+/// n x n). Throws if A is not positive definite. Exposed for testing.
+std::vector<double> cholesky_solve(std::vector<double> a,
+                                   std::vector<double> b, std::size_t n);
+
+}  // namespace tsx::stats

@@ -1,0 +1,67 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tsx::stats {
+
+namespace {
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  TSX_CHECK(p >= 0.0 && p <= 1.0, "quantile probability out of [0,1]");
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> sample, double p) {
+  TSX_CHECK(!sample.empty(), "quantile of empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, p);
+}
+
+std::vector<double> quantiles(std::span<const double> sample,
+                              std::span<const double> probabilities) {
+  TSX_CHECK(!sample.empty(), "quantiles of empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (const double p : probabilities) out.push_back(quantile_sorted(sorted, p));
+  return out;
+}
+
+ViolinSummary violin(std::span<const double> sample) {
+  TSX_CHECK(!sample.empty(), "violin of empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  ViolinSummary v;
+  v.count = sorted.size();
+  v.min = sorted.front();
+  v.max = sorted.back();
+  v.q1 = quantile_sorted(sorted, 0.25);
+  v.median = quantile_sorted(sorted, 0.50);
+  v.q3 = quantile_sorted(sorted, 0.75);
+  v.mean = summarize(sorted).mean;
+  return v;
+}
+
+std::string to_string(const ViolinSummary& v, int precision) {
+  const std::string f = "%." + std::to_string(precision) + "f";
+  const std::string fmt_str =
+      f + "/" + f + "/" + f + "/" + f + "/" + f;
+  return strfmt(fmt_str.c_str(), v.min, v.q1, v.median, v.q3, v.max);
+}
+
+}  // namespace tsx::stats

@@ -1,0 +1,38 @@
+// Quantile estimation and the five-number "violin" summary the Fig. 3
+// reproduction prints for each bandwidth-throttling distribution.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsx::stats {
+
+/// Linear-interpolation quantile (R type 7, the numpy default).
+/// `p` must be in [0, 1]; the input need not be sorted.
+double quantile(std::span<const double> sample, double p);
+
+/// Quantiles for several probabilities at once (sorts once).
+std::vector<double> quantiles(std::span<const double> sample,
+                              std::span<const double> probabilities);
+
+/// Distribution summary matching what a violin plot encodes.
+struct ViolinSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Interquartile range (q3 - q1): the "width" proxy we compare across
+  /// MBA levels to assert the paper's flat-violin observation.
+  double iqr() const { return q3 - q1; }
+};
+
+ViolinSummary violin(std::span<const double> sample);
+
+/// Renders "min/q1/med/q3/max" with the given precision (bench output).
+std::string to_string(const ViolinSummary& v, int precision = 2);
+
+}  // namespace tsx::stats

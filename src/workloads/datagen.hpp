@@ -1,0 +1,66 @@
+// HiBench-style data generators.
+//
+// All generators are pure functions of (parameters, Rng), so a partition's
+// data is identical every time it is regenerated — the property the lazy
+// RDD sources rely on. Word and page popularity follow Zipf distributions,
+// as in HiBench's RandomTextWriter/PagerankData.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace tsx::workloads {
+
+/// One ~`width`-byte text line: a sortable random key prefix plus filler.
+std::string random_line(Rng& rng, std::size_t key_width = 10,
+                        std::size_t width = 100);
+
+/// `count` random text lines.
+std::vector<std::string> random_lines(Rng& rng, std::size_t count,
+                                      std::size_t width = 100);
+
+/// Word "w<k>" with Zipf-distributed k < vocabulary.
+std::string zipf_word(Rng& rng, const ZipfSampler& sampler);
+
+/// A document of `tokens` Zipf-distributed words.
+std::vector<std::string> random_document(Rng& rng, const ZipfSampler& sampler,
+                                         std::size_t tokens);
+
+/// Rating triple for ALS.
+struct Rating {
+  std::uint32_t user = 0;
+  std::uint32_t product = 0;
+  float score = 0.0f;
+};
+double est_bytes(const Rating&);  // ADL hook for the Spark sizer
+
+std::vector<Rating> random_ratings(Rng& rng, std::size_t count,
+                                   std::uint32_t users,
+                                   std::uint32_t products);
+
+/// Labeled feature vector for the classifier workloads. Labels come from a
+/// sparse linear ground-truth model plus noise, so learners have signal.
+struct LabeledPoint {
+  float label = 0.0f;
+  std::vector<float> features;
+};
+double est_bytes(const LabeledPoint&);
+
+std::vector<LabeledPoint> random_points(Rng& rng, std::size_t count,
+                                        std::size_t features);
+
+/// Adjacency row of a web graph: page -> out-links. Link targets are
+/// Zipf-distributed (popular pages attract links), in-degree skew included.
+using AdjacencyRow = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
+
+std::vector<AdjacencyRow> random_graph_rows(Rng& rng, std::uint32_t first_page,
+                                            std::uint32_t count,
+                                            std::uint32_t total_pages,
+                                            const ZipfSampler& target_sampler,
+                                            std::size_t mean_degree = 8);
+
+}  // namespace tsx::workloads

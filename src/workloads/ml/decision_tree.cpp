@@ -1,0 +1,101 @@
+#include "workloads/ml/decision_tree.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tsx::workloads::ml {
+
+double est_bytes(const TreeNode&) { return 12.0; }
+double est_bytes(const Tree& t) {
+  return 16.0 + 12.0 * static_cast<double>(t.nodes.size());
+}
+
+float tree_predict(const Tree& tree, const std::vector<float>& x) {
+  std::size_t i = 0;
+  while (i < tree.nodes.size() && tree.nodes[i].feature >= 0) {
+    const TreeNode& n = tree.nodes[i];
+    i = 2 * i +
+        (x[static_cast<std::size_t>(n.feature)] <= n.threshold ? 1 : 2);
+  }
+  return i < tree.nodes.size() ? tree.nodes[i].leaf_value : 0.5f;
+}
+
+namespace {
+
+void grow(Tree& tree, std::size_t node, const std::vector<LabeledPoint>& data,
+          std::vector<std::size_t> idx, const std::vector<int>& feat_pool,
+          int depth, const TreeParams& params, Rng& rng) {
+  double mean = 0.0;
+  for (const std::size_t i : idx) mean += data[i].label;
+  mean = idx.empty() ? 0.5 : mean / static_cast<double>(idx.size());
+  tree.nodes[node].leaf_value = static_cast<float>(mean);
+  tree.nodes[node].feature = -1;
+  if (depth >= params.max_depth || idx.size() < 2 * params.min_leaf ||
+      mean == 0.0 || mean == 1.0)
+    return;
+
+  // Pick the best variance-reducing split over the feature pool.
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_score = 0.0;
+  const std::size_t tries = std::max<std::size_t>(2, feat_pool.size());
+  for (std::size_t t = 0; t < tries; ++t) {
+    const int f = feat_pool[rng.uniform_u64(feat_pool.size())];
+    const std::size_t probe = idx[rng.uniform_u64(idx.size())];
+    const float threshold = data[probe].features[static_cast<std::size_t>(f)];
+    double nl = 0.0, sl = 0.0, nr = 0.0, sr = 0.0;
+    for (const std::size_t i : idx) {
+      if (data[i].features[static_cast<std::size_t>(f)] <= threshold) {
+        nl += 1.0;
+        sl += data[i].label;
+      } else {
+        nr += 1.0;
+        sr += data[i].label;
+      }
+    }
+    if (nl < static_cast<double>(params.min_leaf) ||
+        nr < static_cast<double>(params.min_leaf))
+      continue;
+    // Between-group variance: higher is a better separation.
+    const double score = sl * sl / nl + sr * sr / nr;
+    if (score > best_score) {
+      best_score = score;
+      best_feature = f;
+      best_threshold = threshold;
+    }
+  }
+  if (best_feature < 0) return;
+
+  std::vector<std::size_t> left, right;
+  for (const std::size_t i : idx) {
+    if (data[i].features[static_cast<std::size_t>(best_feature)] <=
+        best_threshold)
+      left.push_back(i);
+    else
+      right.push_back(i);
+  }
+  tree.nodes[node].feature = best_feature;
+  tree.nodes[node].threshold = best_threshold;
+  grow(tree, 2 * node + 1, data, std::move(left), feat_pool, depth + 1,
+       params, rng);
+  grow(tree, 2 * node + 2, data, std::move(right), feat_pool, depth + 1,
+       params, rng);
+}
+
+}  // namespace
+
+Tree grow_tree(const std::vector<LabeledPoint>& data,
+               std::vector<std::size_t> idx,
+               const std::vector<int>& feat_pool, const TreeParams& params,
+               Rng& rng) {
+  TSX_CHECK(!feat_pool.empty(), "empty feature pool");
+  TSX_CHECK(params.max_depth >= 0, "negative depth");
+  Tree tree;
+  tree.nodes.resize(
+      (std::size_t{1} << static_cast<std::size_t>(params.max_depth + 1)) - 1);
+  grow(tree, 0, data, std::move(idx), feat_pool, 0, params, rng);
+  return tree;
+}
+
+}  // namespace tsx::workloads::ml

@@ -1,0 +1,43 @@
+// Depth-bounded CART regression/classification tree on LabeledPoints — the
+// per-partition learner of the random-forest workload. Split search picks
+// the best variance-reducing (feature, threshold) pair over a random
+// feature pool, with thresholds probed from the data (real greedy CART).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "workloads/datagen.hpp"
+
+namespace tsx::workloads::ml {
+
+/// A CART node in the flat array encoding (children at 2i+1 / 2i+2).
+struct TreeNode {
+  int feature = -1;       ///< -1 means leaf
+  float threshold = 0.0f;
+  float leaf_value = 0.5f;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;  // size 2^(depth+1) - 1
+};
+
+double est_bytes(const TreeNode&);  // sizer hooks (ADL)
+double est_bytes(const Tree& t);
+
+struct TreeParams {
+  int max_depth = 5;
+  std::size_t min_leaf = 4;
+};
+
+/// Mean label prediction for one point.
+float tree_predict(const Tree& tree, const std::vector<float>& x);
+
+/// Grows a tree over the index subset `idx` of `data`, choosing splits from
+/// `feat_pool` (a random feature subset). Deterministic given `rng` state.
+Tree grow_tree(const std::vector<LabeledPoint>& data,
+               std::vector<std::size_t> idx,
+               const std::vector<int>& feat_pool, const TreeParams& params,
+               Rng& rng);
+
+}  // namespace tsx::workloads::ml

@@ -1,0 +1,36 @@
+// Multinomial naive Bayes model — built at the driver from the ((class,
+// word), count) aggregation the bayes workload produces, with Laplace
+// smoothing; classification sums log-likelihoods over a document's tokens.
+// Words use the generators' "w<rank>" convention, so likelihoods live in a
+// dense class x rank table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsx::workloads::ml {
+
+struct NaiveBayesModel {
+  std::vector<double> log_prior;                  ///< per class
+  std::vector<std::vector<double>> log_likelihood;  ///< class x word rank
+  std::size_t vocabulary = 0;
+
+  int classes() const { return static_cast<int>(log_prior.size()); }
+};
+
+/// Builds the model from aggregated ((class, word), count) pairs and per-
+/// class document counts. `documents` is the training-set size (for the
+/// priors); `vocabulary` the "w<rank>" rank space.
+NaiveBayesModel build_naive_bayes(
+    const std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>>&
+        class_word_counts,
+    const std::vector<std::pair<int, std::uint64_t>>& class_doc_counts,
+    int classes, std::size_t documents, std::size_t vocabulary);
+
+/// Most probable class for a token list.
+int classify(const NaiveBayesModel& model,
+             const std::vector<std::string>& tokens);
+
+}  // namespace tsx::workloads::ml

@@ -1,0 +1,63 @@
+#include "workloads/report.hpp"
+
+#include "core/strings.hpp"
+#include "core/table.hpp"
+
+namespace tsx::workloads {
+
+std::vector<std::string> csv_header() {
+  std::vector<std::string> cols = {
+      "app",       "scale",      "tier",          "socket",
+      "executors", "cores",      "mba_percent",   "seed",
+      "zero_copy", "exec_time_s", "valid",        "jobs",
+      "stages",    "tasks",      "cpu_s",         "io_s",
+      "disk_read_b", "disk_write_b", "stream_read_b", "stream_write_b",
+      "dep_reads", "dep_writes", "nvm_media_reads", "nvm_media_writes",
+      "bound_energy_j_per_dimm", "nvm_life_used",
+  };
+  for (const metrics::SysEvent e : metrics::all_sys_events())
+    cols.push_back("ev_" + metrics::to_string(e));
+  return cols;
+}
+
+std::vector<std::string> csv_fields(const RunResult& r) {
+  std::vector<std::string> f = {
+      to_string(r.config.app),
+      to_string(r.config.scale),
+      std::to_string(mem::index(r.config.tier)),
+      std::to_string(r.config.socket),
+      std::to_string(r.config.executors),
+      std::to_string(r.config.cores_per_executor),
+      std::to_string(r.config.mba_percent),
+      std::to_string(r.config.seed),
+      r.config.zero_copy_shuffle ? "1" : "0",
+      strfmt("%.6f", r.exec_time.sec()),
+      r.valid ? "1" : "0",
+      std::to_string(r.jobs),
+      std::to_string(r.stages),
+      std::to_string(r.tasks),
+      strfmt("%.6f", r.total_cost.cpu_seconds),
+      strfmt("%.6f", r.total_cost.io_seconds),
+      strfmt("%.0f", r.total_cost.disk_read.b()),
+      strfmt("%.0f", r.total_cost.disk_write.b()),
+      strfmt("%.0f", r.total_cost.stream_read().b()),
+      strfmt("%.0f", r.total_cost.stream_write().b()),
+      strfmt("%.0f", r.total_cost.dep_reads),
+      strfmt("%.0f", r.total_cost.dep_writes),
+      std::to_string(r.nvdimm.media_reads),
+      std::to_string(r.nvdimm.media_writes),
+      strfmt("%.4f", r.bound_node_energy_per_dimm().j()),
+      strfmt("%.6e", r.wear.lifetime_fraction_used),
+  };
+  for (const metrics::SysEvent e : metrics::all_sys_events())
+    f.push_back(strfmt("%.6g", r.events[e]));
+  return f;
+}
+
+std::string results_to_csv(std::span<const RunResult> results) {
+  std::string out = csv_row(csv_header()) + "\n";
+  for (const RunResult& r : results) out += csv_row(csv_fields(r)) + "\n";
+  return out;
+}
+
+}  // namespace tsx::workloads

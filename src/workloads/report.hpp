@@ -1,0 +1,25 @@
+// Machine-readable export of run results.
+//
+// Benches print human tables; for downstream analysis (plotting the figures
+// with external tools) every RunResult can also be flattened into a CSV row
+// covering configuration, timing, traffic, counters, energy and events.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workloads/runner.hpp"
+
+namespace tsx::workloads {
+
+/// Column names of the CSV schema, in order.
+std::vector<std::string> csv_header();
+
+/// One run flattened to the schema.
+std::vector<std::string> csv_fields(const RunResult& result);
+
+/// Full document: header line + one line per run.
+std::string results_to_csv(std::span<const RunResult> results);
+
+}  // namespace tsx::workloads

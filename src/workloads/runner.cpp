@@ -1,0 +1,125 @@
+#include "workloads/runner.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "dfs/dfs.hpp"
+#include "mem/background_load.hpp"
+#include "mem/machine.hpp"
+#include "mem/mba.hpp"
+#include "sim/simulator.hpp"
+#include "spark/context.hpp"
+
+namespace tsx::workloads {
+
+std::string to_string(MachineVariant variant) {
+  return variant == MachineVariant::kDramNvm ? "dram+nvm" : "dram+cxl";
+}
+
+std::string RunConfig::describe() const {
+  return strfmt("%s-%s %s %de x %dc mba=%d%% seed=%llu",
+                to_string(app).c_str(), to_string(scale).c_str(),
+                mem::to_string(tier).c_str(), executors, cores_per_executor,
+                mba_percent,
+                static_cast<unsigned long long>(seed));
+}
+
+Energy RunResult::bound_node_energy_per_dimm() const {
+  const auto idx = static_cast<std::size_t>(bound_node);
+  return idx < energy.size() ? energy[idx].report.per_dimm : Energy::zero();
+}
+
+RunResult run_workload(const RunConfig& config) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator,
+                            config.machine == MachineVariant::kDramCxl
+                                ? mem::cxl_topology()
+                                : mem::testbed_topology());
+  dfs::Dfs dfs;
+
+  spark::SparkConf conf;
+  conf.executor_instances = config.executors;
+  conf.cores_per_executor = config.cores_per_executor;
+  conf.cpu_node_bind = config.socket;
+  conf.mem_bind = config.tier;
+  conf.shuffle_bind = config.shuffle_tier;
+  conf.cache_bind = config.cache_tier;
+  conf.zero_copy_shuffle = config.zero_copy_shuffle;
+
+  spark::SparkContext sc(machine, dfs, conf, config.seed);
+
+  mem::MbaController mba(machine);
+  if (config.mba_percent != 100)
+    mba.set_throttle_percent(config.mba_percent);
+
+  std::unique_ptr<mem::BackgroundLoad> neighbor;
+  if (config.background_load_gbps > 0.0) {
+    neighbor = std::make_unique<mem::BackgroundLoad>(
+        machine, config.socket, config.tier,
+        Bandwidth::gb_per_sec(config.background_load_gbps));
+  }
+
+  const AppOutcome outcome = run_app(config.app, sc, config.scale);
+  if (neighbor) neighbor->stop();
+
+  RunResult result;
+  result.config = config;
+  result.exec_time = simulator.now();
+  result.valid = outcome.valid;
+  result.validation = outcome.validation;
+  // Lifetime scheduler totals cover *every* job the app triggered,
+  // including internal ones (e.g. sortByKey's sampling pass), so they
+  // always reconcile with the machine's traffic ledger.
+  result.jobs = sc.scheduler().jobs_run();
+  result.stages = static_cast<std::size_t>(sc.scheduler().stages_run());
+  result.tasks = sc.scheduler().tasks_run();
+  result.total_cost = sc.scheduler().lifetime_cost();
+
+  const mem::TopologySpec& topo = machine.topology();
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n)
+    result.traffic.push_back(
+        machine.traffic().node(static_cast<mem::NodeId>(n)));
+
+  result.nvdimm = metrics::nvdimm_totals(machine);
+
+  const mem::EnergyModel energy_model;
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    NodeEnergyRow row;
+    row.node = topo.nodes[n].name;
+    row.kind = topo.nodes[n].tech->kind;
+    row.dimms = topo.nodes[n].dimms;
+    row.report = energy_model.report(
+        topo.nodes[n], machine.traffic().node(static_cast<mem::NodeId>(n)),
+        result.exec_time);
+    result.energy.push_back(row);
+  }
+
+  const mem::TierSpec bound = machine.tier(config.socket, config.tier);
+  result.bound_node = bound.node;
+  if (bound.tech->kind == mem::TechKind::kNvm) {
+    const mem::WearModel wear_model;
+    result.wear = wear_model.report(topo.node(bound.node),
+                                    machine.traffic().node(bound.node),
+                                    result.exec_time);
+  }
+
+  result.events = metrics::synthesize_events(
+      result.total_cost, result.exec_time, result.tasks,
+      config.seed ^ (static_cast<std::uint64_t>(config.app) << 8) ^
+          (static_cast<std::uint64_t>(config.scale) << 16) ^
+          (static_cast<std::uint64_t>(config.tier) << 24));
+  return result;
+}
+
+std::vector<RunResult> run_repeats(RunConfig config, int repeats) {
+  TSX_CHECK(repeats >= 1, "need at least one repeat");
+  std::vector<RunResult> out;
+  out.reserve(static_cast<std::size_t>(repeats));
+  const std::uint64_t base_seed = config.seed;
+  for (int r = 0; r < repeats; ++r) {
+    config.seed = base_seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
+    out.push_back(run_workload(config));
+  }
+  return out;
+}
+
+}  // namespace tsx::workloads

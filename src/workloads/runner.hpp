@@ -1,0 +1,103 @@
+// Experiment runner: one isolated simulated run per configuration.
+//
+// A run builds a fresh Simulator + MachineModel + DFS + SparkContext, binds
+// executors per the configuration (tier, socket, executor/core grid, MBA
+// throttle), executes one workload at one scale, and snapshots everything
+// the paper measures: execution time, per-node traffic, ipmctl-style NVDIMM
+// counters, DIMM energy, wear, and synthesized system-level events. All
+// bench harnesses and experiment-shape tests go through this entry point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/energy.hpp"
+#include "mem/tier.hpp"
+#include "mem/traffic.hpp"
+#include "mem/wear.hpp"
+#include "metrics/nvdimm.hpp"
+#include "metrics/system_events.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/scales.hpp"
+
+namespace tsx::workloads {
+
+/// Which machine the run simulates.
+enum class MachineVariant {
+  kDramNvm,  ///< the paper's testbed: DDR4 + Optane DCPM
+  kDramCxl,  ///< what-if variant: DDR4 + CXL-DRAM expanders
+};
+
+std::string to_string(MachineVariant variant);
+
+struct RunConfig {
+  App app = App::kSort;
+  ScaleId scale = ScaleId::kTiny;
+  mem::TierId tier = mem::TierId::kTier0;
+  mem::SocketId socket = 1;      ///< cpunodebind
+  int executors = 1;             ///< paper default: 1 executor ...
+  int cores_per_executor = 40;   ///< ... with all 40 hardware threads
+  int mba_percent = 100;         ///< Intel MBA throttle (Fig. 3)
+  std::uint64_t seed = 42;
+
+  /// Per-access-type placement overrides (Sec. IV-G exploration): bind
+  /// shuffle buffers / cached blocks to tiers other than the heap.
+  std::optional<mem::TierId> shuffle_tier;
+  std::optional<mem::TierId> cache_tier;
+  /// Zero-copy shuffle over unified memory (Sec. IV-G's shuffle-avoidance).
+  bool zero_copy_shuffle = false;
+
+  /// Noisy-neighbor pressure: a background tenant streaming this many GB/s
+  /// through the bound tier's channel for the whole run (0 = quiet).
+  double background_load_gbps = 0.0;
+
+  /// Capacity-tier technology (Optane testbed vs CXL what-if).
+  MachineVariant machine = MachineVariant::kDramNvm;
+
+  std::string describe() const;
+};
+
+struct NodeEnergyRow {
+  std::string node;
+  mem::TechKind kind = mem::TechKind::kDram;
+  int dimms = 0;
+  mem::NodeEnergyReport report;
+};
+
+struct RunResult {
+  RunConfig config;
+  Duration exec_time;
+  spark::TaskCost total_cost;
+  std::size_t jobs = 0;
+  std::size_t stages = 0;
+  std::size_t tasks = 0;
+
+  /// Demand traffic per memory node (index = NodeId).
+  std::vector<mem::NodeTraffic> traffic;
+  /// ipmctl view over all NVDIMMs.
+  metrics::DimmMediaCounters nvdimm;
+  /// Energy per node over the run window.
+  std::vector<NodeEnergyRow> energy;
+  /// Wear of the bound NVM node (zeros when bound to DRAM).
+  mem::WearReport wear;
+  /// Synthesized perf events.
+  metrics::SystemEventSample events;
+
+  bool valid = false;
+  std::string validation;
+
+  /// Energy of the bound tier's node, per DIMM (what Fig. 2-bottom plots).
+  Energy bound_node_energy_per_dimm() const;
+  /// Convenience: the bound node id for this run.
+  mem::NodeId bound_node = 0;
+};
+
+/// Executes one configuration start-to-finish in an isolated simulation.
+RunResult run_workload(const RunConfig& config);
+
+/// Executes `repeats` runs with distinct seeds (for distribution studies).
+std::vector<RunResult> run_repeats(RunConfig config, int repeats);
+
+}  // namespace tsx::workloads

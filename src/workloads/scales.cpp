@@ -1,0 +1,39 @@
+#include "workloads/scales.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tsx::workloads {
+
+std::string to_string(ScaleId s) {
+  switch (s) {
+    case ScaleId::kTiny: return "tiny";
+    case ScaleId::kSmall: return "small";
+    case ScaleId::kLarge: return "large";
+  }
+  TSX_FAIL("bad ScaleId");
+}
+
+ScaleId scale_from_index(int i) {
+  TSX_CHECK(i >= 0 && i < 3, "scale index out of range");
+  return static_cast<ScaleId>(i);
+}
+
+ScaleId scale_from_label(const std::string& label) {
+  for (const ScaleId s : kAllScales)
+    if (to_string(s) == label) return s;
+  TSX_FAIL("unknown scale label: " + label);
+}
+
+SampledScale SampledScale::plan(std::uint64_t nominal, std::uint64_t cap) {
+  TSX_CHECK(nominal > 0, "nominal size must be positive");
+  TSX_CHECK(cap > 0, "sample cap must be positive");
+  SampledScale s;
+  s.nominal = nominal;
+  s.sample = std::min(nominal, cap);
+  s.multiplier = static_cast<double>(nominal) / static_cast<double>(s.sample);
+  return s;
+}
+
+}  // namespace tsx::workloads

@@ -1,0 +1,37 @@
+// Input scale handling (Table II) and virtual dataset scaling.
+//
+// Every workload comes in tiny/small/large, with the nominal sizes of the
+// paper's Table II. Workloads materialize at most a bounded *sample* of the
+// nominal dataset on the host and charge simulated costs scaled by
+// nominal/sample (SparkContext::cost_multiplier); tiny inputs are always
+// materialized in full. SampledScale::plan computes that split.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/units.hpp"
+
+namespace tsx::workloads {
+
+enum class ScaleId : int { kTiny = 0, kSmall = 1, kLarge = 2 };
+
+inline constexpr std::array<ScaleId, 3> kAllScales = {
+    ScaleId::kTiny, ScaleId::kSmall, ScaleId::kLarge};
+
+std::string to_string(ScaleId s);
+ScaleId scale_from_index(int i);
+ScaleId scale_from_label(const std::string& label);
+
+/// How much of a nominal count to materialize and how much to virtualize.
+struct SampledScale {
+  std::uint64_t nominal = 0;  ///< Table II size (records, pages, bytes, ...)
+  std::uint64_t sample = 0;   ///< records actually generated on the host
+  double multiplier = 1.0;    ///< nominal / sample, the cost multiplier
+
+  /// Caps the host sample at `cap` while keeping nominal bookkeeping.
+  static SampledScale plan(std::uint64_t nominal, std::uint64_t cap);
+};
+
+}  // namespace tsx::workloads

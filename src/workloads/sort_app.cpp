@@ -1,0 +1,84 @@
+// HiBench `sort`: globally sort random text records (Table II: 32 KB /
+// 320 MB / 3.2 GB of ~100-byte lines). The job is the classic TeraSort
+// shape — read from DFS, sortByKey with a sampled range partitioner (one
+// sampling job + one full shuffle), write back to DFS.
+#include <memory>
+
+#include "spark/pair_rdd.hpp"
+#include "core/strings.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/datagen.hpp"
+
+namespace tsx::workloads {
+
+namespace {
+
+constexpr std::size_t kLineWidth = 100;
+constexpr std::uint64_t kSampleCapBytes = 2 * 1024 * 1024;
+
+std::uint64_t nominal_bytes(ScaleId scale) {
+  switch (scale) {
+    case ScaleId::kTiny: return 32ULL * 1024;                   // 32 KB
+    case ScaleId::kSmall: return 320ULL * 1024 * 1024;          // 320 MB
+    case ScaleId::kLarge: return 3ULL * 1024 * 1024 * 1024 +
+                                 200ULL * 1024 * 1024;          // 3.2 GB
+  }
+  return 0;
+}
+
+}  // namespace
+
+AppOutcome run_sort(spark::SparkContext& sc, ScaleId scale) {
+  using namespace tsx::spark;
+
+  const SampledScale plan =
+      SampledScale::plan(nominal_bytes(scale), kSampleCapBytes);
+  sc.set_cost_multiplier(plan.multiplier);
+
+  const std::size_t sample_lines = std::max<std::size_t>(
+      plan.sample / kLineWidth, 8);
+  // Input partitions reflect the *nominal* layout (one per 128 MiB block).
+  const auto input_parts = std::max<std::size_t>(
+      1, std::min<std::size_t>(
+             64, plan.nominal / (128ULL * 1024 * 1024) + 1));
+
+  auto lines = generate_rdd<std::string>(
+      sc, "sortInput", input_parts,
+      [sample_lines, input_parts](std::size_t p, Rng& rng) {
+        const std::size_t lo = p * sample_lines / input_parts;
+        const std::size_t hi = (p + 1) * sample_lines / input_parts;
+        return random_lines(rng, hi - lo, kLineWidth);
+      });
+
+  auto keyed = map_rdd(
+      std::move(lines),
+      [](const std::string& line) {
+        return std::make_pair(line.substr(0, 10), line.substr(10));
+      },
+      "keyByPrefix");
+
+  auto sorted = sort_by_key(std::move(keyed));
+
+  AppOutcome outcome;
+  spark::JobMetrics save_metrics;
+  save_as_text_file(
+      sorted, "/out/sort",
+      [](const std::pair<std::string, std::string>& kv) {
+        return kv.first + kv.second;
+      },
+      &save_metrics);
+  outcome.jobs.push_back(save_metrics);
+
+  // Self-check: output must be globally ordered and complete.
+  const std::vector<std::string> out = sc.dfs().read_text("/out/sort");
+  bool ordered = true;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i - 1].substr(0, 10) > out[i].substr(0, 10)) ordered = false;
+  const bool complete = out.size() >= sample_lines;
+  outcome.valid = ordered && complete;
+  outcome.validation = strfmt("%zu lines, ordered=%d complete=%d", out.size(),
+                              ordered ? 1 : 0, complete ? 1 : 0);
+  return outcome;
+}
+
+}  // namespace tsx::workloads

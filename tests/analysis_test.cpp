@@ -1,0 +1,182 @@
+// Tests for the analysis layer: correlation studies, the tier predictor,
+// speedup grids and the takeaway aggregates.
+#include <gtest/gtest.h>
+
+#include "analysis/correlation_study.hpp"
+#include "analysis/predictor.hpp"
+#include "analysis/speedup_grid.hpp"
+#include "analysis/takeaways.hpp"
+#include "core/error.hpp"
+
+namespace tsx::analysis {
+namespace {
+
+using workloads::App;
+using workloads::RunConfig;
+using workloads::RunResult;
+using workloads::ScaleId;
+
+RunResult fake_run(App app, ScaleId scale, mem::TierId tier, double seconds,
+                   double energy_per_dimm_j = 0.0) {
+  RunResult r;
+  r.config.app = app;
+  r.config.scale = scale;
+  r.config.tier = tier;
+  r.config.socket = 1;
+  r.exec_time = Duration::seconds(seconds);
+  // Minimal energy table: 4 nodes, bound node derived from tier.
+  const mem::TopologySpec topo = mem::testbed_topology();
+  r.bound_node = mem::resolve_tier(topo, 1, tier).node;
+  r.energy.resize(4);
+  r.energy[static_cast<std::size_t>(r.bound_node)].report.per_dimm =
+      Energy::joules(energy_per_dimm_j);
+  return r;
+}
+
+// --- hw correlation (Fig 6) ---------------------------------------------------------
+
+TEST(HwCorrelation, MonotoneTimesGiveStrongSigns) {
+  std::vector<RunResult> runs;
+  const double times[4] = {10, 14, 20, 35};  // worsens with the tier
+  for (int t = 0; t < 4; ++t)
+    runs.push_back(fake_run(App::kSort, ScaleId::kLarge,
+                            mem::tier_from_index(t), times[t]));
+  const HwCorrelation c = hw_spec_correlation(runs);
+  EXPECT_GT(c.with_latency, 0.9);
+  EXPECT_LT(c.with_bandwidth, -0.5);
+  EXPECT_EQ(c.app, App::kSort);
+}
+
+TEST(HwCorrelation, NeedsEnoughTiers) {
+  std::vector<RunResult> runs = {
+      fake_run(App::kSort, ScaleId::kTiny, mem::TierId::kTier0, 1.0)};
+  EXPECT_THROW(hw_spec_correlation(runs), tsx::Error);
+}
+
+// --- event correlation (Fig 5) ------------------------------------------------------
+
+TEST(EventCorrelation, TracksLinearEvents) {
+  std::vector<RunResult> runs;
+  for (int i = 1; i <= 6; ++i) {
+    RunResult r = fake_run(App::kBayes, ScaleId::kSmall, mem::TierId::kTier0,
+                           static_cast<double>(i));
+    for (const metrics::SysEvent e : metrics::all_sys_events())
+      r.events.values[static_cast<std::size_t>(e)] = 100.0 * i;
+    // One anti-correlated event.
+    r.events.values[static_cast<std::size_t>(metrics::SysEvent::kIpc)] =
+        100.0 / i;
+    runs.push_back(r);
+  }
+  const auto rows = event_time_correlation(runs);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(metrics::kNumSysEvents));
+  for (const auto& row : rows) {
+    if (row.event == metrics::SysEvent::kIpc)
+      EXPECT_LT(row.pearson, -0.8);
+    else
+      EXPECT_GT(row.pearson, 0.99);
+  }
+}
+
+// --- predictor (Takeaway 8) ---------------------------------------------------------
+
+std::vector<RunResult> linear_tier_runs(double base, double per_ns,
+                                        double per_inv_gb) {
+  const mem::TopologySpec topo = mem::testbed_topology();
+  std::vector<RunResult> runs;
+  for (int t = 0; t < 4; ++t) {
+    const mem::TierSpec spec =
+        mem::resolve_tier(topo, 1, mem::tier_from_index(t));
+    const double y = base + per_ns * spec.read_latency.ns() +
+                     per_inv_gb / spec.read_bandwidth.to_gb_per_sec();
+    runs.push_back(
+        fake_run(App::kSort, ScaleId::kLarge, mem::tier_from_index(t), y));
+  }
+  return runs;
+}
+
+TEST(TierPredictor, RecoversLinearRelation) {
+  const auto runs = linear_tier_runs(5.0, 0.05, 2.0);
+  const TierPredictor p = TierPredictor::fit(runs);
+  for (const auto& r : runs)
+    EXPECT_LT(p.relative_error(r), 1e-6);
+  EXPECT_GT(p.model().r_squared, 0.999);
+}
+
+TEST(TierPredictor, LeaveOneOutSmallForLinearWorld) {
+  const auto runs = linear_tier_runs(2.0, 0.08, 5.0);
+  for (int t = 0; t < 4; ++t)
+    EXPECT_LT(leave_one_tier_out_error(runs, mem::tier_from_index(t)), 1e-6)
+        << "tier " << t;
+}
+
+TEST(TierPredictor, HeldOutTierMustExist) {
+  auto runs = linear_tier_runs(2.0, 0.08, 5.0);
+  runs.pop_back();
+  EXPECT_THROW(leave_one_tier_out_error(runs, mem::TierId::kTier3),
+               tsx::Error);
+}
+
+// --- takeaways ----------------------------------------------------------------------
+
+TEST(Takeaways, ComputesAdvertisedAggregates) {
+  std::vector<RunResult> runs;
+  // One workload: T0=10s .. T3=40s, DRAM 100 J vs NVM 400 J per DIMM.
+  runs.push_back(fake_run(App::kBayes, ScaleId::kLarge, mem::TierId::kTier0,
+                          10, 100));
+  runs.push_back(fake_run(App::kBayes, ScaleId::kLarge, mem::TierId::kTier1,
+                          20, 0));
+  runs.push_back(fake_run(App::kBayes, ScaleId::kLarge, mem::TierId::kTier2,
+                          30, 400));
+  runs.push_back(fake_run(App::kBayes, ScaleId::kLarge, mem::TierId::kTier3,
+                          40, 0));
+  const TakeawaySummary s = summarize_takeaways(runs);
+  EXPECT_NEAR(s.tier0_advantage_pct[0], 50.0, 1e-9);   // (20-10)/20
+  EXPECT_NEAR(s.tier0_advantage_pct[2], 75.0, 1e-9);   // (40-10)/40
+  EXPECT_NEAR(s.nvm_extra_time_pct, 100.0 * (35.0 - 15.0) / 15.0, 1e-9);
+  EXPECT_NEAR(s.dram_energy_saving_pct, 75.0, 1e-9);
+  EXPECT_NEAR(s.sensitive_extra_time_pct, s.nvm_extra_time_pct, 1e-9);
+  EXPECT_EQ(s.tolerant_extra_time_pct, 0.0);  // no tolerant app present
+}
+
+TEST(Takeaways, SensitivityClassesMatchPaper) {
+  EXPECT_TRUE(is_sensitive_app(App::kRepartition));
+  EXPECT_TRUE(is_sensitive_app(App::kBayes));
+  EXPECT_TRUE(is_sensitive_app(App::kLda));
+  EXPECT_TRUE(is_sensitive_app(App::kPagerank));
+  EXPECT_FALSE(is_sensitive_app(App::kSort));
+  EXPECT_FALSE(is_sensitive_app(App::kAls));
+  EXPECT_FALSE(is_sensitive_app(App::kRf));
+}
+
+TEST(Takeaways, RejectsIncompleteTierSets) {
+  std::vector<RunResult> runs = {
+      fake_run(App::kSort, ScaleId::kTiny, mem::TierId::kTier0, 1.0)};
+  EXPECT_THROW(summarize_takeaways(runs), tsx::Error);
+}
+
+// --- speedup grid (Fig 4) ------------------------------------------------------------
+
+TEST(SpeedupGrid, RunsAndNormalizesBaseline) {
+  RunConfig base;
+  base.app = App::kRepartition;
+  base.scale = ScaleId::kTiny;
+  const SpeedupGrid grid = run_speedup_grid(base, {1, 2}, {20, 40});
+  ASSERT_EQ(grid.speedup.size(), 2u);
+  ASSERT_EQ(grid.speedup[0].size(), 2u);
+  // Baseline cell is 1 executor x 40 cores -> exactly 1.0.
+  EXPECT_DOUBLE_EQ(grid.speedup[0][1], 1.0);
+  EXPECT_GT(grid.min_speedup(), 0.0);
+  EXPECT_GE(grid.max_speedup(), 1.0);
+  EXPECT_GE(grid.worst_slowdown(), 1.0);
+  const std::string rendered = grid.render();
+  EXPECT_NE(rendered.find("executors"), std::string::npos);
+  EXPECT_NE(rendered.find("1.00x"), std::string::npos);
+}
+
+TEST(SpeedupGrid, RejectsEmptyAxes) {
+  RunConfig base;
+  EXPECT_THROW(run_speedup_grid(base, {}, {40}), tsx::Error);
+}
+
+}  // namespace
+}  // namespace tsx::analysis

@@ -1,0 +1,308 @@
+// Unit tests for tsx::core: units, rng, strings, table, config, error, log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/config.hpp"
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace tsx {
+namespace {
+
+// --- units -----------------------------------------------------------------
+
+TEST(Units, DurationConversions) {
+  const Duration d = Duration::millis(2.5);
+  EXPECT_DOUBLE_EQ(d.sec(), 0.0025);
+  EXPECT_DOUBLE_EQ(d.ms(), 2.5);
+  EXPECT_DOUBLE_EQ(d.us(), 2500.0);
+  EXPECT_DOUBLE_EQ(d.ns(), 2.5e6);
+}
+
+TEST(Units, BytesConversions) {
+  EXPECT_DOUBLE_EQ(Bytes::kib(1).b(), 1024.0);
+  EXPECT_DOUBLE_EQ(Bytes::mib(2).to_kib(), 2048.0);
+  EXPECT_DOUBLE_EQ(Bytes::gib(1).to_mib(), 1024.0);
+}
+
+TEST(Units, BandwidthDecimalVsBinary) {
+  EXPECT_DOUBLE_EQ(Bandwidth::gb_per_sec(1.0).value(), 1e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::gib_per_sec(1.0).value(), 1024.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(Bandwidth::gb_per_sec(39.3).to_gb_per_sec(), 39.3);
+}
+
+TEST(Units, PhysicsCombinations) {
+  const Bytes volume = Bytes::gib(1);
+  const Bandwidth rate = Bandwidth::gib_per_sec(2);
+  EXPECT_DOUBLE_EQ((volume / rate).sec(), 0.5);
+  EXPECT_DOUBLE_EQ((rate * Duration::seconds(2)).to_gib(), 4.0);
+  EXPECT_DOUBLE_EQ((Power::watts(3) * Duration::seconds(4)).j(), 12.0);
+  EXPECT_DOUBLE_EQ((Energy::joules(10) / Duration::seconds(5)).w(), 2.0);
+}
+
+TEST(Units, ArithmeticAndComparison) {
+  Duration a = Duration::seconds(1);
+  a += Duration::seconds(2);
+  EXPECT_EQ(a, Duration::seconds(3));
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(Duration::seconds(6) / Duration::seconds(2), 3.0);
+  EXPECT_EQ(Duration::seconds(4) * 0.5, Duration::seconds(2));
+}
+
+TEST(Units, InfiniteDuration) {
+  EXPECT_TRUE(std::isinf(Duration::infinite().sec()));
+  EXPECT_GT(Duration::infinite(), Duration::seconds(1e30));
+}
+
+TEST(Units, ToStringPicksScale) {
+  EXPECT_EQ(to_string(Duration::nanos(77.8)), "77.8 ns");
+  EXPECT_EQ(to_string(Bytes::gib(3.2)), "3.2 GiB");
+  EXPECT_EQ(to_string(Bandwidth::gb_per_sec(10.7)), "10.7 GB/s");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64RangeAndCoverage) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo && hit_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(19);
+  for (const double mean : {0.5, 8.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+      sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(21);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkGivesIndependentStreams) {
+  Rng base(42);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  // Forking is const: base unchanged and still deterministic.
+  Rng base2(42);
+  EXPECT_EQ(base.next_u64(), base2.next_u64());
+}
+
+TEST(ZipfSampler, RanksSkewTowardHead) {
+  Rng rng(23);
+  ZipfSampler zipf(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 50000 / 100);  // head is heavy
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniformish) {
+  Rng rng(29);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, ZipfConvenienceStaysInRange) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.zipf(50, 1.1), 50u);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpties) {
+  const auto parts = split_ws("  hello   world \tfoo\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "foo");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StrfmtFormats) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "300"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+  // Numeric cells right-aligned: "1.25" ends where "value" column ends.
+  EXPECT_NE(out.find(" 300"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Table, CsvEscaping) {
+  EXPECT_EQ(csv_row({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"");
+}
+
+// --- config ----------------------------------------------------------------------
+
+TEST(Config, TypedRoundTrip) {
+  Config c;
+  c.set_int("n", 42).set_double("x", 2.5).set_bool("flag", true);
+  EXPECT_EQ(c.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("x"), 2.5);
+  EXPECT_TRUE(c.get_bool("flag"));
+}
+
+TEST(Config, MissingAndMalformedThrow) {
+  Config c;
+  c.set("notanum", "xyz");
+  EXPECT_THROW(c.get("missing"), Error);
+  EXPECT_THROW(c.get_int("notanum"), Error);
+  EXPECT_THROW(c.get_bool("notanum"), Error);
+}
+
+TEST(Config, DefaultsNeverThrow) {
+  const Config c;
+  EXPECT_EQ(c.get_int_or("k", 9), 9);
+  EXPECT_EQ(c.get_or("k", "d"), "d");
+  EXPECT_FALSE(c.get_bool_or("k", false));
+}
+
+TEST(Config, ParseArgsSeparatesFlagsFromPositional) {
+  Config c;
+  const char* argv[] = {"prog", "--alpha=3", "pos1", "--beta", "pos2"};
+  const auto positional = c.parse_args(5, argv);
+  EXPECT_EQ(c.get_int("alpha"), 3);
+  EXPECT_TRUE(c.get_bool("beta"));
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "pos1");
+}
+
+// --- error -------------------------------------------------------------------------
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    TSX_CHECK(1 == 2, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("core_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(TSX_CHECK(true, "never seen"));
+}
+
+// --- log -----------------------------------------------------------------------------
+
+TEST(Log, LevelGateWorks) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  TSX_LOG(kError) << "suppressed";  // must not crash while off
+  set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tsx

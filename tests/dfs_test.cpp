@@ -1,0 +1,89 @@
+// Tests for the simulated distributed file system.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "dfs/dfs.hpp"
+
+namespace tsx::dfs {
+namespace {
+
+TEST(Dfs, WriteReadRoundTrip) {
+  Dfs fs;
+  const std::vector<std::string> lines = {"alpha", "beta", "gamma"};
+  const FileStatus st = fs.write_text("/data/in", lines);
+  EXPECT_EQ(st.path, "/data/in");
+  EXPECT_DOUBLE_EQ(st.size.b(), 6.0 + 5.0 + 6.0);  // +\n each
+  EXPECT_EQ(fs.read_text("/data/in"), lines);
+}
+
+TEST(Dfs, ExistsListRemove) {
+  Dfs fs;
+  fs.write_text("/a", {"x"});
+  fs.write_text("/b", {"y"});
+  EXPECT_TRUE(fs.exists("/a"));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"/a", "/b"}));
+  fs.remove("/a");
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_THROW(fs.remove("/a"), tsx::Error);
+  EXPECT_THROW(fs.read_text("/a"), tsx::Error);
+}
+
+TEST(Dfs, OverwriteReplacesContent) {
+  Dfs fs;
+  fs.write_text("/f", {"old"});
+  fs.write_text("/f", {"new", "content"});
+  EXPECT_EQ(fs.read_text("/f").size(), 2u);
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(Dfs, BlockAccounting) {
+  Dfs fs(DiskSpec{}, Bytes::of(100), 1);
+  // 250 bytes -> 3 blocks of 100.
+  std::vector<std::string> lines(10, std::string(24, 'x'));  // 10*25 = 250
+  const FileStatus st = fs.write_text("/blocks", lines);
+  EXPECT_EQ(st.blocks, 3u);
+  EXPECT_EQ(fs.block_count(), 3u);
+}
+
+TEST(Dfs, EmptyFileStillHasOneBlock) {
+  Dfs fs;
+  const FileStatus st = fs.write_text("/empty", {});
+  EXPECT_EQ(st.blocks, 1u);
+  EXPECT_TRUE(fs.read_text("/empty").empty());
+}
+
+TEST(Dfs, ReadTimeScalesWithSize) {
+  Dfs fs(DiskSpec{Bandwidth::gb_per_sec(1), Duration::micros(100)},
+         Bytes::mib(128), 1);
+  const Duration small = fs.read_time(Bytes::mib(1));
+  const Duration big = fs.read_time(Bytes::mib(1000));
+  EXPECT_GT(big.sec(), small.sec() * 100);
+  // 1 MiB at 1 GB/s + one seek.
+  EXPECT_NEAR(small.sec(), Bytes::mib(1).b() / 1e9 + 100e-6, 1e-9);
+}
+
+TEST(Dfs, WriteTimePaysReplication) {
+  Dfs fs1(DiskSpec{}, Bytes::mib(128), 1);
+  Dfs fs3(DiskSpec{}, Bytes::mib(128), 3);
+  EXPECT_GT(fs3.write_time(Bytes::mib(64)).sec(),
+            fs1.write_time(Bytes::mib(64)).sec());
+  EXPECT_DOUBLE_EQ(fs3.bytes_stored().b(), 0.0);
+  fs3.write_text("/r", {"abc"});
+  EXPECT_DOUBLE_EQ(fs3.bytes_stored().b(), 12.0);  // 4 bytes x3 replicas
+}
+
+TEST(Dfs, SeekOverheadExcludesTransfer) {
+  Dfs fs(DiskSpec{Bandwidth::gb_per_sec(0.5), Duration::micros(100)},
+         Bytes::mib(128), 1);
+  const Duration seek = fs.read_seek_overhead(Bytes::mib(256));
+  EXPECT_NEAR(seek.sec(), 2 * 100e-6, 1e-9);  // 2 blocks, no transfer term
+  EXPECT_LT(seek.sec(), fs.read_time(Bytes::mib(256)).sec());
+}
+
+TEST(Dfs, RejectsBadConfig) {
+  EXPECT_THROW(Dfs(DiskSpec{}, Bytes::zero(), 1), tsx::Error);
+  EXPECT_THROW(Dfs(DiskSpec{}, Bytes::mib(1), 0), tsx::Error);
+}
+
+}  // namespace
+}  // namespace tsx::dfs

@@ -1,0 +1,252 @@
+// Integration tests asserting the *paper's experimental shapes* hold in the
+// reproduction: tier ordering (Fig. 2 top), NVDIMM access behaviour (Fig. 2
+// middle), energy (Fig. 2 bottom), MBA insensitivity (Fig. 3), the
+// executor-grid asymmetry (Fig. 4) and the correlation claims (Figs. 5-6).
+// Scales are kept small so the whole binary runs in seconds.
+#include <gtest/gtest.h>
+
+#include "analysis/correlation_study.hpp"
+#include "analysis/predictor.hpp"
+#include "analysis/takeaways.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::workloads {
+namespace {
+
+RunResult run(App app, ScaleId scale, mem::TierId tier, int mba = 100,
+              int executors = 1, int cores = 40) {
+  RunConfig cfg;
+  cfg.app = app;
+  cfg.scale = scale;
+  cfg.tier = tier;
+  cfg.mba_percent = mba;
+  cfg.executors = executors;
+  cfg.cores_per_executor = cores;
+  return run_workload(cfg);
+}
+
+std::vector<RunResult> runs_across_tiers(App app, ScaleId scale) {
+  std::vector<RunResult> out;
+  for (const mem::TierId tier : mem::kAllTiers)
+    out.push_back(run(app, scale, tier));
+  return out;
+}
+
+// --- Fig. 2 top: execution time ordering --------------------------------------------
+
+class TierOrdering : public ::testing::TestWithParam<App> {};
+
+TEST_P(TierOrdering, LargeScaleDegradesMonotonically) {
+  const auto runs = runs_across_tiers(GetParam(), ScaleId::kLarge);
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_GE(runs[static_cast<std::size_t>(t)].exec_time.sec(),
+              runs[static_cast<std::size_t>(t - 1)].exec_time.sec() * 0.999)
+        << to_string(GetParam()) << " tier " << t;
+  }
+  // And the NVM end is strictly worse than local DRAM.
+  EXPECT_GT(runs[3].exec_time.sec(), runs[0].exec_time.sec());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TierOrdering, ::testing::ValuesIn(kAllApps),
+                         [](const ::testing::TestParamInfo<App>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(TierOrdering, TinyWorkloadsAreTierInsensitive) {
+  // Takeaway 1: some workloads tolerate remote memory. Tiny runs are
+  // dominated by framework overhead and barely move across tiers.
+  for (const App app : {App::kSort, App::kRepartition, App::kPagerank}) {
+    const auto runs = runs_across_tiers(app, ScaleId::kTiny);
+    EXPECT_LT(runs[3].exec_time.sec() / runs[0].exec_time.sec(), 1.15)
+        << to_string(app);
+  }
+}
+
+TEST(TierOrdering, AlsIsScaleInsensitive) {
+  // The paper: als shows almost constant execution time regardless of
+  // workload and tier.
+  const RunResult tiny = run(App::kAls, ScaleId::kTiny, mem::TierId::kTier0);
+  const RunResult large =
+      run(App::kAls, ScaleId::kLarge, mem::TierId::kTier3);
+  EXPECT_LT(large.exec_time.sec() / tiny.exec_time.sec(), 1.5);
+}
+
+TEST(TierOrdering, SensitiveAppsDegradeMoreThanTolerant) {
+  // Takeaway 2's split on Tier 2, large inputs: bayes/lda/pagerank suffer
+  // well beyond als/rf.
+  auto ratio = [&](App app) {
+    const RunResult t0 = run(app, ScaleId::kLarge, mem::TierId::kTier0);
+    const RunResult t2 = run(app, ScaleId::kLarge, mem::TierId::kTier2);
+    return t2.exec_time.sec() / t0.exec_time.sec();
+  };
+  const double bayes = ratio(App::kBayes);
+  const double pagerank = ratio(App::kPagerank);
+  const double als = ratio(App::kAls);
+  const double rf = ratio(App::kRf);
+  EXPECT_GT(bayes, 1.5);
+  EXPECT_GT(pagerank, 1.5);
+  EXPECT_LT(als, 1.15);
+  EXPECT_LT(rf, 1.15);
+}
+
+// --- Fig. 2 middle: NVDIMM accesses ---------------------------------------------------
+
+TEST(NvdimmShape, AccessesGrowWithWorkload) {
+  const RunResult tiny = run(App::kBayes, ScaleId::kTiny, mem::TierId::kTier2);
+  const RunResult large =
+      run(App::kBayes, ScaleId::kLarge, mem::TierId::kTier2);
+  EXPECT_GT(large.nvdimm.total_media_ops(), tiny.nvdimm.total_media_ops());
+}
+
+TEST(NvdimmShape, LdaIsWriteHeavy) {
+  // Takeaway 3 / Sec. IV-B: lda-large's write:read ratio on the NVDIMMs is
+  // the highest of the suite; its writes dominate its reads.
+  const RunResult lda = run(App::kLda, ScaleId::kLarge, mem::TierId::kTier2);
+  const RunResult sort = run(App::kSort, ScaleId::kLarge, mem::TierId::kTier2);
+  EXPECT_GT(lda.nvdimm.write_read_ratio(), sort.nvdimm.write_read_ratio());
+}
+
+TEST(NvdimmShape, MoreAccessesMoreTime) {
+  // Across the 7 apps at large on Tier 2, media ops and execution time are
+  // positively rank-correlated.
+  std::vector<double> ops, time;
+  for (const App app : kAllApps) {
+    const RunResult r = run(app, ScaleId::kLarge, mem::TierId::kTier2);
+    ops.push_back(static_cast<double>(r.nvdimm.total_media_ops()));
+    time.push_back(r.exec_time.sec());
+  }
+  EXPECT_GT(stats::spearman(ops, time), 0.5);
+}
+
+// --- Fig. 2 bottom: energy ------------------------------------------------------------
+
+TEST(EnergyShape, NvmRunCostsMoreEnergyPerDimm) {
+  // Sec. IV-D: despite lower per-access energy, the NVM run's DIMMs burn
+  // more total energy because the run takes longer.
+  for (const App app : {App::kBayes, App::kLda, App::kSort}) {
+    const RunResult dram = run(app, ScaleId::kLarge, mem::TierId::kTier0);
+    const RunResult nvm = run(app, ScaleId::kLarge, mem::TierId::kTier2);
+    EXPECT_GT(nvm.bound_node_energy_per_dimm().j(),
+              dram.bound_node_energy_per_dimm().j())
+        << to_string(app);
+  }
+}
+
+TEST(EnergyShape, EnergyScalesWithExecutionTime) {
+  // Takeaway 5: energy is in line with execution time.
+  const RunResult small = run(App::kSort, ScaleId::kSmall, mem::TierId::kTier0);
+  const RunResult large = run(App::kSort, ScaleId::kLarge, mem::TierId::kTier0);
+  EXPECT_GT(large.bound_node_energy_per_dimm().j(),
+            small.bound_node_energy_per_dimm().j());
+}
+
+// --- Fig. 3: MBA ------------------------------------------------------------------------
+
+class MbaFlatness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MbaFlatness, ThrottlingBarelyMovesExecTime) {
+  // Takeaway 4: the workloads never saturate bandwidth, so MBA throttling
+  // leaves execution time within a few percent of the unthrottled run.
+  const int pct = GetParam();
+  const RunResult base =
+      run(App::kBayes, ScaleId::kSmall, mem::TierId::kTier2, 100);
+  const RunResult throttled =
+      run(App::kBayes, ScaleId::kSmall, mem::TierId::kTier2, pct);
+  EXPECT_NEAR(throttled.exec_time.sec() / base.exec_time.sec(), 1.0, 0.08)
+      << "mba=" << pct;
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MbaFlatness,
+                         ::testing::Values(10, 20, 40, 60, 80));
+
+// --- Fig. 4: executor/core grid ----------------------------------------------------------
+
+TEST(GridShape, FewerCoresSlower) {
+  const RunResult full =
+      run(App::kPagerank, ScaleId::kLarge, mem::TierId::kTier2, 100, 1, 40);
+  const RunResult quarter =
+      run(App::kPagerank, ScaleId::kLarge, mem::TierId::kTier2, 100, 1, 5);
+  EXPECT_GT(quarter.exec_time.sec(), full.exec_time.sec() * 1.3);
+}
+
+TEST(GridShape, ManyExecutorsHurtSmallWorkloads) {
+  // Takeaway 6: executor co-operation + startup overhead dominates small
+  // inputs.
+  const RunResult one =
+      run(App::kPagerank, ScaleId::kSmall, mem::TierId::kTier2, 100, 1, 5);
+  const RunResult eight =
+      run(App::kPagerank, ScaleId::kSmall, mem::TierId::kTier2, 100, 8, 5);
+  EXPECT_GT(eight.exec_time.sec(), one.exec_time.sec());
+}
+
+TEST(GridShape, ManyExecutorsHelpLargeWorkloads) {
+  // Takeaway 7: with a large input, extra executors raise utilization.
+  const RunResult one =
+      run(App::kPagerank, ScaleId::kLarge, mem::TierId::kTier2, 100, 1, 5);
+  const RunResult eight =
+      run(App::kPagerank, ScaleId::kLarge, mem::TierId::kTier2, 100, 8, 5);
+  EXPECT_LT(eight.exec_time.sec(), one.exec_time.sec());
+}
+
+// --- Figs. 5-6: correlations ---------------------------------------------------------------
+
+TEST(CorrelationShape, HwSpecsNearPerfectCorrelation) {
+  // Fig. 6: across tiers, execution time correlates positively with latency
+  // and negatively with bandwidth for every sizable workload.
+  for (const App app : {App::kBayes, App::kLda, App::kSort}) {
+    const auto runs = runs_across_tiers(app, ScaleId::kLarge);
+    const analysis::HwCorrelation c = analysis::hw_spec_correlation(runs);
+    EXPECT_GT(c.with_latency, 0.55) << to_string(app);
+    EXPECT_LT(c.with_bandwidth, -0.3) << to_string(app);
+  }
+}
+
+TEST(CorrelationShape, EventsCorrelateWithTimeOnLocalTier) {
+  // Fig. 5: on Tier 0, system-level events track execution time across
+  // sizes/repeats for the aggregation-heavy apps.
+  std::vector<RunResult> runs;
+  for (const ScaleId scale : kAllScales) {
+    RunConfig cfg;
+    cfg.app = App::kBayes;
+    cfg.scale = scale;
+    for (const RunResult& r : run_repeats(cfg, 3)) runs.push_back(r);
+  }
+  const auto rows = analysis::event_time_correlation(runs);
+  int strongly_correlated = 0;
+  for (const auto& row : rows)
+    if (row.pearson > 0.8) ++strongly_correlated;
+  EXPECT_GE(strongly_correlated, 5);
+}
+
+TEST(CorrelationShape, PredictorLeaveOneOutReasonable) {
+  // Takeaway 8: linear models over (latency, 1/bw) predict unseen DRAM
+  // tiers well. (Tier 3's bandwidth collapse is the hard extrapolation.)
+  const auto runs = runs_across_tiers(App::kBayes, ScaleId::kLarge);
+  EXPECT_LT(analysis::leave_one_tier_out_error(runs, mem::TierId::kTier1),
+            0.35);
+}
+
+// --- takeaway aggregates ----------------------------------------------------------------
+
+TEST(TakeawayAggregates, DirectionallyMatchPaper) {
+  std::vector<RunResult> runs;
+  for (const App app : {App::kBayes, App::kLda, App::kSort, App::kAls}) {
+    for (const ScaleId scale : {ScaleId::kSmall, ScaleId::kLarge}) {
+      for (const mem::TierId tier : mem::kAllTiers)
+        runs.push_back(run(app, scale, tier));
+    }
+  }
+  const analysis::TakeawaySummary s = analysis::summarize_takeaways(runs);
+  // Ordering of the advantage percentages matches the paper's 44 < 66 < 90.
+  EXPECT_GT(s.tier0_advantage_pct[0], 0.0);
+  EXPECT_GT(s.tier0_advantage_pct[1], s.tier0_advantage_pct[0]);
+  EXPECT_GT(s.tier0_advantage_pct[2], s.tier0_advantage_pct[1]);
+  // NVM costs extra time overall; sensitive apps suffer more than tolerant.
+  EXPECT_GT(s.nvm_extra_time_pct, 10.0);
+  EXPECT_GT(s.sensitive_extra_time_pct, s.tolerant_extra_time_pct);
+  // DRAM saves energy (paper: 63.9% on average).
+  EXPECT_GT(s.dram_energy_saving_pct, 20.0);
+}
+
+}  // namespace
+}  // namespace tsx::workloads

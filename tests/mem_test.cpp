@@ -1,0 +1,409 @@
+// Tests for the memory subsystem: technologies, topology, the Table I
+// calibration, machine model, energy, wear, MBA and the tiered allocator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "mem/allocator.hpp"
+#include "mem/calibration.hpp"
+#include "mem/energy.hpp"
+#include "mem/machine.hpp"
+#include "mem/mba.hpp"
+#include "mem/technology.hpp"
+#include "mem/tier.hpp"
+#include "mem/topology.hpp"
+#include "mem/traffic.hpp"
+#include "mem/wear.hpp"
+#include "sim/simulator.hpp"
+
+namespace tsx::mem {
+namespace {
+
+// --- technologies -------------------------------------------------------------
+
+TEST(Technology, DramIsSymmetric) {
+  const MemoryTechnology& d = ddr4();
+  EXPECT_EQ(d.kind, TechKind::kDram);
+  EXPECT_DOUBLE_EQ(d.write_latency_factor, 1.0);
+  EXPECT_EQ(d.write_latency(), d.read_latency);
+}
+
+TEST(Technology, OptaneAsymmetry) {
+  const MemoryTechnology& o = optane_dcpm();
+  EXPECT_EQ(o.kind, TechKind::kNvm);
+  EXPECT_GT(o.write_latency_factor, 2.0);
+  EXPECT_LT(o.write_bw_fraction, 0.5);
+  EXPECT_GT(o.read_latency, ddr4().read_latency);
+  EXPECT_LT(o.read_bw_per_dimm.value(), ddr4().read_bw_per_dimm.value());
+  EXPECT_DOUBLE_EQ(o.media_granularity.b(), 256.0);
+}
+
+// --- topology -----------------------------------------------------------------
+
+TEST(Topology, TestbedShapeMatchesPaper) {
+  const TopologySpec t = testbed_topology();
+  EXPECT_EQ(t.sockets, paper::kSockets);
+  EXPECT_EQ(t.cores_per_socket, paper::kCoresPerSocket);
+  EXPECT_EQ(t.hw_threads_per_socket(), paper::kHwThreadsPerSocket);
+  ASSERT_EQ(t.nodes.size(), 4u);
+  EXPECT_EQ(t.node(t.nvm_node_of(0)).dimms, paper::kNvmDimmsSocket0);
+  EXPECT_EQ(t.node(t.nvm_node_of(1)).dimms, paper::kNvmDimmsSocket1);
+  EXPECT_EQ(t.node(t.dram_node_of(0)).dimms, paper::kDramDimmsPerSocket);
+}
+
+TEST(Topology, RemoteDetection) {
+  const TopologySpec t = testbed_topology();
+  EXPECT_FALSE(t.is_remote(0, t.dram_node_of(0)));
+  EXPECT_TRUE(t.is_remote(0, t.dram_node_of(1)));
+  EXPECT_TRUE(t.is_remote(1, t.nvm_node_of(0)));
+}
+
+TEST(Topology, CapacitiesMatchDimmPopulation) {
+  const TopologySpec t = testbed_topology();
+  // 4 x 32 GB DDR4 split across sockets; 6 x 256 GB DCPM split 2/4.
+  EXPECT_DOUBLE_EQ(t.node(t.dram_node_of(0)).capacity.to_gib(), 64.0);
+  EXPECT_DOUBLE_EQ(t.node(t.nvm_node_of(0)).capacity.to_gib(), 512.0);
+  EXPECT_DOUBLE_EQ(t.node(t.nvm_node_of(1)).capacity.to_gib(), 1024.0);
+}
+
+// --- Table I calibration ----------------------------------------------------------
+
+TEST(TierTable, ReproducesTableOneLatencies) {
+  const auto tiers = canonical_tiers(testbed_topology());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tiers[static_cast<std::size_t>(i)].read_latency.ns(),
+                paper::kIdleLatencyNs[static_cast<std::size_t>(i)], 0.05)
+        << "tier " << i;
+  }
+}
+
+TEST(TierTable, ReproducesTableOneBandwidths) {
+  const auto tiers = canonical_tiers(testbed_topology());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tiers[static_cast<std::size_t>(i)].read_bandwidth.to_gb_per_sec(),
+                paper::kBandwidthGBs[static_cast<std::size_t>(i)], 0.01)
+        << "tier " << i;
+  }
+}
+
+TEST(TierTable, MonotoneDegradation) {
+  const auto tiers = canonical_tiers(testbed_topology());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(tiers[static_cast<std::size_t>(i)].read_latency,
+              tiers[static_cast<std::size_t>(i - 1)].read_latency);
+    EXPECT_LT(tiers[static_cast<std::size_t>(i)].read_bandwidth,
+              tiers[static_cast<std::size_t>(i - 1)].read_bandwidth);
+  }
+}
+
+TEST(TierTable, LocalityAndTechnologyFlags) {
+  const auto tiers = canonical_tiers(testbed_topology());
+  EXPECT_FALSE(tiers[0].remote);
+  EXPECT_TRUE(tiers[1].remote);
+  EXPECT_FALSE(tiers[2].remote);  // socket 1 owns the 4-DIMM NVM group
+  EXPECT_TRUE(tiers[3].remote);
+  EXPECT_EQ(tiers[0].tech->kind, TechKind::kDram);
+  EXPECT_EQ(tiers[2].tech->kind, TechKind::kNvm);
+}
+
+TEST(TierTable, WriteWorseThanReadOnNvm) {
+  const auto tiers = canonical_tiers(testbed_topology());
+  EXPECT_GT(tiers[2].write_latency, tiers[2].read_latency * 2.0);
+  EXPECT_LT(tiers[2].write_bandwidth.value(),
+            tiers[2].read_bandwidth.value());
+  EXPECT_EQ(tiers[0].write_latency, tiers[0].read_latency);
+}
+
+TEST(TierTable, SocketZeroViewDiffers) {
+  const TopologySpec topo = testbed_topology();
+  // From socket 0, Tier 2 (the 4-DIMM group on socket 1) is remote.
+  const TierSpec t2 = resolve_tier(topo, 0, TierId::kTier2);
+  EXPECT_TRUE(t2.remote);
+  EXPECT_GT(t2.read_latency.ns(), paper::kIdleLatencyNs[2]);
+}
+
+TEST(Tier, IndexHelpers) {
+  EXPECT_EQ(index(TierId::kTier2), 2);
+  EXPECT_EQ(tier_from_index(3), TierId::kTier3);
+  EXPECT_THROW(tier_from_index(4), tsx::Error);
+  EXPECT_EQ(to_string(TierId::kTier1), "Tier 1");
+}
+
+// --- CXL what-if topology ----------------------------------------------------------
+
+TEST(CxlTopology, SameShapeDifferentCapacityTier) {
+  const TopologySpec cxl = cxl_topology();
+  const TopologySpec base = testbed_topology();
+  EXPECT_EQ(cxl.sockets, base.sockets);
+  ASSERT_EQ(cxl.nodes.size(), base.nodes.size());
+  EXPECT_EQ(cxl.node(cxl.nvm_node_of(1)).tech->name, "CXL-DRAM");
+  EXPECT_DOUBLE_EQ(cxl.node(cxl.nvm_node_of(0)).capacity.to_gib(), 512.0);
+}
+
+TEST(CxlTopology, BridgesTheTierGap) {
+  // CXL-DRAM tiers sit far closer to DRAM than Optane on every axis.
+  const auto optane = canonical_tiers(testbed_topology());
+  const auto cxl = canonical_tiers(cxl_topology());
+  EXPECT_LT(cxl[2].write_latency.ns(), optane[2].write_latency.ns());
+  EXPECT_GT(cxl[2].read_bandwidth.value(), optane[2].read_bandwidth.value());
+  EXPECT_GT(cxl[3].read_bandwidth.to_gb_per_sec(), 10.0);  // no collapse
+  // Latency ordering still holds: capacity tier is not free.
+  EXPECT_GT(cxl[2].read_latency, cxl[0].read_latency);
+}
+
+TEST(CxlTechnology, SymmetricAndEnduranceFree) {
+  const MemoryTechnology& c = cxl_dram();
+  EXPECT_DOUBLE_EQ(c.write_latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(c.write_bw_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(c.media_granularity.b(), 64.0);
+}
+
+// --- traffic ledger -----------------------------------------------------------------
+
+TEST(TrafficLedger, RecordsAndDerivesAccesses) {
+  TrafficLedger ledger(2);
+  ledger.record_read(0, Bytes::of(6400));
+  ledger.record_write(0, Bytes::of(100));  // rounds up to 2 lines
+  EXPECT_DOUBLE_EQ(ledger.node(0).read_bytes.b(), 6400.0);
+  EXPECT_EQ(ledger.node(0).read_accesses, 100u);
+  EXPECT_EQ(ledger.node(0).write_accesses, 2u);
+  EXPECT_EQ(ledger.node(1).total_accesses(), 0u);
+}
+
+TEST(TrafficLedger, SumAndReset) {
+  TrafficLedger ledger(3);
+  ledger.record_read(0, Bytes::of(64));
+  ledger.record_read(2, Bytes::of(128));
+  const NodeTraffic total = ledger.sum({0, 1, 2});
+  EXPECT_EQ(total.read_accesses, 3u);
+  ledger.reset();
+  EXPECT_EQ(ledger.sum({0, 1, 2}).total_accesses(), 0u);
+}
+
+// --- machine model ---------------------------------------------------------------------
+
+class MachineTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  MachineModel machine{simulator};
+};
+
+TEST_F(MachineTest, ChannelRoutingLocalVsRemote) {
+  const TopologySpec& topo = machine.topology();
+  const NodeId d1 = topo.dram_node_of(1);
+  // Local from socket 1 -> node channel; remote from socket 0 -> UPI path.
+  EXPECT_EQ(&machine.channel_for(1, d1), &machine.channel(d1));
+  EXPECT_NE(&machine.channel_for(0, d1), &machine.channel(d1));
+}
+
+TEST_F(MachineTest, RemoteNvmPathCollapses) {
+  const TopologySpec& topo = machine.topology();
+  const NodeId n0 = topo.nvm_node_of(0);
+  // The Tier-3 path: 0.47 GB/s aggregate (Table I).
+  EXPECT_NEAR(machine.channel_for(1, n0).capacity().to_gb_per_sec(), 0.47,
+              0.01);
+  // The local channel keeps device bandwidth.
+  EXPECT_GT(machine.channel(n0).capacity().to_gb_per_sec(), 5.0);
+}
+
+TEST_F(MachineTest, LoadedLatencyMonotoneInUtilization) {
+  const TierSpec t0 = machine.tier(1, TierId::kTier0);
+  const Duration idle = machine.loaded_latency(1, t0, AccessKind::kRead);
+  EXPECT_DOUBLE_EQ(idle.ns(), t0.read_latency.ns());
+  // Saturate the channel, latency must rise but stay bounded.
+  machine.channel(t0.node).start_flow(Bytes::of(1e12),
+                                      Bandwidth::gb_per_sec(1000), [] {});
+  const Duration loaded = machine.loaded_latency(1, t0, AccessKind::kRead);
+  EXPECT_GT(loaded, idle);
+  EXPECT_LT(loaded.ns(), idle.ns() * (1.0 + t0.tech->queue_sensitivity) + 1.0);
+}
+
+TEST_F(MachineTest, TransferChargesLedgerAndCompletes) {
+  bool done = false;
+  machine.submit_transfer(
+      TransferRequest{1, TierId::kTier0, AccessKind::kRead, Bytes::mib(1),
+                      8.0},
+      [&] { done = true; });
+  simulator.run();
+  EXPECT_TRUE(done);
+  const TierSpec t0 = machine.tier(1, TierId::kTier0);
+  EXPECT_DOUBLE_EQ(machine.traffic().node(t0.node).read_bytes.b(),
+                   Bytes::mib(1).b());
+}
+
+TEST_F(MachineTest, TierOrderingInTransferTime) {
+  // The same request must take strictly longer on each farther tier.
+  double prev = 0.0;
+  for (const TierId tier : kAllTiers) {
+    const Duration t = machine.idle_transfer_time(
+        TransferRequest{1, tier, AccessKind::kRead, Bytes::mib(64), 1.0});
+    EXPECT_GT(t.sec(), prev) << to_string(tier);
+    prev = t.sec();
+  }
+}
+
+TEST_F(MachineTest, WritesSlowerThanReadsOnNvm) {
+  const TransferRequest read{1, TierId::kTier2, AccessKind::kRead,
+                             Bytes::mib(64), 1.0};
+  TransferRequest write = read;
+  write.kind = AccessKind::kWrite;
+  EXPECT_GT(machine.idle_transfer_time(write).sec(),
+            machine.idle_transfer_time(read).sec() * 2.0);
+}
+
+TEST_F(MachineTest, LatencyBoundFlowIgnoresMba) {
+  const TierSpec t0 = machine.tier(1, TierId::kTier0);
+  const Bandwidth before = machine.flow_cap(1, t0, AccessKind::kRead, 0.5);
+  machine.set_memory_throttle_percent(10);
+  const Bandwidth after = machine.flow_cap(1, t0, AccessKind::kRead, 0.5);
+  // mlp=0.5 demand (~0.4 GB/s) stays within the throttled per-core ceiling.
+  EXPECT_NEAR(before.value(), after.value(), before.value() * 1e-9);
+}
+
+TEST_F(MachineTest, StreamingFlowSeesMba) {
+  const TierSpec t0 = machine.tier(1, TierId::kTier0);
+  const Bandwidth before = machine.flow_cap(1, t0, AccessKind::kRead, 16.0);
+  machine.set_memory_throttle_percent(10);
+  const Bandwidth after = machine.flow_cap(1, t0, AccessKind::kRead, 16.0);
+  EXPECT_LT(after.value(), before.value());
+  EXPECT_NEAR(after.to_gb_per_sec(), 0.8, 0.01);  // 10% of 8 GB/s per core
+}
+
+TEST_F(MachineTest, SocketCorePoolsSized) {
+  EXPECT_EQ(machine.socket_cores(0).total_cores(), 40u);
+  EXPECT_EQ(machine.socket_cores(1).total_cores(), 40u);
+  EXPECT_THROW(machine.socket_cores(2), tsx::Error);
+}
+
+// --- MBA -------------------------------------------------------------------------------
+
+TEST(Mba, ValidatesRangeAndApplies) {
+  sim::Simulator simulator;
+  MachineModel machine(simulator);
+  MbaController mba(machine);
+  EXPECT_THROW(mba.set_throttle_percent(5), tsx::Error);
+  EXPECT_THROW(mba.set_throttle_percent(101), tsx::Error);
+  mba.set_throttle_percent(30);
+  EXPECT_EQ(mba.throttle_percent(), 30);
+  mba.reset();
+  EXPECT_EQ(mba.throttle_percent(), 100);
+}
+
+// --- energy -----------------------------------------------------------------------------
+
+TEST(Energy, StaticScalesWithDimmsAndTime) {
+  const TopologySpec topo = testbed_topology();
+  const EnergyModel model;
+  const MemNodeSpec& dram = topo.node(topo.dram_node_of(0));
+  const Energy e1 = model.static_energy(dram, Duration::seconds(10));
+  const Energy e2 = model.static_energy(dram, Duration::seconds(20));
+  EXPECT_NEAR(e2.j(), 2.0 * e1.j(), 1e-9);
+  EXPECT_NEAR(e1.j(), dram.tech->static_power_per_dimm.w() * 10.0 * 2, 1e-9);
+}
+
+TEST(Energy, DynamicFollowsTraffic) {
+  const TopologySpec topo = testbed_topology();
+  const EnergyModel model;
+  const MemNodeSpec& nvm = topo.node(topo.nvm_node_of(1));
+  NodeTraffic t;
+  t.read_bytes = Bytes::gib(1);
+  t.write_bytes = Bytes::gib(1);
+  const Energy e = model.dynamic_energy(nvm, t);
+  const double expected = Bytes::gib(1).b() *
+                          (nvm.tech->read_pj_per_byte +
+                           nvm.tech->write_pj_per_byte) *
+                          1e-12;
+  EXPECT_NEAR(e.j(), expected, 1e-9);
+}
+
+TEST(Energy, ReportPerDimmAndPower) {
+  const TopologySpec topo = testbed_topology();
+  const EnergyModel model;
+  const MemNodeSpec& dram = topo.node(topo.dram_node_of(1));
+  NodeTraffic t;
+  t.read_bytes = Bytes::mib(100);
+  const NodeEnergyReport r = model.report(dram, t, Duration::seconds(5));
+  EXPECT_NEAR(r.total.j(), r.dynamic_energy.j() + r.static_energy.j(), 1e-12);
+  EXPECT_NEAR(r.per_dimm.j(), r.total.j() / 2.0, 1e-12);
+  EXPECT_NEAR(r.average_power.w(), r.total.j() / 5.0, 1e-12);
+}
+
+TEST(Energy, NvmCheaperPerByteButCostlierWhenSlow) {
+  // The paper's Sec. IV-D effect: lower per-access energy, higher total on
+  // longer runs. Same traffic, NVM run takes 2x longer.
+  const TopologySpec topo = testbed_topology();
+  const EnergyModel model;
+  const MemNodeSpec& dram = topo.node(topo.dram_node_of(1));
+  const MemNodeSpec& nvm = topo.node(topo.nvm_node_of(1));
+  EXPECT_LT(nvm.tech->read_pj_per_byte, dram.tech->read_pj_per_byte);
+  NodeTraffic t;
+  t.read_bytes = Bytes::gib(2);
+  const Energy dram_total =
+      model.report(dram, t, Duration::seconds(10)).per_dimm;
+  const Energy nvm_total =
+      model.report(nvm, t, Duration::seconds(20)).per_dimm;
+  EXPECT_GT(nvm_total.j(), dram_total.j());
+}
+
+// --- wear -------------------------------------------------------------------------------
+
+TEST(Wear, FractionAndProjection) {
+  const TopologySpec topo = testbed_topology();
+  const WearModel model(1e6);
+  const MemNodeSpec& nvm = topo.node(topo.nvm_node_of(0));
+  NodeTraffic t;
+  t.write_bytes = nvm.capacity * 1000.0;  // 1000 full overwrites
+  const WearReport r = model.report(nvm, t, Duration::seconds(100));
+  EXPECT_NEAR(r.lifetime_fraction_used, 1e-3, 1e-9);
+  EXPECT_GT(r.observed_write_rate.value(), 0.0);
+  // At this rate the device lasts ~999x the window.
+  EXPECT_NEAR(r.projected_lifetime.sec(), 100.0 * 999.0, 1.0);
+}
+
+TEST(Wear, NoWritesMeansInfiniteLifetime) {
+  const TopologySpec topo = testbed_topology();
+  const WearModel model;
+  const WearReport r = model.report(topo.node(topo.nvm_node_of(0)),
+                                    NodeTraffic{}, Duration::seconds(10));
+  EXPECT_TRUE(std::isinf(r.projected_lifetime.sec()));
+  EXPECT_DOUBLE_EQ(r.lifetime_fraction_used, 0.0);
+}
+
+// --- allocator ---------------------------------------------------------------------------
+
+TEST(Allocator, TracksUsageAndHighWater) {
+  const TopologySpec topo = testbed_topology();
+  TieredAllocator alloc(topo);
+  const AllocationId a = alloc.allocate(0, Bytes::gib(10));
+  const AllocationId b = alloc.allocate(0, Bytes::gib(20));
+  EXPECT_DOUBLE_EQ(alloc.used(0).to_gib(), 30.0);
+  alloc.free(a);
+  EXPECT_DOUBLE_EQ(alloc.used(0).to_gib(), 20.0);
+  EXPECT_DOUBLE_EQ(alloc.high_water(0).to_gib(), 30.0);
+  alloc.free(b);
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+}
+
+TEST(Allocator, RejectsOversubscriptionAndDoubleFree) {
+  const TopologySpec topo = testbed_topology();
+  TieredAllocator alloc(topo);
+  EXPECT_THROW(alloc.allocate(0, Bytes::gib(65)), tsx::Error);  // 64 GiB node
+  const AllocationId a = alloc.allocate(0, Bytes::gib(1));
+  alloc.free(a);
+  EXPECT_THROW(alloc.free(a), tsx::Error);
+}
+
+TEST(Allocator, ResizeRespectsCapacity) {
+  const TopologySpec topo = testbed_topology();
+  TieredAllocator alloc(topo);
+  const AllocationId a = alloc.allocate(0, Bytes::gib(10));
+  alloc.resize(a, Bytes::gib(40));
+  EXPECT_DOUBLE_EQ(alloc.used(0).to_gib(), 40.0);
+  EXPECT_THROW(alloc.resize(a, Bytes::gib(100)), tsx::Error);
+  alloc.resize(a, Bytes::gib(1));
+  EXPECT_DOUBLE_EQ(alloc.used(0).to_gib(), 1.0);
+}
+
+}  // namespace
+}  // namespace tsx::mem

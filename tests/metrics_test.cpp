@@ -1,0 +1,118 @@
+// Tests for the measurement substrate: ipmctl-style NVDIMM counters and the
+// synthesized system-level events.
+#include <gtest/gtest.h>
+
+#include "mem/machine.hpp"
+#include "metrics/nvdimm.hpp"
+#include "metrics/system_events.hpp"
+#include "sim/simulator.hpp"
+
+namespace tsx::metrics {
+namespace {
+
+// --- nvdimm counters -------------------------------------------------------------
+
+TEST(Nvdimm, CountsOnlyNvmNodes) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator);
+  const mem::TopologySpec& topo = machine.topology();
+  machine.traffic().record_read(topo.dram_node_of(0), Bytes::mib(100));
+  const auto counters = nvdimm_counters(machine);
+  ASSERT_EQ(counters.size(), 2u);  // N0, N1
+  for (const auto& c : counters) EXPECT_EQ(c.total_media_ops(), 0u);
+}
+
+TEST(Nvdimm, MediaOpsFollowDemandWithAmplification) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator);
+  const mem::NodeId n1 = machine.topology().nvm_node_of(1);
+  machine.traffic().record_read(n1, Bytes::of(64.0 * 1000));   // 1000 lines
+  machine.traffic().record_write(n1, Bytes::of(64.0 * 1000));
+  const DimmMediaCounters total = nvdimm_totals(machine);
+  const MediaAmplification amp;
+  EXPECT_EQ(total.media_reads,
+            static_cast<std::uint64_t>(1000 * amp.read_ops_per_demand_access));
+  EXPECT_EQ(total.media_writes,
+            static_cast<std::uint64_t>(1000 *
+                                       amp.write_ops_per_demand_access));
+  // Scattered writes amplify harder than reads on 3D-XPoint media.
+  EXPECT_GT(total.media_writes, total.media_reads);
+  EXPECT_GT(total.write_read_ratio(), 1.0);
+}
+
+TEST(Nvdimm, TotalsAggregateBothGroups) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator);
+  const mem::TopologySpec& topo = machine.topology();
+  machine.traffic().record_read(topo.nvm_node_of(0), Bytes::mib(1));
+  machine.traffic().record_read(topo.nvm_node_of(1), Bytes::mib(2));
+  const DimmMediaCounters total = nvdimm_totals(machine);
+  EXPECT_EQ(total.dimms, 6);
+  EXPECT_DOUBLE_EQ(total.demand_read_bytes.to_mib(), 3.0);
+}
+
+// --- system events -----------------------------------------------------------------
+
+spark::TaskCost sample_cost() {
+  spark::TaskCost c;
+  c.cpu_seconds = 10.0;
+  c.stream_read_by[0] = Bytes::mib(256);
+  c.stream_write_by[0] = Bytes::mib(128);
+  c.dep_reads = 5e6;
+  c.dep_writes = 2e6;
+  return c;
+}
+
+TEST(SystemEvents, AllEventsPositiveAndNamed) {
+  const SystemEventSample s =
+      synthesize_events(sample_cost(), Duration::seconds(20), 100, 42);
+  for (const SysEvent e : all_sys_events()) {
+    EXPECT_GT(s[e], 0.0) << to_string(e);
+    EXPECT_FALSE(to_string(e).empty());
+  }
+  EXPECT_EQ(all_sys_events().size(),
+            static_cast<std::size_t>(kNumSysEvents));
+}
+
+TEST(SystemEvents, DeterministicPerSeed) {
+  const auto a = synthesize_events(sample_cost(), Duration::seconds(20), 100, 7);
+  const auto b = synthesize_events(sample_cost(), Duration::seconds(20), 100, 7);
+  const auto c = synthesize_events(sample_cost(), Duration::seconds(20), 100, 8);
+  EXPECT_DOUBLE_EQ(a[SysEvent::kLlcMisses], b[SysEvent::kLlcMisses]);
+  EXPECT_NE(a[SysEvent::kLlcMisses], c[SysEvent::kLlcMisses]);
+}
+
+TEST(SystemEvents, MonotoneInWork) {
+  spark::TaskCost doubled = sample_cost();
+  doubled.cpu_seconds *= 2;
+  doubled.dep_reads *= 2;
+  doubled.stream_read_by[0] = doubled.stream_read_by[0] * 2.0;
+  const auto base = synthesize_events(sample_cost(), Duration::seconds(20), 100, 3);
+  const auto more = synthesize_events(doubled, Duration::seconds(40), 100, 3);
+  EXPECT_GT(more[SysEvent::kInstructions], base[SysEvent::kInstructions]);
+  EXPECT_GT(more[SysEvent::kLlcMisses], base[SysEvent::kLlcMisses]);
+  EXPECT_GT(more[SysEvent::kMemReads], base[SysEvent::kMemReads]);
+}
+
+TEST(SystemEvents, IpcIsRatioOfInstructionsAndCycles) {
+  const auto s = synthesize_events(sample_cost(), Duration::seconds(20), 100, 11);
+  EXPECT_NEAR(s[SysEvent::kIpc],
+              s[SysEvent::kInstructions] / s[SysEvent::kCycles], 1e-9);
+  EXPECT_GT(s[SysEvent::kIpc], 0.1);
+  EXPECT_LT(s[SysEvent::kIpc], 4.0);
+}
+
+TEST(SystemEvents, NoiseIsBounded) {
+  // 4% sigma noise: repeated draws stay within ~25% of each other.
+  double lo = 1e300, hi = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto s =
+        synthesize_events(sample_cost(), Duration::seconds(20), 100, seed);
+    lo = std::min(lo, s[SysEvent::kInstructions]);
+    hi = std::max(hi, s[SysEvent::kInstructions]);
+  }
+  EXPECT_LT(hi / lo, 1.35);
+}
+
+}  // namespace
+}  // namespace tsx::metrics

@@ -1,0 +1,214 @@
+// Unit tests for the ML kernels the workloads are built from: the ridge
+// solver behind ALS, the CART tree behind the random forest and the naive
+// Bayes model builder/classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "workloads/ml/decision_tree.hpp"
+#include "workloads/ml/naive_bayes.hpp"
+#include "workloads/ml/ridge.hpp"
+
+namespace tsx::workloads::ml {
+namespace {
+
+// --- ridge solver -------------------------------------------------------------
+
+TEST(Ridge, DotProduct) {
+  const Factor<3> a = {1, 2, 3};
+  const Factor<3> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ((dot<3>(a, b)), 32.0);
+}
+
+TEST(Ridge, RecoversExactFactorFromCleanObservations) {
+  // Other-side factors = identity basis, ratings = target coordinates:
+  // with tiny ridge the solution converges to the target factor.
+  FactorTable<3> basis = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<std::pair<std::uint32_t, float>> obs = {
+      {0, 2.0f}, {1, -1.0f}, {2, 0.5f}};
+  const Factor<3> x = solve_ridge<3>(obs, basis, 1e-9);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_NEAR(x[1], -1.0, 1e-6);
+  EXPECT_NEAR(x[2], 0.5, 1e-6);
+}
+
+TEST(Ridge, RidgeShrinksTowardZero) {
+  FactorTable<2> basis = {{1, 0}, {0, 1}};
+  std::vector<std::pair<std::uint32_t, float>> obs = {{0, 4.0f}, {1, 4.0f}};
+  const Factor<2> strong = solve_ridge<2>(obs, basis, 100.0);
+  const Factor<2> weak = solve_ridge<2>(obs, basis, 1e-9);
+  EXPECT_LT(std::abs(strong[0]), std::abs(weak[0]));
+  EXPECT_NEAR(weak[0], 4.0, 1e-6);
+  EXPECT_NEAR(strong[0], 4.0 / 101.0, 1e-9);  // (1+ridge)x = y
+}
+
+TEST(Ridge, NoObservationsGivesZero) {
+  FactorTable<4> others(10);
+  const Factor<4> x = solve_ridge<4>({}, others, 0.1);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Ridge, RejectsBadInput) {
+  FactorTable<2> others(2);
+  std::vector<std::pair<std::uint32_t, float>> bad = {{7, 1.0f}};
+  EXPECT_THROW((solve_ridge<2>(bad, others, 0.1)), tsx::Error);
+  EXPECT_THROW((solve_ridge<2>({}, others, 0.0)), tsx::Error);
+}
+
+TEST(Ridge, LeastSquaresResidualOrthogonality) {
+  // Overdetermined noisy system: the ridge solution with tiny ridge should
+  // equal the normal-equation least squares solution; verify by checking
+  // the residual is orthogonal to the design columns.
+  Rng rng(3);
+  FactorTable<2> others;
+  std::vector<std::pair<std::uint32_t, float>> obs;
+  const Factor<2> truth = {1.5, -0.5};
+  for (int i = 0; i < 50; ++i) {
+    Factor<2> f = {rng.normal(), rng.normal()};
+    others.push_back(f);
+    obs.emplace_back(static_cast<std::uint32_t>(i),
+                     static_cast<float>(dot<2>(f, truth) + 0.1 * rng.normal()));
+  }
+  const Factor<2> x = solve_ridge<2>(obs, others, 1e-9);
+  double r_dot_c0 = 0.0, r_dot_c1 = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const double r = obs[i].second - dot<2>(others[i], x);
+    r_dot_c0 += r * others[i][0];
+    r_dot_c1 += r * others[i][1];
+  }
+  EXPECT_NEAR(r_dot_c0, 0.0, 1e-6);
+  EXPECT_NEAR(r_dot_c1, 0.0, 1e-6);
+  EXPECT_NEAR(x[0], truth[0], 0.1);
+  EXPECT_NEAR(x[1], truth[1], 0.1);
+}
+
+// --- decision tree -------------------------------------------------------------
+
+std::vector<LabeledPoint> separable_points(int n, float threshold) {
+  // label = features[0] > threshold, feature 1 is noise.
+  Rng rng(11);
+  std::vector<LabeledPoint> out;
+  for (int i = 0; i < n; ++i) {
+    LabeledPoint p;
+    p.features = {static_cast<float>(rng.uniform(-2, 2)),
+                  static_cast<float>(rng.normal())};
+    p.label = p.features[0] > threshold ? 1.0f : 0.0f;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  const auto data = separable_points(400, 0.3f);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(5);
+  const Tree tree = grow_tree(data, idx, {0, 1}, TreeParams{}, rng);
+
+  int correct = 0;
+  for (const auto& p : data)
+    correct += (tree_predict(tree, p.features) >= 0.5f) ==
+                       (p.label >= 0.5f)
+                   ? 1
+                   : 0;
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+  EXPECT_GE(tree.nodes[0].feature, 0);  // the root actually split
+}
+
+TEST(DecisionTree, PureLeafStopsGrowing) {
+  std::vector<LabeledPoint> data(20);
+  for (auto& p : data) {
+    p.features = {1.0f};
+    p.label = 1.0f;  // all positive -> pure
+  }
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(7);
+  const Tree tree = grow_tree(data, idx, {0}, TreeParams{}, rng);
+  EXPECT_EQ(tree.nodes[0].feature, -1);
+  EXPECT_FLOAT_EQ(tree.nodes[0].leaf_value, 1.0f);
+}
+
+TEST(DecisionTree, RespectsDepthBound) {
+  const auto data = separable_points(500, 0.0f);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(9);
+  TreeParams params;
+  params.max_depth = 1;
+  const Tree tree = grow_tree(data, idx, {0, 1}, params, rng);
+  ASSERT_EQ(tree.nodes.size(), 3u);  // 2^(1+1) - 1
+  // Children of a depth-1 tree must be leaves.
+  if (tree.nodes[0].feature >= 0) {
+    EXPECT_EQ(tree.nodes[1].feature, -1);
+    EXPECT_EQ(tree.nodes[2].feature, -1);
+  }
+}
+
+TEST(DecisionTree, DeterministicGivenRngState) {
+  const auto data = separable_points(100, 0.1f);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng a(13), b(13);
+  const Tree ta = grow_tree(data, idx, {0, 1}, TreeParams{}, a);
+  const Tree tb = grow_tree(data, idx, {0, 1}, TreeParams{}, b);
+  ASSERT_EQ(ta.nodes.size(), tb.nodes.size());
+  for (std::size_t i = 0; i < ta.nodes.size(); ++i) {
+    EXPECT_EQ(ta.nodes[i].feature, tb.nodes[i].feature);
+    EXPECT_FLOAT_EQ(ta.nodes[i].threshold, tb.nodes[i].threshold);
+  }
+}
+
+TEST(DecisionTree, SizerHooks) {
+  Tree t;
+  t.nodes.resize(7);
+  EXPECT_DOUBLE_EQ(est_bytes(t), 16.0 + 12.0 * 7);
+  EXPECT_DOUBLE_EQ(est_bytes(TreeNode{}), 12.0);
+}
+
+// --- naive Bayes ------------------------------------------------------------------
+
+TEST(NaiveBayes, ClassifiesSeparableVocabulary) {
+  // Class 0 uses w0/w1, class 1 uses w2/w3.
+  std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>> counts =
+      {{{0, "w0"}, 50}, {{0, "w1"}, 50}, {{1, "w2"}, 50}, {{1, "w3"}, 50}};
+  std::vector<std::pair<int, std::uint64_t>> docs = {{0, 10}, {1, 10}};
+  const NaiveBayesModel model = build_naive_bayes(counts, docs, 2, 20, 4);
+  EXPECT_EQ(classify(model, {"w0", "w1", "w0"}), 0);
+  EXPECT_EQ(classify(model, {"w2", "w3"}), 1);
+}
+
+TEST(NaiveBayes, PriorsBreakTies) {
+  // Symmetric likelihoods; class 1 has 9x the documents.
+  std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>> counts =
+      {{{0, "w0"}, 10}, {{1, "w0"}, 10}};
+  std::vector<std::pair<int, std::uint64_t>> docs = {{0, 1}, {1, 9}};
+  const NaiveBayesModel model = build_naive_bayes(counts, docs, 2, 10, 1);
+  EXPECT_EQ(classify(model, {"w0"}), 1);
+}
+
+TEST(NaiveBayes, SmoothingHandlesUnseenWords) {
+  std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>> counts =
+      {{{0, "w0"}, 100}, {{1, "w1"}, 100}};
+  std::vector<std::pair<int, std::uint64_t>> docs = {{0, 5}, {1, 5}};
+  const NaiveBayesModel model = build_naive_bayes(counts, docs, 2, 10, 3);
+  // w2 was never seen: likelihoods are smoothed, not -inf; classification
+  // still works through the informative token.
+  EXPECT_EQ(classify(model, {"w2", "w0"}), 0);
+  for (int c = 0; c < 2; ++c)
+    EXPECT_TRUE(std::isfinite(model.log_likelihood[static_cast<std::size_t>(
+        c)][2]));
+}
+
+TEST(NaiveBayes, RejectsDegenerateDimensions) {
+  EXPECT_THROW(build_naive_bayes({}, {}, 0, 10, 5), tsx::Error);
+  EXPECT_THROW(build_naive_bayes({}, {}, 2, 0, 5), tsx::Error);
+  std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>> bad = {
+      {{0, "w9"}, 1}};
+  EXPECT_THROW(build_naive_bayes(bad, {}, 1, 1, 5), tsx::Error);
+}
+
+}  // namespace
+}  // namespace tsx::workloads::ml

@@ -1,0 +1,500 @@
+// Tests for the Spark-like engine: RDD semantics against single-threaded
+// reference computations, shuffle correctness, scheduler behaviour, caching,
+// cost accounting and configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "dfs/dfs.hpp"
+#include "mem/machine.hpp"
+#include "sim/simulator.hpp"
+#include "spark/pair_rdd.hpp"
+
+namespace tsx::spark {
+namespace {
+
+/// Fresh engine per test.
+struct Engine {
+  sim::Simulator simulator;
+  mem::MachineModel machine{simulator};
+  dfs::Dfs dfs;
+  SparkConf conf;
+  std::unique_ptr<SparkContext> sc;
+
+  explicit Engine(SparkConf c = {}) : conf(c) {
+    sc = std::make_unique<SparkContext>(machine, dfs, conf, 42);
+  }
+  SparkContext& ctx() { return *sc; }
+};
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+// --- conf ----------------------------------------------------------------------
+
+TEST(SparkConf, DefaultsMatchPaperDeployment) {
+  const SparkConf conf;
+  EXPECT_EQ(conf.executor_instances, 1);
+  EXPECT_EQ(conf.cores_per_executor, 40);
+  EXPECT_EQ(conf.mem_bind, mem::TierId::kTier0);
+  EXPECT_EQ(conf.total_cores(), 40);
+  EXPECT_EQ(conf.effective_shuffle_partitions(), 40);
+}
+
+TEST(SparkConf, FromConfigOverrides) {
+  Config raw;
+  raw.set_int("spark.executor.instances", 4);
+  raw.set_int("spark.executor.cores", 10);
+  raw.set_int("spark.mem.tier", 2);
+  const SparkConf conf = SparkConf::from(raw);
+  EXPECT_EQ(conf.executor_instances, 4);
+  EXPECT_EQ(conf.total_cores(), 40);
+  EXPECT_EQ(conf.mem_bind, mem::TierId::kTier2);
+  EXPECT_NE(conf.describe().find("4 executor"), std::string::npos);
+}
+
+// --- task cost accounting ---------------------------------------------------------
+
+TEST(TaskContext, ChargesScaleWithMultiplier) {
+  TaskContext ctx(0, 0, default_cost_model(), 10.0, Rng(1));
+  ctx.charge_cpu(Duration::seconds(1));
+  ctx.charge_stream_read(Bytes::of(100));
+  ctx.charge_dep_writes(5);
+  ctx.charge_io(Duration::seconds(2));
+  ctx.charge_disk_read(Bytes::of(50));
+  ctx.charge_cpu_unscaled(Duration::seconds(3));
+  const TaskCost& c = ctx.cost();
+  EXPECT_DOUBLE_EQ(c.cpu_seconds, 13.0);  // 1*10 + 3 unscaled
+  EXPECT_DOUBLE_EQ(c.stream_read().b(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.dep_writes, 50.0);
+  EXPECT_DOUBLE_EQ(c.io_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(c.disk_read.b(), 500.0);
+}
+
+TEST(TaskCost, AccumulatesAndDetectsZero) {
+  TaskCost a;
+  EXPECT_TRUE(a.is_zero());
+  TaskCost b;
+  b.cpu_seconds = 1.0;
+  b.stream_write_by[0] = Bytes::of(10);
+  a += b;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.stream_write().b(), 20.0);
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(TaskContext, RejectsNegativeCharges) {
+  TaskContext ctx(0, 0, default_cost_model(), 1.0, Rng(1));
+  EXPECT_THROW(ctx.charge_cpu(Duration::seconds(-1)), tsx::Error);
+  EXPECT_THROW(ctx.charge_dep_reads(-1), tsx::Error);
+}
+
+// --- sizer ----------------------------------------------------------------------
+
+TEST(Sizer, CoversCommonTypes) {
+  EXPECT_DOUBLE_EQ(est_bytes(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(est_bytes(std::string("abcd")), 12.0);
+  EXPECT_DOUBLE_EQ(est_bytes(std::make_pair(1, 2.0)), 12.0);
+  EXPECT_DOUBLE_EQ(est_bytes(std::array<double, 3>{1, 2, 3}), 24.0);
+  const std::vector<std::pair<int, float>> v = {{1, 2.0f}, {3, 4.0f}};
+  EXPECT_DOUBLE_EQ(est_bytes(v), 16.0 + 16.0);
+  EXPECT_DOUBLE_EQ(est_bytes_all(std::vector<int>{1, 2, 3}), 12.0);
+}
+
+// --- RDD semantics vs reference -----------------------------------------------------
+
+TEST(Rdd, ParallelizeCollectIdentity) {
+  Engine e;
+  const auto data = iota_vec(100);
+  auto rdd = parallelize<int>(e.ctx(), data, 7);
+  EXPECT_EQ(rdd->num_partitions(), 7u);
+  EXPECT_EQ(collect(rdd), data);
+}
+
+TEST(Rdd, MapMatchesReference) {
+  Engine e;
+  auto rdd = map_rdd(parallelize<int>(e.ctx(), iota_vec(50), 4),
+                     [](const int& x) { return x * x; });
+  const auto out = collect(rdd);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(Rdd, FilterMatchesReference) {
+  Engine e;
+  auto rdd = filter_rdd(parallelize<int>(e.ctx(), iota_vec(100), 5),
+                        [](const int& x) { return x % 3 == 0; });
+  const auto out = collect(rdd);
+  EXPECT_EQ(out.size(), 34u);
+  for (const int x : out) EXPECT_EQ(x % 3, 0);
+}
+
+TEST(Rdd, FlatMapExpands) {
+  Engine e;
+  auto rdd = flat_map_rdd(parallelize<int>(e.ctx(), iota_vec(10), 3),
+                          [](const int& x) {
+                            return std::vector<int>(
+                                static_cast<std::size_t>(x), x);
+                          });
+  EXPECT_EQ(count(rdd), 45u);  // 0+1+...+9
+}
+
+TEST(Rdd, UnionConcatenates) {
+  Engine e;
+  auto a = parallelize<int>(e.ctx(), {1, 2}, 2);
+  auto b = parallelize<int>(e.ctx(), {3, 4, 5}, 1);
+  auto u = union_rdd(a, b);
+  EXPECT_EQ(u->num_partitions(), 3u);
+  EXPECT_EQ(collect(u), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Rdd, SampleIsDeterministicSubset) {
+  Engine e;
+  auto base = parallelize<int>(e.ctx(), iota_vec(1000), 4);
+  auto s = sample_rdd(base, 0.3);
+  const auto out1 = collect(s);
+  const auto out2 = collect(s);
+  EXPECT_EQ(out1, out2);  // deterministic across jobs
+  EXPECT_GT(out1.size(), 200u);
+  EXPECT_LT(out1.size(), 400u);
+}
+
+TEST(Rdd, ReduceAndCount) {
+  Engine e;
+  auto rdd = parallelize<int>(e.ctx(), iota_vec(101), 8);
+  EXPECT_EQ(count(rdd), 101u);
+  EXPECT_EQ(reduce(rdd, [](int a, int b) { return a + b; }), 5050);
+}
+
+TEST(Rdd, ReduceOfEmptyThrows) {
+  Engine e;
+  auto rdd = filter_rdd(parallelize<int>(e.ctx(), iota_vec(10), 2),
+                        [](const int&) { return false; });
+  EXPECT_THROW(reduce(rdd, [](int a, int b) { return a + b; }), tsx::Error);
+}
+
+TEST(Rdd, GeneratorDeterministicAcrossJobs) {
+  Engine e;
+  auto gen = generate_rdd<std::uint64_t>(
+      e.ctx(), "g", 4,
+      [](std::size_t, Rng& rng) {
+        std::vector<std::uint64_t> out;
+        for (int i = 0; i < 10; ++i) out.push_back(rng.next_u64());
+        return out;
+      });
+  EXPECT_EQ(collect(gen), collect(gen));
+}
+
+TEST(Rdd, TextFileRoundTrip) {
+  Engine e;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) lines.push_back("line" + std::to_string(i));
+  e.dfs.write_text("/in", lines);
+  auto rdd = text_file(e.ctx(), "/in", 5);
+  EXPECT_EQ(collect(rdd), lines);
+}
+
+TEST(Rdd, SaveAsTextFileWritesDfs) {
+  Engine e;
+  auto rdd = map_rdd(parallelize<int>(e.ctx(), iota_vec(10), 2),
+                     [](const int& x) { return x; });
+  save_as_text_file(rdd, "/out", [](const int& x) {
+    return std::to_string(x);
+  });
+  const auto out = e.dfs.read_text("/out");
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[3], "3");
+}
+
+// --- caching -----------------------------------------------------------------------
+
+TEST(Rdd, CacheAvoidsRecompute) {
+  Engine e;
+  auto computes = std::make_shared<int>(0);
+  auto gen = generate_rdd<int>(
+      e.ctx(), "counted", 2,
+      [computes](std::size_t, Rng&) {
+        ++*computes;
+        return std::vector<int>{1, 2, 3};
+      },
+      /*charge_input_io=*/false);
+  auto cached = cache_rdd(gen);
+  collect(cached);
+  EXPECT_EQ(*computes, 2);  // one per partition
+  collect(cached);
+  EXPECT_EQ(*computes, 2);  // served from the block manager
+  EXPECT_GE(e.ctx().block_manager().hits(), 2u);
+}
+
+TEST(BlockManager, LruEvictionUnderPressure) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator);
+  mem::TieredAllocator alloc(machine.topology());
+  BlockManager bm(alloc, Bytes::of(100), 0);
+  EXPECT_TRUE(bm.put({1, 0}, 1, Bytes::of(60)));
+  EXPECT_TRUE(bm.put({1, 1}, 2, Bytes::of(60)));  // evicts {1,0}
+  EXPECT_FALSE(bm.has({1, 0}));
+  EXPECT_TRUE(bm.has({1, 1}));
+  EXPECT_EQ(bm.evictions(), 1u);
+  EXPECT_FALSE(bm.put({1, 2}, 3, Bytes::of(200)));  // larger than budget
+  EXPECT_DOUBLE_EQ(bm.bytes_cached().b(), 60.0);
+}
+
+TEST(BlockManager, GetRefreshesLru) {
+  sim::Simulator simulator;
+  mem::MachineModel machine(simulator);
+  mem::TieredAllocator alloc(machine.topology());
+  BlockManager bm(alloc, Bytes::of(100), 0);
+  bm.put({1, 0}, 1, Bytes::of(40));
+  bm.put({1, 1}, 2, Bytes::of(40));
+  EXPECT_NE(bm.get({1, 0}), nullptr);  // now {1,1} is LRU
+  bm.put({1, 2}, 3, Bytes::of(40));
+  EXPECT_TRUE(bm.has({1, 0}));
+  EXPECT_FALSE(bm.has({1, 1}));
+}
+
+// --- shuffles ------------------------------------------------------------------------
+
+TEST(Shuffle, ReduceByKeyMatchesReference) {
+  Engine e;
+  std::vector<std::pair<std::string, int>> data;
+  std::map<std::string, int> reference;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_u64(37));
+    const int value = static_cast<int>(rng.uniform_u64(100));
+    data.emplace_back(key, value);
+    reference[key] += value;
+  }
+  auto rdd = reduce_by_key(
+      parallelize<std::pair<std::string, int>>(e.ctx(), data, 6),
+      [](int a, int b) { return a + b; }, 8);
+  std::map<std::string, int> got;
+  for (const auto& [k, v] : collect(rdd)) got[k] = v;
+  EXPECT_EQ(got, reference);
+}
+
+TEST(Shuffle, GroupByKeyCollectsAllValues) {
+  Engine e;
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 100; ++i) data.emplace_back(i % 5, i);
+  auto grouped = group_by_key(
+      parallelize<std::pair<int, int>>(e.ctx(), data, 4), 3);
+  std::size_t total = 0;
+  for (const auto& [k, vs] : collect(grouped)) {
+    EXPECT_EQ(vs.size(), 20u);
+    for (const int v : vs) EXPECT_EQ(v % 5, k);
+    total += vs.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Shuffle, SortByKeyGloballyOrders) {
+  Engine e;
+  Rng rng(11);
+  std::vector<std::pair<std::uint64_t, int>> data;
+  for (int i = 0; i < 2000; ++i)
+    data.emplace_back(rng.next_u64() % 10000, i);
+  auto sorted = sort_by_key(
+      parallelize<std::pair<std::uint64_t, int>>(e.ctx(), data, 8), 6);
+  const auto out = collect(sorted);
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LE(out[i - 1].first, out[i].first);
+}
+
+TEST(Shuffle, RepartitionPreservesMultiset) {
+  Engine e;
+  const auto data = iota_vec(500);
+  auto rdd = repartition(parallelize<int>(e.ctx(), data, 3), 11);
+  EXPECT_EQ(rdd->num_partitions(), 11u);
+  auto out = collect(rdd);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Shuffle, JoinMatchesReference) {
+  Engine e;
+  std::vector<std::pair<int, std::string>> left;
+  std::vector<std::pair<int, double>> right;
+  for (int i = 0; i < 30; ++i) left.emplace_back(i % 10, "L" + std::to_string(i));
+  for (int i = 0; i < 20; ++i) right.emplace_back(i % 15, i * 1.5);
+  auto joined = join(parallelize<std::pair<int, std::string>>(e.ctx(), left, 3),
+                     parallelize<std::pair<int, double>>(e.ctx(), right, 2), 4);
+  // Reference join size: keys 0..9 have 3 left x 2 right (keys<5: right has
+  // i%15 -> keys 0..14 appear for i in 0..19: keys 0..4 twice, 5..14 once).
+  std::size_t expected = 0;
+  for (int k = 0; k < 10; ++k) {
+    const std::size_t l = 3;
+    const std::size_t r = k < 5 ? 2 : 1;
+    expected += l * r;
+  }
+  EXPECT_EQ(collect(joined).size(), expected);
+}
+
+TEST(Shuffle, MapSideCombineShrinksShuffleBytes) {
+  Engine e;
+  // 1000 records, only 3 distinct keys: combined shuffle must move ~3 keys
+  // per map partition, far less than the raw data.
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1000; ++i) data.emplace_back(i % 3, 1);
+  auto rdd = reduce_by_key(
+      parallelize<std::pair<int, int>>(e.ctx(), data, 4),
+      [](int a, int b) { return a + b; }, 4);
+  collect(rdd);
+  // <= maps(4) x keys(3) records held in the store.
+  EXPECT_LT(e.ctx().shuffle_store().bytes_written_total().b(),
+            4 * 3 * 16.0 + 1.0);
+}
+
+TEST(Shuffle, MapOutputReusedAcrossJobs) {
+  Engine e;
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 100; ++i) data.emplace_back(i % 7, i);
+  auto rdd = reduce_by_key(parallelize<std::pair<int, int>>(e.ctx(), data, 4),
+                           [](int a, int b) { return a + b; }, 4);
+  JobMetrics first, second;
+  collect(rdd, &first);
+  collect(rdd, &second);
+  // Second job skips the map stage (Spark's shuffle output reuse).
+  EXPECT_EQ(first.num_stages, 2u);
+  EXPECT_EQ(second.num_stages, 1u);
+}
+
+TEST(Shuffle, KeysValuesMapValues) {
+  Engine e;
+  std::vector<std::pair<int, int>> data = {{1, 10}, {2, 20}};
+  auto rdd = parallelize<std::pair<int, int>>(e.ctx(), data, 1);
+  EXPECT_EQ(collect(keys(rdd)), (std::vector<int>{1, 2}));
+  EXPECT_EQ(collect(values(rdd)), (std::vector<int>{10, 20}));
+  const auto doubled = collect(map_values(rdd, [](const int& v) {
+    return v * 2;
+  }));
+  EXPECT_EQ(doubled[0].second, 20);
+}
+
+TEST(Shuffle, CountByKeyReference) {
+  Engine e;
+  std::vector<std::pair<std::string, int>> data;
+  for (int i = 0; i < 60; ++i) data.emplace_back(i % 2 ? "odd" : "even", i);
+  auto counted = count_by_key(
+      parallelize<std::pair<std::string, int>>(e.ctx(), data, 4));
+  EXPECT_EQ(counted["odd"], 30u);
+  EXPECT_EQ(counted["even"], 30u);
+}
+
+// --- scheduler & simulated time -------------------------------------------------------
+
+TEST(Scheduler, JobAdvancesVirtualTime) {
+  Engine e;
+  const Duration before = e.ctx().now();
+  collect(parallelize<int>(e.ctx(), iota_vec(10), 2));
+  const Duration after = e.ctx().now();
+  EXPECT_GT(after, before + e.conf.executor_launch);
+}
+
+TEST(Scheduler, StageCountMatchesLineage) {
+  Engine e;
+  std::vector<std::pair<int, int>> data = {{1, 1}, {2, 2}};
+  auto a = reduce_by_key(parallelize<std::pair<int, int>>(e.ctx(), data, 2),
+                         [](int x, int y) { return x + y; }, 2);
+  auto b = reduce_by_key(map_values(a, [](const int& v) { return v + 1; }),
+                         [](int x, int y) { return x + y; }, 2);
+  JobMetrics jm;
+  collect(b, &jm);
+  EXPECT_EQ(jm.num_stages, 3u);  // two map stages + result
+  EXPECT_GT(jm.num_tasks, 0u);
+  ASSERT_EQ(jm.stages.size(), 3u);
+  EXPECT_LE(jm.stages[0].end, jm.stages[1].start);  // barrier ordering
+}
+
+TEST(Scheduler, MoreWorkTakesLongerOnSameTier) {
+  Engine small_e;
+  Engine big_e;
+  collect(map_rdd(parallelize<int>(small_e.ctx(), iota_vec(100), 4),
+                  [](const int& x) { return x; }));
+  collect(map_rdd(parallelize<int>(big_e.ctx(), iota_vec(100000), 4),
+                  [](const int& x) { return x; }));
+  EXPECT_GT(big_e.ctx().now(), small_e.ctx().now());
+}
+
+TEST(Scheduler, NvmTierSlowerForSameJob) {
+  SparkConf nvm_conf;
+  nvm_conf.mem_bind = mem::TierId::kTier2;
+  Engine dram_e;
+  Engine nvm_e(nvm_conf);
+  auto job = [](Engine& e) {
+    std::vector<std::pair<int, int>> data;
+    for (int i = 0; i < 20000; ++i) data.emplace_back(i % 100, i);
+    collect(reduce_by_key(
+        parallelize<std::pair<int, int>>(e.ctx(), data, 8),
+        [](int a, int b) { return a + b; }, 8));
+  };
+  job(dram_e);
+  job(nvm_e);
+  EXPECT_GT(nvm_e.ctx().now(), dram_e.ctx().now());
+}
+
+TEST(Scheduler, CostMultiplierStretchesTime) {
+  Engine e1;
+  Engine e2;
+  e2.ctx().set_cost_multiplier(50.0);
+  auto job = [](Engine& e) {
+    collect(map_rdd(parallelize<int>(e.ctx(), iota_vec(5000), 4),
+                    [](const int& x) { return x; }));
+  };
+  job(e1);
+  job(e2);
+  EXPECT_GT(e2.ctx().now().sec(), e1.ctx().now().sec());
+}
+
+TEST(Context, ExecutorPlacementHonorsBinding) {
+  SparkConf conf;
+  conf.executor_instances = 4;
+  conf.cores_per_executor = 20;
+  conf.cpu_node_bind = 0;
+  Engine e(conf);
+  ASSERT_EQ(e.ctx().executors().size(), 4u);
+  for (const auto& ex : e.ctx().executors())
+    EXPECT_EQ(ex->spec().socket, 0);
+}
+
+TEST(Context, BoundTierResolvesNode) {
+  SparkConf conf;
+  conf.mem_bind = mem::TierId::kTier3;
+  Engine e(conf);
+  EXPECT_EQ(e.ctx().bound_tier().tech->kind, mem::TechKind::kNvm);
+  EXPECT_TRUE(e.ctx().bound_tier().remote);
+}
+
+/// Property: the multiset of results of a keyed aggregation is invariant to
+/// the number of reduce partitions.
+class ShufflePartitionInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShufflePartitionInvariance, SameResultAnyPartitionCount) {
+  Engine e;
+  std::vector<std::pair<int, int>> data;
+  Rng rng(GetParam() * 17 + 1);
+  for (int i = 0; i < 300; ++i)
+    data.emplace_back(static_cast<int>(rng.uniform_u64(23)), 1);
+  auto rdd = reduce_by_key(
+      parallelize<std::pair<int, int>>(e.ctx(), data, 5),
+      [](int a, int b) { return a + b; },
+      static_cast<std::size_t>(GetParam()));
+  int total = 0;
+  for (const auto& [k, v] : collect(rdd)) total += v;
+  EXPECT_EQ(total, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, ShufflePartitionInvariance,
+                         ::testing::Values(1, 2, 3, 7, 16, 40, 64));
+
+}  // namespace
+}  // namespace tsx::spark

@@ -1,0 +1,340 @@
+// Unit and property tests for tsx::stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/ols.hpp"
+#include "stats/quantiles.hpp"
+
+namespace tsx::stats {
+namespace {
+
+// --- descriptive -------------------------------------------------------------
+
+TEST(Welford, MatchesClosedForm) {
+  Welford w;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Rng rng(5);
+  Welford all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(Welford, EmptyAndSingleton) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_THROW(w.min(), Error);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Summarize, BatchAgreesWithWelford) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.sum, 21.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, -1.0}), Error);
+}
+
+// --- quantiles ---------------------------------------------------------------
+
+TEST(Quantiles, Type7Interpolation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Quantiles, UnsortedInputHandled) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::vector<double> ps = {0.1, 0.5, 0.9};
+  const auto qs = quantiles(xs, ps);
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(qs[i], quantile(xs, ps[i]));
+}
+
+TEST(Violin, SummaryOrdering) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(10, 3));
+  const ViolinSummary v = violin(xs);
+  EXPECT_LE(v.min, v.q1);
+  EXPECT_LE(v.q1, v.median);
+  EXPECT_LE(v.median, v.q3);
+  EXPECT_LE(v.q3, v.max);
+  EXPECT_NEAR(v.mean, 10.0, 0.5);
+  EXPECT_GT(v.iqr(), 0.0);
+}
+
+TEST(Violin, RendersFiveNumbers) {
+  const ViolinSummary v = violin(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(to_string(v, 1), "1.0/1.5/2.0/2.5/3.0");
+}
+
+// --- correlation ----------------------------------------------------------------
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(3.0 * v - 1.0);
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  for (auto& v : y) v = -v;
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 0.9);  // pearson sees the nonlinearity
+}
+
+TEST(CorrelateAll, OrdersAndLengths) {
+  const std::vector<Series> features = {
+      {"same", {1, 2, 3, 4}},
+      {"anti", {4, 3, 2, 1}},
+  };
+  const std::vector<double> target = {2, 4, 6, 8};
+  const auto r = correlate_all(features, target);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], -1.0, 1e-12);
+}
+
+TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
+  Rng rng(13);
+  std::vector<Series> f(3);
+  for (int i = 0; i < 3; ++i) {
+    f[static_cast<std::size_t>(i)].name = "f" + std::to_string(i);
+    for (int j = 0; j < 50; ++j)
+      f[static_cast<std::size_t>(i)].values.push_back(rng.normal());
+  }
+  const auto m = correlation_matrix(f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+  }
+}
+
+// --- OLS ----------------------------------------------------------------------
+
+TEST(Ols, RecoversPlaneExactly) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.uniform(-5, 5);
+    const double b = rng.uniform(-5, 5);
+    rows.push_back({a, b});
+    y.push_back(2.0 + 3.0 * a - 1.5 * b);
+  }
+  const LinearModel m = fit_ols(rows, y);
+  EXPECT_NEAR(m.beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(m.beta[1], 3.0, 1e-9);
+  EXPECT_NEAR(m.beta[2], -1.5, 1e-9);
+  EXPECT_NEAR(m.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.0, 1.0}), 3.5, 1e-9);
+}
+
+TEST(Ols, NoisyFitHasReasonableDiagnostics) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(0, 10);
+    rows.push_back({a});
+    y.push_back(1.0 + 2.0 * a + rng.normal(0, 0.5));
+  }
+  const LinearModel m = fit_ols(rows, y);
+  EXPECT_NEAR(m.beta[1], 2.0, 0.05);
+  EXPECT_GT(m.r_squared, 0.97);
+  EXPECT_NEAR(m.residual_stddev, 0.5, 0.08);
+}
+
+TEST(Ols, CollinearFeaturesFallBackToRidge) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    const double a = i;
+    rows.push_back({a, 2.0 * a});  // perfectly collinear
+    y.push_back(a);
+  }
+  const LinearModel m = fit_ols(rows, y);  // must not throw
+  EXPECT_NEAR(m.predict(std::vector<double>{4.0, 8.0}), 4.0, 1e-3);
+}
+
+TEST(Ols, RejectsUnderdeterminedSystems) {
+  const std::vector<std::vector<double>> rows = {{1.0, 2.0}};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(fit_ols(rows, y), Error);
+}
+
+TEST(Wls, RelativeWeightsRescueSmallObservations) {
+  // Two clusters of observations: y ~ 2x at x ~ 1 and a corrupted giant at
+  // x = 1000. Plain OLS chases the giant; 1/y^2-weighted WLS fits the
+  // small cluster in relative terms.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  std::vector<double> w;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(2.0 * i);
+  }
+  rows.push_back({1000.0});
+  y.push_back(3000.0);  // slope 3 outlier, huge magnitude
+  for (const double v : y) w.push_back(1.0 / (v * v));
+
+  const LinearModel ols = fit_ols(rows, y);
+  const LinearModel wls = fit_wls(rows, y, w);
+  // OLS slope dragged toward 3; WLS stays near 2.
+  EXPECT_GT(ols.beta[1], 2.5);
+  EXPECT_NEAR(wls.beta[1], 2.0, 0.1);
+}
+
+TEST(Wls, RejectsBadWeights) {
+  const std::vector<std::vector<double>> rows = {{1.0}, {2.0}, {3.0}};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(fit_wls(rows, y, std::vector<double>{1.0}), Error);
+  EXPECT_THROW(fit_wls(rows, y, std::vector<double>{1.0, -1.0, 1.0}), Error);
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  const auto x = cholesky_solve({4, 2, 2, 3}, {10, 8}, 2);
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskySolve, ThrowsOnIndefinite) {
+  EXPECT_THROW(cholesky_solve({1, 2, 2, 1}, {1, 1}, 2), Error);
+}
+
+// --- histogram -------------------------------------------------------------------
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_THROW(h.count(5), Error);
+}
+
+TEST(Histogram, ModeAndSparkline) {
+  Histogram h(0.0, 3.0, 3);
+  h.add_all(std::vector<double>{0.5, 1.5, 1.6, 1.7, 2.5});
+  EXPECT_EQ(h.mode_bin(), 1u);
+  const std::string spark = h.sparkline();
+  EXPECT_EQ(spark.size(), 3u);
+  EXPECT_NE(spark[1], ' ');
+}
+
+// --- bootstrap -------------------------------------------------------------------
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(7.0, 2.0));
+  Rng boot(29);
+  const Interval ci = bootstrap_mean_ci(xs, 0.95, 500, boot);
+  EXPECT_LT(ci.lo, 7.0);
+  EXPECT_GT(ci.hi, 7.0);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 7.0, 0.3);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  Rng boot(31);
+  const Interval ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return quantile(s, 0.5); }, 0.9,
+      200, boot);
+  EXPECT_GE(ci.hi, ci.lo);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const std::vector<double> xs = {1.0};
+  Rng boot(37);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 1.5, 100, boot), Error);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 0.9, 3, boot), Error);
+}
+
+}  // namespace
+}  // namespace tsx::stats

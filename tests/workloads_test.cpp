@@ -1,0 +1,218 @@
+// Tests for data generators, scale planning, and the seven applications'
+// functional correctness (each app's own self-validation must pass) and
+// determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "dfs/dfs.hpp"
+#include "mem/machine.hpp"
+#include "sim/simulator.hpp"
+#include "spark/context.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/scales.hpp"
+
+namespace tsx::workloads {
+namespace {
+
+// --- scales --------------------------------------------------------------------
+
+TEST(Scales, LabelsRoundTrip) {
+  for (const ScaleId s : kAllScales)
+    EXPECT_EQ(scale_from_label(to_string(s)), s);
+  EXPECT_THROW(scale_from_label("huge"), tsx::Error);
+  EXPECT_EQ(scale_from_index(2), ScaleId::kLarge);
+}
+
+TEST(Scales, SamplePlanCapsAndMultiplies) {
+  const SampledScale full = SampledScale::plan(100, 1000);
+  EXPECT_EQ(full.sample, 100u);
+  EXPECT_DOUBLE_EQ(full.multiplier, 1.0);
+  const SampledScale capped = SampledScale::plan(100000, 1000);
+  EXPECT_EQ(capped.sample, 1000u);
+  EXPECT_DOUBLE_EQ(capped.multiplier, 100.0);
+  EXPECT_THROW(SampledScale::plan(0, 10), tsx::Error);
+}
+
+// --- apps registry ----------------------------------------------------------------
+
+TEST(Apps, NamesRoundTripAndCategories) {
+  for (const App app : kAllApps)
+    EXPECT_EQ(app_from_name(to_string(app)), app);
+  EXPECT_EQ(category_of(App::kSort), AppCategory::kMicro);
+  EXPECT_EQ(category_of(App::kLda), AppCategory::kMachineLearning);
+  EXPECT_EQ(category_of(App::kPagerank), AppCategory::kWebSearch);
+  EXPECT_THROW(app_from_name("nosuch"), tsx::Error);
+}
+
+// --- datagen -----------------------------------------------------------------------
+
+TEST(Datagen, LinesHaveRequestedShape) {
+  Rng rng(3);
+  const auto lines = random_lines(rng, 20, 100);
+  ASSERT_EQ(lines.size(), 20u);
+  std::set<std::string> keys;
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), 100u);
+    EXPECT_EQ(line[10], ' ');
+    keys.insert(line.substr(0, 10));
+  }
+  EXPECT_GT(keys.size(), 18u);  // keys essentially unique
+}
+
+TEST(Datagen, RatingsWithinDomain) {
+  Rng rng(5);
+  const auto ratings = random_ratings(rng, 500, 50, 70);
+  for (const Rating& r : ratings) {
+    EXPECT_LT(r.user, 50u);
+    EXPECT_LT(r.product, 70u);
+    EXPECT_GE(r.score, 1.0f);
+    EXPECT_LE(r.score, 5.0f);
+  }
+}
+
+TEST(Datagen, PointsHaveBalancedLabelsAndSignal) {
+  Rng rng(7);
+  const auto points = random_points(rng, 400, 50);
+  int positives = 0;
+  for (const auto& p : points) {
+    EXPECT_EQ(p.features.size(), 50u);
+    positives += p.label > 0.5f ? 1 : 0;
+  }
+  EXPECT_GT(positives, 80);
+  EXPECT_LT(positives, 320);
+}
+
+TEST(Datagen, GraphRowsValidTargets) {
+  Rng rng(9);
+  const ZipfSampler targets(100, 1.0);
+  const auto rows = random_graph_rows(rng, 10, 20, 100, targets, 6);
+  ASSERT_EQ(rows.size(), 20u);
+  for (const auto& [page, links] : rows) {
+    EXPECT_GE(page, 10u);
+    EXPECT_LT(page, 30u);
+    EXPECT_FALSE(links.empty());
+    for (const auto t : links) {
+      EXPECT_LT(t, 100u);
+      EXPECT_NE(t, page);  // no self-links
+    }
+    // Unique (sorted-unique by construction).
+    EXPECT_TRUE(std::is_sorted(links.begin(), links.end()));
+  }
+}
+
+TEST(Datagen, DocumentsUseZipfVocabulary) {
+  Rng rng(11);
+  const ZipfSampler vocab(1000, 1.2);
+  const auto doc = random_document(rng, vocab, 500);
+  EXPECT_EQ(doc.size(), 500u);
+  std::size_t head = 0;
+  for (const auto& w : doc)
+    if (w == "w0" || w == "w1" || w == "w2") ++head;
+  EXPECT_GT(head, 25u);  // head words dominate
+}
+
+// --- per-app functional validation -----------------------------------------------
+
+class AppValidation : public ::testing::TestWithParam<App> {};
+
+TEST_P(AppValidation, TinyScalePassesSelfCheck) {
+  RunConfig cfg;
+  cfg.app = GetParam();
+  cfg.scale = ScaleId::kTiny;
+  const RunResult r = run_workload(cfg);
+  EXPECT_TRUE(r.valid) << r.validation;
+  EXPECT_GT(r.exec_time.sec(), 0.0);
+  EXPECT_GT(r.tasks, 0u);
+}
+
+TEST_P(AppValidation, SmallScalePassesSelfCheck) {
+  RunConfig cfg;
+  cfg.app = GetParam();
+  cfg.scale = ScaleId::kSmall;
+  const RunResult r = run_workload(cfg);
+  EXPECT_TRUE(r.valid) << r.validation;
+}
+
+TEST_P(AppValidation, DeterministicAcrossRuns) {
+  RunConfig cfg;
+  cfg.app = GetParam();
+  cfg.scale = ScaleId::kTiny;
+  const RunResult a = run_workload(cfg);
+  const RunResult b = run_workload(cfg);
+  EXPECT_DOUBLE_EQ(a.exec_time.sec(), b.exec_time.sec());
+  EXPECT_DOUBLE_EQ(a.total_cost.cpu_seconds, b.total_cost.cpu_seconds);
+  EXPECT_EQ(a.nvdimm.media_writes, b.nvdimm.media_writes);
+}
+
+TEST_P(AppValidation, SeedChangesDataNotValidity) {
+  RunConfig cfg;
+  cfg.app = GetParam();
+  cfg.scale = ScaleId::kTiny;
+  cfg.seed = 777;
+  const RunResult r = run_workload(cfg);
+  EXPECT_TRUE(r.valid) << r.validation;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppValidation,
+                         ::testing::ValuesIn(kAllApps),
+                         [](const ::testing::TestParamInfo<App>& info) {
+                           return to_string(info.param);
+                         });
+
+// --- runner ------------------------------------------------------------------------
+
+TEST(Runner, ResultCarriesAllInstruments) {
+  RunConfig cfg;
+  cfg.app = App::kBayes;
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier2;
+  const RunResult r = run_workload(cfg);
+  EXPECT_EQ(r.traffic.size(), 4u);
+  EXPECT_GT(r.nvdimm.total_media_ops(), 0u);  // bound to NVM
+  EXPECT_EQ(r.energy.size(), 4u);
+  EXPECT_GT(r.bound_node_energy_per_dimm().j(), 0.0);
+  EXPECT_GT(r.wear.lifetime_fraction_used, 0.0);
+  EXPECT_GT(r.events[metrics::SysEvent::kInstructions], 0.0);
+  EXPECT_FALSE(r.config.describe().empty());
+}
+
+TEST(Runner, DramRunTouchesNoNvm) {
+  RunConfig cfg;
+  cfg.app = App::kSort;
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier0;
+  const RunResult r = run_workload(cfg);
+  EXPECT_EQ(r.nvdimm.total_media_ops(), 0u);
+  EXPECT_DOUBLE_EQ(r.wear.lifetime_fraction_used, 0.0);
+}
+
+TEST(Runner, RepeatsVarySeedsDeterministically) {
+  RunConfig cfg;
+  cfg.app = App::kRepartition;
+  cfg.scale = ScaleId::kTiny;
+  const auto runs = run_repeats(cfg, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_NE(runs[0].config.seed, runs[1].config.seed);
+  // Same config re-run reproduces identical repeats.
+  const auto runs2 = run_repeats(cfg, 3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(runs[static_cast<std::size_t>(i)].exec_time.sec(),
+                     runs2[static_cast<std::size_t>(i)].exec_time.sec());
+}
+
+TEST(Runner, ExecutorGridConfigApplies) {
+  RunConfig cfg;
+  cfg.app = App::kRepartition;
+  cfg.scale = ScaleId::kTiny;
+  cfg.executors = 4;
+  cfg.cores_per_executor = 10;
+  const RunResult r = run_workload(cfg);
+  EXPECT_TRUE(r.valid);
+}
+
+}  // namespace
+}  // namespace tsx::workloads
