@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_interference.dir/bench_ext_interference.cpp.o"
+  "CMakeFiles/bench_ext_interference.dir/bench_ext_interference.cpp.o.d"
+  "bench_ext_interference"
+  "bench_ext_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_predictor.cpp" "bench/CMakeFiles/bench_ext_predictor.dir/bench_ext_predictor.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_predictor.dir/bench_ext_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tsx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tsx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tsx_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/tsx_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tsx_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

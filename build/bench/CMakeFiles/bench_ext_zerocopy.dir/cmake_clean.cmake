@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zerocopy.dir/bench_ext_zerocopy.cpp.o"
+  "CMakeFiles/bench_ext_zerocopy.dir/bench_ext_zerocopy.cpp.o.d"
+  "bench_ext_zerocopy"
+  "bench_ext_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_accesses.dir/bench_fig2_accesses.cpp.o"
+  "CMakeFiles/bench_fig2_accesses.dir/bench_fig2_accesses.cpp.o.d"
+  "bench_fig2_accesses"
+  "bench_fig2_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

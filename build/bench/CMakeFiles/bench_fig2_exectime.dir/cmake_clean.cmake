@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_exectime.dir/bench_fig2_exectime.cpp.o"
+  "CMakeFiles/bench_fig2_exectime.dir/bench_fig2_exectime.cpp.o.d"
+  "bench_fig2_exectime"
+  "bench_fig2_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

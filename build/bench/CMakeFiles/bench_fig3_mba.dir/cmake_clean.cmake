@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mba.dir/bench_fig3_mba.cpp.o"
+  "CMakeFiles/bench_fig3_mba.dir/bench_fig3_mba.cpp.o.d"
+  "bench_fig3_mba"
+  "bench_fig3_mba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_syscorr.dir/bench_fig5_syscorr.cpp.o"
+  "CMakeFiles/bench_fig5_syscorr.dir/bench_fig5_syscorr.cpp.o.d"
+  "bench_fig5_syscorr"
+  "bench_fig5_syscorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_syscorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hwcorr.dir/bench_fig6_hwcorr.cpp.o"
+  "CMakeFiles/bench_fig6_hwcorr.dir/bench_fig6_hwcorr.cpp.o.d"
+  "bench_fig6_hwcorr"
+  "bench_fig6_hwcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hwcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

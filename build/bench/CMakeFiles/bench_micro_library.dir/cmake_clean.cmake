@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_library.dir/bench_micro_library.cpp.o"
+  "CMakeFiles/bench_micro_library.dir/bench_micro_library.cpp.o.d"
+  "bench_micro_library"
+  "bench_micro_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tiers.dir/bench_table1_tiers.cpp.o"
+  "CMakeFiles/bench_table1_tiers.dir/bench_table1_tiers.cpp.o.d"
+  "bench_table1_tiers"
+  "bench_table1_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_tuning.dir/executor_tuning.cpp.o"
+  "CMakeFiles/executor_tuning.dir/executor_tuning.cpp.o.d"
+  "executor_tuning"
+  "executor_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_advisor.dir/tier_advisor.cpp.o"
+  "CMakeFiles/tier_advisor.dir/tier_advisor.cpp.o.d"
+  "tier_advisor"
+  "tier_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/correlation_study.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/correlation_study.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/correlation_study.cpp.o.d"
+  "/root/repo/src/analysis/cross_predictor.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/cross_predictor.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/cross_predictor.cpp.o.d"
+  "/root/repo/src/analysis/guidelines.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/guidelines.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/guidelines.cpp.o.d"
+  "/root/repo/src/analysis/predictor.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/predictor.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/predictor.cpp.o.d"
+  "/root/repo/src/analysis/speedup_grid.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/speedup_grid.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/speedup_grid.cpp.o.d"
+  "/root/repo/src/analysis/takeaways.cpp" "src/analysis/CMakeFiles/tsx_analysis.dir/takeaways.cpp.o" "gcc" "src/analysis/CMakeFiles/tsx_analysis.dir/takeaways.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tsx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tsx_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/tsx_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tsx_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_analysis.dir/correlation_study.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/correlation_study.cpp.o.d"
+  "CMakeFiles/tsx_analysis.dir/cross_predictor.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/cross_predictor.cpp.o.d"
+  "CMakeFiles/tsx_analysis.dir/guidelines.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/guidelines.cpp.o.d"
+  "CMakeFiles/tsx_analysis.dir/predictor.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/predictor.cpp.o.d"
+  "CMakeFiles/tsx_analysis.dir/speedup_grid.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/speedup_grid.cpp.o.d"
+  "CMakeFiles/tsx_analysis.dir/takeaways.cpp.o"
+  "CMakeFiles/tsx_analysis.dir/takeaways.cpp.o.d"
+  "libtsx_analysis.a"
+  "libtsx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

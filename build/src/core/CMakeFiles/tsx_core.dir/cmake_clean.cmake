@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_core.dir/config.cpp.o"
+  "CMakeFiles/tsx_core.dir/config.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/error.cpp.o"
+  "CMakeFiles/tsx_core.dir/error.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/log.cpp.o"
+  "CMakeFiles/tsx_core.dir/log.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/rng.cpp.o"
+  "CMakeFiles/tsx_core.dir/rng.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/strings.cpp.o"
+  "CMakeFiles/tsx_core.dir/strings.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/table.cpp.o"
+  "CMakeFiles/tsx_core.dir/table.cpp.o.d"
+  "CMakeFiles/tsx_core.dir/units.cpp.o"
+  "CMakeFiles/tsx_core.dir/units.cpp.o.d"
+  "libtsx_core.a"
+  "libtsx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/tsx_dfs.dir/dfs.cpp.o.d"
+  "libtsx_dfs.a"
+  "libtsx_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

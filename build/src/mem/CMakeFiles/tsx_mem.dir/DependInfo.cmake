@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/allocator.cpp" "src/mem/CMakeFiles/tsx_mem.dir/allocator.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/allocator.cpp.o.d"
+  "/root/repo/src/mem/background_load.cpp" "src/mem/CMakeFiles/tsx_mem.dir/background_load.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/background_load.cpp.o.d"
+  "/root/repo/src/mem/calibration.cpp" "src/mem/CMakeFiles/tsx_mem.dir/calibration.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/calibration.cpp.o.d"
+  "/root/repo/src/mem/energy.cpp" "src/mem/CMakeFiles/tsx_mem.dir/energy.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/energy.cpp.o.d"
+  "/root/repo/src/mem/machine.cpp" "src/mem/CMakeFiles/tsx_mem.dir/machine.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/machine.cpp.o.d"
+  "/root/repo/src/mem/technology.cpp" "src/mem/CMakeFiles/tsx_mem.dir/technology.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/technology.cpp.o.d"
+  "/root/repo/src/mem/tier.cpp" "src/mem/CMakeFiles/tsx_mem.dir/tier.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/tier.cpp.o.d"
+  "/root/repo/src/mem/topology.cpp" "src/mem/CMakeFiles/tsx_mem.dir/topology.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/topology.cpp.o.d"
+  "/root/repo/src/mem/traffic.cpp" "src/mem/CMakeFiles/tsx_mem.dir/traffic.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/traffic.cpp.o.d"
+  "/root/repo/src/mem/wear.cpp" "src/mem/CMakeFiles/tsx_mem.dir/wear.cpp.o" "gcc" "src/mem/CMakeFiles/tsx_mem.dir/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

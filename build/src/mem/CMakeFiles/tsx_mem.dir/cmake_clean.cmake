@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_mem.dir/allocator.cpp.o"
+  "CMakeFiles/tsx_mem.dir/allocator.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/background_load.cpp.o"
+  "CMakeFiles/tsx_mem.dir/background_load.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/calibration.cpp.o"
+  "CMakeFiles/tsx_mem.dir/calibration.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/energy.cpp.o"
+  "CMakeFiles/tsx_mem.dir/energy.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/machine.cpp.o"
+  "CMakeFiles/tsx_mem.dir/machine.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/technology.cpp.o"
+  "CMakeFiles/tsx_mem.dir/technology.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/tier.cpp.o"
+  "CMakeFiles/tsx_mem.dir/tier.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/topology.cpp.o"
+  "CMakeFiles/tsx_mem.dir/topology.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/traffic.cpp.o"
+  "CMakeFiles/tsx_mem.dir/traffic.cpp.o.d"
+  "CMakeFiles/tsx_mem.dir/wear.cpp.o"
+  "CMakeFiles/tsx_mem.dir/wear.cpp.o.d"
+  "libtsx_mem.a"
+  "libtsx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

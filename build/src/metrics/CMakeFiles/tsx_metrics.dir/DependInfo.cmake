@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/nvdimm.cpp" "src/metrics/CMakeFiles/tsx_metrics.dir/nvdimm.cpp.o" "gcc" "src/metrics/CMakeFiles/tsx_metrics.dir/nvdimm.cpp.o.d"
+  "/root/repo/src/metrics/system_events.cpp" "src/metrics/CMakeFiles/tsx_metrics.dir/system_events.cpp.o" "gcc" "src/metrics/CMakeFiles/tsx_metrics.dir/system_events.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/tsx_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tsx_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_metrics.dir/nvdimm.cpp.o"
+  "CMakeFiles/tsx_metrics.dir/nvdimm.cpp.o.d"
+  "CMakeFiles/tsx_metrics.dir/system_events.cpp.o"
+  "CMakeFiles/tsx_metrics.dir/system_events.cpp.o.d"
+  "libtsx_metrics.a"
+  "libtsx_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_pool.cpp" "src/sim/CMakeFiles/tsx_sim.dir/core_pool.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/core_pool.cpp.o.d"
+  "/root/repo/src/sim/fluid_channel.cpp" "src/sim/CMakeFiles/tsx_sim.dir/fluid_channel.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/fluid_channel.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/tsx_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/tsx_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

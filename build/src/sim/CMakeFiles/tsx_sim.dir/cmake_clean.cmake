@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_sim.dir/core_pool.cpp.o"
+  "CMakeFiles/tsx_sim.dir/core_pool.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/fluid_channel.cpp.o"
+  "CMakeFiles/tsx_sim.dir/fluid_channel.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tsx_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/trace.cpp.o"
+  "CMakeFiles/tsx_sim.dir/trace.cpp.o.d"
+  "libtsx_sim.a"
+  "libtsx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/block_manager.cpp" "src/spark/CMakeFiles/tsx_spark.dir/block_manager.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/block_manager.cpp.o.d"
+  "/root/repo/src/spark/conf.cpp" "src/spark/CMakeFiles/tsx_spark.dir/conf.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/conf.cpp.o.d"
+  "/root/repo/src/spark/context.cpp" "src/spark/CMakeFiles/tsx_spark.dir/context.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/context.cpp.o.d"
+  "/root/repo/src/spark/cost_model.cpp" "src/spark/CMakeFiles/tsx_spark.dir/cost_model.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/cost_model.cpp.o.d"
+  "/root/repo/src/spark/executor.cpp" "src/spark/CMakeFiles/tsx_spark.dir/executor.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/executor.cpp.o.d"
+  "/root/repo/src/spark/rdd_base.cpp" "src/spark/CMakeFiles/tsx_spark.dir/rdd_base.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/rdd_base.cpp.o.d"
+  "/root/repo/src/spark/scheduler.cpp" "src/spark/CMakeFiles/tsx_spark.dir/scheduler.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/scheduler.cpp.o.d"
+  "/root/repo/src/spark/shuffle.cpp" "src/spark/CMakeFiles/tsx_spark.dir/shuffle.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/shuffle.cpp.o.d"
+  "/root/repo/src/spark/task.cpp" "src/spark/CMakeFiles/tsx_spark.dir/task.cpp.o" "gcc" "src/spark/CMakeFiles/tsx_spark.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tsx_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

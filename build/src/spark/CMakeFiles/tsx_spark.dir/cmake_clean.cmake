@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_spark.dir/block_manager.cpp.o"
+  "CMakeFiles/tsx_spark.dir/block_manager.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/conf.cpp.o"
+  "CMakeFiles/tsx_spark.dir/conf.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/context.cpp.o"
+  "CMakeFiles/tsx_spark.dir/context.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/cost_model.cpp.o"
+  "CMakeFiles/tsx_spark.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/executor.cpp.o"
+  "CMakeFiles/tsx_spark.dir/executor.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/rdd_base.cpp.o"
+  "CMakeFiles/tsx_spark.dir/rdd_base.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/scheduler.cpp.o"
+  "CMakeFiles/tsx_spark.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/shuffle.cpp.o"
+  "CMakeFiles/tsx_spark.dir/shuffle.cpp.o.d"
+  "CMakeFiles/tsx_spark.dir/task.cpp.o"
+  "CMakeFiles/tsx_spark.dir/task.cpp.o.d"
+  "libtsx_spark.a"
+  "libtsx_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

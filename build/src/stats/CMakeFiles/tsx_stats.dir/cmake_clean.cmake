@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/tsx_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/tsx_stats.dir/correlation.cpp.o"
+  "CMakeFiles/tsx_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/tsx_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tsx_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tsx_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tsx_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tsx_stats.dir/ols.cpp.o"
+  "CMakeFiles/tsx_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/tsx_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/tsx_stats.dir/quantiles.cpp.o.d"
+  "libtsx_stats.a"
+  "libtsx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsx_stats.a"
+)

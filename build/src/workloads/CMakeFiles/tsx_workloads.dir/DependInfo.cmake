@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/als_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/als_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/als_app.cpp.o.d"
+  "/root/repo/src/workloads/apps.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/apps.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/apps.cpp.o.d"
+  "/root/repo/src/workloads/bayes_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/bayes_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/bayes_app.cpp.o.d"
+  "/root/repo/src/workloads/datagen.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/datagen.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/datagen.cpp.o.d"
+  "/root/repo/src/workloads/lda_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/lda_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/lda_app.cpp.o.d"
+  "/root/repo/src/workloads/ml/decision_tree.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/ml/decision_tree.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/workloads/ml/naive_bayes.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/ml/naive_bayes.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/workloads/pagerank_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/pagerank_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/pagerank_app.cpp.o.d"
+  "/root/repo/src/workloads/repartition_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/repartition_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/repartition_app.cpp.o.d"
+  "/root/repo/src/workloads/report.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/report.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/report.cpp.o.d"
+  "/root/repo/src/workloads/rf_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/rf_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/rf_app.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/scales.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/scales.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/scales.cpp.o.d"
+  "/root/repo/src/workloads/sort_app.cpp" "src/workloads/CMakeFiles/tsx_workloads.dir/sort_app.cpp.o" "gcc" "src/workloads/CMakeFiles/tsx_workloads.dir/sort_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spark/CMakeFiles/tsx_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tsx_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/tsx_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

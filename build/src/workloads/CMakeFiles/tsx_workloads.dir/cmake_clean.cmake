@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_workloads.dir/als_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/als_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/apps.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/bayes_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/bayes_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/datagen.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/datagen.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/lda_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/lda_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/ml/naive_bayes.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/ml/naive_bayes.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/pagerank_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/pagerank_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/repartition_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/repartition_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/report.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/report.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/rf_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/rf_app.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/runner.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/scales.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/scales.cpp.o.d"
+  "CMakeFiles/tsx_workloads.dir/sort_app.cpp.o"
+  "CMakeFiles/tsx_workloads.dir/sort_app.cpp.o.d"
+  "libtsx_workloads.a"
+  "libtsx_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_analysis_test.dir/advanced_analysis_test.cpp.o"
+  "CMakeFiles/advanced_analysis_test.dir/advanced_analysis_test.cpp.o.d"
+  "advanced_analysis_test"
+  "advanced_analysis_test.pdb"
+  "advanced_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

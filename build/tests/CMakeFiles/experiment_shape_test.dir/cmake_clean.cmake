@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_shape_test.dir/experiment_shape_test.cpp.o"
+  "CMakeFiles/experiment_shape_test.dir/experiment_shape_test.cpp.o.d"
+  "experiment_shape_test"
+  "experiment_shape_test.pdb"
+  "experiment_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/advanced_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
