@@ -29,27 +29,31 @@ int main() {
   tiers.print(std::cout);
   std::printf("\n");
 
+  SharedCacheSession cache_session;
+  // Tier is enumerated outside machine, so each app yields six runs:
+  // (T0,T2,T3) x (optane, cxl) with the machine variant adjacent.
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec()
+          .all_apps()
+          .scales({ScaleId::kLarge})
+          .tiers({mem::TierId::kTier0, mem::TierId::kTier2,
+                  mem::TierId::kTier3})
+          .machines({MachineVariant::kDramNvm, MachineVariant::kDramCxl}),
+      bench_runner_options());
+
   TablePrinter table({"app", "T2/T0 optane", "T2/T0 cxl", "T3/T0 optane",
                       "T3/T0 cxl"});
-  for (const App app : kAllApps) {
-    double ratios[2][2];  // [variant][tier-2/tier-3]
-    for (int v = 0; v < 2; ++v) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = ScaleId::kLarge;
-      cfg.machine = v == 0 ? MachineVariant::kDramNvm
-                           : MachineVariant::kDramCxl;
-      cfg.tier = mem::TierId::kTier0;
-      const double t0 = run_workload(cfg).exec_time.sec();
-      cfg.tier = mem::TierId::kTier2;
-      ratios[v][0] = run_workload(cfg).exec_time.sec() / t0;
-      cfg.tier = mem::TierId::kTier3;
-      ratios[v][1] = run_workload(cfg).exec_time.sec() / t0;
-    }
-    table.add_row({to_string(app), TablePrinter::num(ratios[0][0], 2),
-                   TablePrinter::num(ratios[1][0], 2),
-                   TablePrinter::num(ratios[0][1], 2),
-                   TablePrinter::num(ratios[1][1], 2)});
+  for (std::size_t a = 0; a * 6 + 5 < runs.size(); ++a) {
+    const auto time = [&](std::size_t i) {
+      return runs[a * 6 + i].exec_time.sec();
+    };
+    const double t0_optane = time(0);
+    const double t0_cxl = time(1);
+    table.add_row({to_string(runs[a * 6].config.app),
+                   TablePrinter::num(time(2) / t0_optane, 2),
+                   TablePrinter::num(time(3) / t0_cxl, 2),
+                   TablePrinter::num(time(4) / t0_optane, 2),
+                   TablePrinter::num(time(5) / t0_cxl, 2)});
   }
   table.print(std::cout);
 

@@ -17,27 +17,28 @@ int main() {
   using namespace tsx::workloads;
   print_header("EXTENSION", "noisy-neighbor interference per tier");
 
-  const double loads[] = {0.0, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> loads = {0.0, 1.0, 2.0, 4.0, 8.0};
 
+  SharedCacheSession cache_session;
   for (const App app : {App::kBayes, App::kPagerank, App::kSort}) {
+    // Tier is enumerated outside background load: all Tier-0 runs first,
+    // then all Tier-2 runs, each in `loads` order.
+    const auto runs = runner::run_sweep(
+        runner::SweepSpec()
+            .apps({app})
+            .scales({ScaleId::kLarge})
+            .tiers({mem::TierId::kTier0, mem::TierId::kTier2})
+            .background_loads(loads),
+        bench_runner_options());
+
     TablePrinter table({"background GB/s", "Tier 0 (s)", "slowdown",
                         "Tier 2 (s)", "slowdown"});
-    double base0 = 0.0;
-    double base2 = 0.0;
-    for (const double gbps : loads) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = ScaleId::kLarge;
-      cfg.background_load_gbps = gbps;
-      cfg.tier = mem::TierId::kTier0;
-      const RunResult dram = run_workload(cfg);
-      cfg.tier = mem::TierId::kTier2;
-      const RunResult nvm = run_workload(cfg);
-      if (gbps == 0.0) {
-        base0 = dram.exec_time.sec();
-        base2 = nvm.exec_time.sec();
-      }
-      table.add_row({TablePrinter::num(gbps, 1),
+    const double base0 = runs[0].exec_time.sec();
+    const double base2 = runs[loads.size()].exec_time.sec();
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      const RunResult& dram = runs[l];
+      const RunResult& nvm = runs[loads.size() + l];
+      table.add_row({TablePrinter::num(loads[l], 1),
                      TablePrinter::num(dram.exec_time.sec(), 2),
                      TablePrinter::num(dram.exec_time.sec() / base0, 2) + "x",
                      TablePrinter::num(nvm.exec_time.sec(), 2),

@@ -36,10 +36,11 @@ int main() {
       {"heap NVM, cache DRAM", mem::TierId::kTier2, {}, mem::TierId::kTier0},
   };
 
-  for (const App app : {App::kPagerank, App::kLda, App::kBayes}) {
-    std::printf("--- %s-large\n", to_string(app).c_str());
-    TablePrinter table({"placement", "exec time (s)", "vs all-DRAM"});
-    double all_dram = 0.0;
+  // Placement tuples are not a cross product, so build the config list by
+  // hand and hand it straight to the ParallelRunner.
+  const App apps[] = {App::kPagerank, App::kLda, App::kBayes};
+  std::vector<RunConfig> configs;
+  for (const App app : apps) {
     for (const Placement& p : placements) {
       RunConfig cfg;
       cfg.app = app;
@@ -47,9 +48,22 @@ int main() {
       cfg.tier = p.heap;
       cfg.shuffle_tier = p.shuffle;
       cfg.cache_tier = p.cache;
-      const RunResult r = run_workload(cfg);
-      if (all_dram == 0.0) all_dram = r.exec_time.sec();
-      table.add_row({p.name, TablePrinter::num(r.exec_time.sec(), 2),
+      configs.push_back(cfg);
+    }
+  }
+  SharedCacheSession cache_session;
+  const auto runs =
+      runner::ParallelRunner(bench_runner_options()).run(configs);
+
+  constexpr std::size_t kNumPlacements = std::size(placements);
+  for (std::size_t a = 0; a < std::size(apps); ++a) {
+    std::printf("--- %s-large\n", to_string(apps[a]).c_str());
+    TablePrinter table({"placement", "exec time (s)", "vs all-DRAM"});
+    const double all_dram = runs[a * kNumPlacements].exec_time.sec();
+    for (std::size_t p = 0; p < kNumPlacements; ++p) {
+      const RunResult& r = runs[a * kNumPlacements + p];
+      table.add_row({placements[p].name,
+                     TablePrinter::num(r.exec_time.sec(), 2),
                      TablePrinter::num(r.exec_time.sec() / all_dram, 2) +
                          "x"});
     }

@@ -16,21 +16,16 @@ int main() {
   print_header("EXTENSION", "cross-workload tier-performance prediction");
 
   // Characterize: all apps at small+large, all tiers.
-  std::vector<RunResult> all;
+  SharedCacheSession cache_session;
+  const std::vector<RunResult> all = runner::run_sweep(
+      runner::SweepSpec()
+          .all_apps()
+          .scales({ScaleId::kSmall, ScaleId::kLarge})
+          .all_tiers(),
+      bench_runner_options());
   std::vector<RunResult> profiles;
-  for (const App app : kAllApps) {
-    for (const ScaleId scale : {ScaleId::kSmall, ScaleId::kLarge}) {
-      for (const mem::TierId tier : mem::kAllTiers) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = scale;
-        cfg.tier = tier;
-        RunResult r = run_workload(cfg);
-        if (tier == mem::TierId::kTier0) profiles.push_back(r);
-        all.push_back(std::move(r));
-      }
-    }
-  }
+  for (const RunResult& r : all)
+    if (r.config.tier == mem::TierId::kTier0) profiles.push_back(r);
 
   // (a) Extrapolate Tier 3 from Tiers 0-2.
   std::vector<RunResult> train_t012;

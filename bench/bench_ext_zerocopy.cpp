@@ -15,30 +15,32 @@ int main() {
   using namespace tsx::workloads;
   print_header("EXTENSION", "zero-copy shuffle over unified memory");
 
+  SharedCacheSession cache_session;
+  // zero_copy is the innermost axis, so each (app, tier, deployment) cell
+  // yields an adjacent (classic, zero-copy) pair.
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec()
+          .apps({App::kRepartition, App::kSort, App::kPagerank})
+          .scales({ScaleId::kLarge})
+          .tiers({mem::TierId::kTier0, mem::TierId::kTier2,
+                  mem::TierId::kTier3})
+          .deployments({{1, 40}, {8, 5}})
+          .zero_copy({false, true}),
+      bench_runner_options());
+
   TablePrinter table({"app", "tier", "executors", "classic (s)",
                       "zero-copy (s)", "speedup"});
-  for (const App app : {App::kRepartition, App::kSort, App::kPagerank}) {
-    for (const mem::TierId tier :
-         {mem::TierId::kTier0, mem::TierId::kTier2, mem::TierId::kTier3}) {
-      for (const int executors : {1, 8}) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = ScaleId::kLarge;
-        cfg.tier = tier;
-        cfg.executors = executors;
-        cfg.cores_per_executor = executors == 1 ? 40 : 5;
-        const RunResult classic = run_workload(cfg);
-        cfg.zero_copy_shuffle = true;
-        const RunResult zc = run_workload(cfg);
-        table.add_row({to_string(app), mem::to_string(tier),
-                       std::to_string(executors),
-                       TablePrinter::num(classic.exec_time.sec(), 2),
-                       TablePrinter::num(zc.exec_time.sec(), 2),
-                       TablePrinter::num(
-                           classic.exec_time.sec() / zc.exec_time.sec(), 2) +
-                           "x"});
-      }
-    }
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const RunResult& classic = runs[i];
+    const RunResult& zc = runs[i + 1];
+    table.add_row({to_string(classic.config.app),
+                   mem::to_string(classic.config.tier),
+                   std::to_string(classic.config.executors),
+                   TablePrinter::num(classic.exec_time.sec(), 2),
+                   TablePrinter::num(zc.exec_time.sec(), 2),
+                   TablePrinter::num(
+                       classic.exec_time.sec() / zc.exec_time.sec(), 2) +
+                       "x"});
   }
   table.print(std::cout);
 

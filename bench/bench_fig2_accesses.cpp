@@ -11,21 +11,20 @@ int main() {
   using namespace tsx::workloads;
   print_header("FIGURE 2 (middle)", "NVDIMM media reads/writes per run");
 
+  SharedCacheSession cache_session;
+  const auto runs =
+      runner::run_sweep(runner::SweepSpec().all_apps().all_scales().tiers(
+                            {mem::TierId::kTier2}),
+                        bench_runner_options());
+
   TablePrinter table({"app", "scale", "media reads", "media writes",
                       "write/read", "exec time (s)"});
-  for (const App app : kAllApps) {
-    for (const ScaleId scale : kAllScales) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = scale;
-      cfg.tier = mem::TierId::kTier2;
-      const RunResult r = run_workload(cfg);
-      table.add_row({to_string(app), to_string(scale),
-                     std::to_string(r.nvdimm.media_reads),
-                     std::to_string(r.nvdimm.media_writes),
-                     TablePrinter::num(r.nvdimm.write_read_ratio(), 2),
-                     fmt_seconds(r.exec_time)});
-    }
+  for (const RunResult& r : runs) {
+    table.add_row({to_string(r.config.app), to_string(r.config.scale),
+                   std::to_string(r.nvdimm.media_reads),
+                   std::to_string(r.nvdimm.media_writes),
+                   TablePrinter::num(r.nvdimm.write_read_ratio(), 2),
+                   fmt_seconds(r.exec_time)});
   }
   table.print(std::cout);
 

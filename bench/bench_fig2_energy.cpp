@@ -13,26 +13,26 @@ int main() {
   using namespace tsx::workloads;
   print_header("FIGURE 2 (bottom)", "DRAM vs NVM energy per DIMM");
 
+  SharedCacheSession cache_session;
+  // Tier axis is innermost, so each workload's (T0, T2) pair is adjacent.
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec().all_apps().all_scales().tiers(
+          {mem::TierId::kTier0, mem::TierId::kTier2}),
+      bench_runner_options());
+
   TablePrinter table({"app", "scale", "DRAM J/DIMM (T0)", "NVM J/DIMM (T2)",
                       "NVM/DRAM", "DRAM saving %"});
   stats::Welford saving;
-  for (const App app : kAllApps) {
-    for (const ScaleId scale : kAllScales) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = scale;
-      cfg.tier = mem::TierId::kTier0;
-      const RunResult dram = run_workload(cfg);
-      cfg.tier = mem::TierId::kTier2;
-      const RunResult nvm = run_workload(cfg);
-      const double d = dram.bound_node_energy_per_dimm().j();
-      const double n = nvm.bound_node_energy_per_dimm().j();
-      const double pct = 100.0 * (n - d) / n;
-      saving.add(pct);
-      table.add_row({to_string(app), to_string(scale),
-                     TablePrinter::num(d, 1), TablePrinter::num(n, 1),
-                     TablePrinter::num(n / d, 2), TablePrinter::num(pct, 1)});
-    }
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const RunResult& dram = runs[i];
+    const RunResult& nvm = runs[i + 1];
+    const double d = dram.bound_node_energy_per_dimm().j();
+    const double n = nvm.bound_node_energy_per_dimm().j();
+    const double pct = 100.0 * (n - d) / n;
+    saving.add(pct);
+    table.add_row({to_string(dram.config.app), to_string(dram.config.scale),
+                   TablePrinter::num(d, 1), TablePrinter::num(n, 1),
+                   TablePrinter::num(n / d, 2), TablePrinter::num(pct, 1)});
   }
   table.print(std::cout);
 

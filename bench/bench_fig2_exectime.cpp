@@ -14,8 +14,9 @@ int main() {
   using namespace tsx::bench;
   print_header("FIGURE 2 (top)", "execution time per app x scale x tier");
 
-  const auto runs = full_fig2_sweep();
-  const auto groups = group_by_workload(runs);
+  SharedCacheSession cache_session;
+  const auto runs = runner::run_sweep(fig2_spec(), bench_runner_options());
+  const auto groups = runner::group_by_workload(runs);
 
   TablePrinter table({"app", "scale", "T0 (s)", "T1 (s)", "T2 (s)", "T3 (s)",
                       "T1/T0", "T2/T0", "T3/T0"});

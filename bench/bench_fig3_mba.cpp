@@ -19,24 +19,23 @@ int main() {
 
   const std::vector<int> levels = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
 
+  SharedCacheSession cache_session;
   for (const App app : kAllApps) {
     TablePrinter table({"mba %", "min/q1/med/q3/max (s, over scales)",
                         "mean (s)", "vs 100%"});
-    double mean_at_full = 0.0;
-    std::vector<std::vector<double>> level_times;
-    for (const int pct : levels) {
-      std::vector<double> times;
-      for (const ScaleId scale : kAllScales) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = scale;
-        cfg.tier = mem::TierId::kTier2;
-        cfg.mba_percent = pct;
-        times.push_back(run_workload(cfg).exec_time.sec());
-      }
-      level_times.push_back(times);
-    }
-    mean_at_full = stats::violin(level_times.back()).mean;
+    // Scale is the outer enumeration axis and MBA the inner, so run index
+    // (s, l) lands at s * levels.size() + l; regroup per level over scales.
+    const auto runs = runner::run_sweep(
+        runner::SweepSpec()
+            .apps({app})
+            .all_scales()
+            .tiers({mem::TierId::kTier2})
+            .mba_levels(levels),
+        bench_runner_options());
+    std::vector<std::vector<double>> level_times(levels.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      level_times[i % levels.size()].push_back(runs[i].exec_time.sec());
+    const double mean_at_full = stats::violin(level_times.back()).mean;
     for (std::size_t i = 0; i < levels.size(); ++i) {
       const stats::ViolinSummary v = stats::violin(level_times[i]);
       table.add_row({std::to_string(levels[i]), stats::to_string(v, 2),

@@ -22,6 +22,7 @@ int main() {
   const std::vector<int> executor_axis = {1, 2, 4, 8};
   const std::vector<int> core_axis = {5, 10, 20, 40};
 
+  SharedCacheSession cache_session;
   double worst = 1.0;
   for (const App app : {App::kSort, App::kRf, App::kLda, App::kPagerank}) {
     for (const ScaleId scale : {ScaleId::kSmall, ScaleId::kLarge}) {
@@ -29,8 +30,8 @@ int main() {
       base.app = app;
       base.scale = scale;
       base.tier = mem::TierId::kTier2;
-      const analysis::SpeedupGrid grid =
-          analysis::run_speedup_grid(base, executor_axis, core_axis);
+      const analysis::SpeedupGrid grid = analysis::run_speedup_grid(
+          base, executor_axis, core_axis, bench_runner_options());
       worst = std::max(worst, grid.worst_slowdown());
       std::printf("--- %s-%s on %s (baseline %.2f s, worst slowdown %.2fx)\n",
                   to_string(app).c_str(), to_string(scale).c_str(),

@@ -19,18 +19,18 @@ int main() {
   for (const App app : kAllApps) headers.push_back(to_string(app));
   TablePrinter table(headers);
 
-  // Collect correlations per app first (column-major build).
+  // Collect correlations per app first (column-major build). The repeat
+  // axis is innermost, so the run order matches the old per-scale
+  // run_repeats loop exactly (same derived seeds, too).
+  SharedCacheSession cache_session;
   std::vector<std::vector<analysis::EventCorrelation>> columns;
   for (const App app : kAllApps) {
-    std::vector<RunResult> runs;
-    for (const ScaleId scale : kAllScales) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = scale;
-      cfg.tier = mem::TierId::kTier0;
-      for (RunResult& r : run_repeats(cfg, kRepeats))
-        runs.push_back(std::move(r));
-    }
+    const auto runs = runner::run_sweep(runner::SweepSpec()
+                                            .apps({app})
+                                            .all_scales()
+                                            .tiers({mem::TierId::kTier0})
+                                            .repeats(kRepeats),
+                                        bench_runner_options());
     columns.push_back(analysis::event_time_correlation(runs));
   }
 

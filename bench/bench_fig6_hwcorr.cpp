@@ -15,19 +15,18 @@ int main() {
   using namespace tsx::workloads;
   print_header("FIGURE 6", "hw-spec vs execution-time correlation per run");
 
+  SharedCacheSession cache_session;
+  const auto all_runs = runner::run_sweep(fig2_spec(), bench_runner_options());
+  const auto groups = runner::group_by_workload(all_runs);
+
   TablePrinter table({"app", "scale", "corr(latency)", "corr(bandwidth)",
                       "LOO err T1", "LOO err T2"});
   stats::Welford lat_corr, bw_corr;
   for (const App app : kAllApps) {
     for (const ScaleId scale : kAllScales) {
       std::vector<RunResult> runs;
-      for (const mem::TierId tier : mem::kAllTiers) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = scale;
-        cfg.tier = tier;
-        runs.push_back(run_workload(cfg));
-      }
+      for (const RunResult* r : groups.at({app, scale}))
+        runs.push_back(*r);
       const analysis::HwCorrelation c = analysis::hw_spec_correlation(runs);
       lat_corr.add(c.with_latency);
       bw_corr.add(c.with_bandwidth);

@@ -31,18 +31,16 @@ int main() {
 
   std::printf("\nReproduction sanity: every app validates at every scale "
               "(Tier 0 run):\n\n");
+  tsx::bench::SharedCacheSession cache_session;
+  const auto runs =
+      runner::run_sweep(runner::SweepSpec().all_apps().all_scales(),
+                        tsx::bench::bench_runner_options());
   TablePrinter sanity({"app", "scale", "valid", "tasks", "exec time (s)",
                        "self-check"});
-  for (const App app : kAllApps) {
-    for (const ScaleId scale : kAllScales) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = scale;
-      const RunResult r = run_workload(cfg);
-      sanity.add_row({to_string(app), to_string(scale),
-                      r.valid ? "yes" : "NO", std::to_string(r.tasks),
-                      TablePrinter::num(r.exec_time.sec(), 2), r.validation});
-    }
+  for (const RunResult& r : runs) {
+    sanity.add_row({to_string(r.config.app), to_string(r.config.scale),
+                    r.valid ? "yes" : "NO", std::to_string(r.tasks),
+                    TablePrinter::num(r.exec_time.sec(), 2), r.validation});
   }
   sanity.print(std::cout);
   return 0;

@@ -18,7 +18,8 @@ int main() {
   using namespace tsx::bench;
   print_header("TAKEAWAYS", "headline aggregates vs paper");
 
-  const auto runs = full_fig2_sweep();
+  SharedCacheSession cache_session;
+  const auto runs = runner::run_sweep(fig2_spec(), bench_runner_options());
   const analysis::TakeawaySummary s = analysis::summarize_takeaways(runs);
 
   TablePrinter table({"aggregate", "measured %", "paper %"});
@@ -70,7 +71,7 @@ int main() {
 
   // Bootstrap CI on the per-workload Tier-2 degradation percentages.
   std::vector<double> t2_extra;
-  const auto groups = group_by_workload(runs);
+  const auto groups = runner::group_by_workload(runs);
   for (const auto& [key, tiers] : groups) {
     const double t0 = tiers[0]->exec_time.sec();
     t2_extra.push_back(100.0 * (tiers[2]->exec_time.sec() - t0) / t0);

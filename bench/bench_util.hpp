@@ -1,15 +1,20 @@
-// Shared helpers for the experiment-reproduction benches: the full
-// app x scale x tier sweep behind Fig. 2 / the takeaways, and small
-// formatting utilities.
+// Shared helpers for the experiment-reproduction benches.
+//
+// All sweeps go through tsx::runner (SweepSpec + ParallelRunner); this header
+// only adds the bench conventions on top: the canonical Fig. 2 spec, runner
+// options wired to the TSX_RUNNER_THREADS / TSX_RUN_CACHE environment
+// variables, and small formatting utilities.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
-#include <map>
+#include <string>
 #include <vector>
 
 #include "core/strings.hpp"
 #include "core/table.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 namespace tsx::bench {
@@ -19,33 +24,45 @@ using workloads::RunConfig;
 using workloads::RunResult;
 using workloads::ScaleId;
 
-/// One run per (app, scale, tier) with the paper's default deployment
-/// (1 executor x 40 cores). ~84 simulations.
-inline std::vector<RunResult> full_fig2_sweep(std::uint64_t seed = 42) {
-  std::vector<RunResult> runs;
-  for (const App app : workloads::kAllApps) {
-    for (const ScaleId scale : workloads::kAllScales) {
-      for (const mem::TierId tier : mem::kAllTiers) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = scale;
-        cfg.tier = tier;
-        cfg.seed = seed;
-        runs.push_back(workloads::run_workload(cfg));
-      }
-    }
-  }
-  return runs;
+/// The paper's headline sweep: every app x scale x tier with the default
+/// deployment (1 executor x 40 cores). ~84 configurations; behind Fig. 2 and
+/// the takeaways.
+inline runner::SweepSpec fig2_spec(std::uint64_t seed = 42) {
+  return runner::SweepSpec().all_apps().all_scales().all_tiers().seed(seed);
 }
 
-/// Index a sweep by (app, scale) -> 4 tiers.
-inline std::map<std::pair<App, ScaleId>, std::vector<const RunResult*>>
-group_by_workload(const std::vector<RunResult>& runs) {
-  std::map<std::pair<App, ScaleId>, std::vector<const RunResult*>> groups;
-  for (const RunResult& r : runs)
-    groups[{r.config.app, r.config.scale}].push_back(&r);
-  return groups;
+/// Runner options every bench shares:
+///  - TSX_RUNNER_THREADS=<n>  pin the worker count (default: all cores)
+///  - TSX_RUN_CACHE=<path>    memoize via the process-global ResultCache and
+///                            persist it, so one bench reuses another's runs
+inline runner::RunnerOptions bench_runner_options() {
+  runner::RunnerOptions options;
+  if (const char* threads = std::getenv("TSX_RUNNER_THREADS"))
+    options.threads = std::atoi(threads);
+  if (std::getenv("TSX_RUN_CACHE") != nullptr)
+    options.cache = &runner::ResultCache::global();
+  return options;
 }
+
+/// Loads TSX_RUN_CACHE into the global cache on construction and saves it
+/// back on destruction. Benches create one for the lifetime of main().
+class SharedCacheSession {
+ public:
+  SharedCacheSession() {
+    if (const char* path = std::getenv("TSX_RUN_CACHE")) {
+      path_ = path;
+      runner::ResultCache::global().load(path_);  // fine if absent
+    }
+  }
+  ~SharedCacheSession() {
+    if (!path_.empty()) runner::ResultCache::global().save(path_);
+  }
+  SharedCacheSession(const SharedCacheSession&) = delete;
+  SharedCacheSession& operator=(const SharedCacheSession&) = delete;
+
+ private:
+  std::string path_;
+};
 
 inline std::string fmt_seconds(Duration d) {
   return strfmt("%.2f", d.sec());

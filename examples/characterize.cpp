@@ -4,14 +4,18 @@
 // Usage:
 //   characterize [--apps=sort,bayes] [--scales=tiny,small,large]
 //                [--tiers=0,1,2,3] [--repeats=1] [--seed=42]
-//                [--machine=nvm|cxl] [--out=/dev/stdout]
+//                [--machine=nvm|cxl] [--threads=0] [--out=/dev/stdout]
 //   characterize --apps=lda --tiers=0,2 --repeats=3
+//
+// Runs fan out over a runner::ParallelRunner (--threads=0 uses every core)
+// with live progress on stderr; the CSV keeps sweep order regardless.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "core/config.hpp"
 #include "core/strings.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/report.hpp"
 #include "workloads/runner.hpp"
 
@@ -38,24 +42,25 @@ int main(int argc, char** argv) {
                            ? MachineVariant::kDramCxl
                            : MachineVariant::kDramNvm;
 
-  std::vector<RunResult> results;
-  for (const App app : apps) {
-    for (const ScaleId scale : scales) {
-      for (const mem::TierId tier : tiers) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = scale;
-        cfg.tier = tier;
-        cfg.machine = machine;
-        cfg.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 42));
-        for (RunResult& r : run_repeats(cfg, repeats)) {
-          std::fprintf(stderr, "done: %s (%.2f s simulated)\n",
-                       r.config.describe().c_str(), r.exec_time.sec());
-          results.push_back(std::move(r));
-        }
-      }
-    }
-  }
+  const runner::SweepSpec spec =
+      runner::SweepSpec()
+          .apps(apps)
+          .scales(scales)
+          .tiers(tiers)
+          .machines({machine})
+          .seed(static_cast<std::uint64_t>(cli.get_int_or("seed", 42)))
+          .repeats(repeats);
+
+  runner::RunnerOptions options;
+  options.threads = static_cast<int>(cli.get_int_or("threads", 0));
+  options.progress = [](const runner::Progress& p) {
+    std::fprintf(stderr, "progress: %zu/%zu runs (%.1f s elapsed)\n",
+                 p.completed, p.total, p.elapsed_seconds);
+  };
+  runner::ParallelRunner parallel(options);
+  std::fprintf(stderr, "characterize: %zu runs on %d threads\n", spec.size(),
+               parallel.thread_count());
+  const std::vector<RunResult> results = parallel.run(spec);
 
   const std::string csv = results_to_csv(results);
   const std::string out = cli.get_or("out", "");

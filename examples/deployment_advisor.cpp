@@ -13,6 +13,7 @@
 
 #include "analysis/guidelines.hpp"
 #include "core/config.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -28,24 +29,17 @@ int main(int argc, char** argv) {
   // Characterization pass over the other workloads (the advisor's model
   // must not need the target app's remote-tier runs).
   std::printf("characterizing reference workloads...\n");
-  std::vector<RunResult> train;
+  std::vector<App> reference;
+  for (const App app : kAllApps)
+    if (app != target) reference.push_back(app);
+  const std::vector<RunResult> train = runner::run_sweep(
+      runner::SweepSpec()
+          .apps(reference)
+          .scales({ScaleId::kSmall, ScaleId::kLarge})
+          .all_tiers());
   std::vector<RunResult> profiles;
-  for (const App app : kAllApps) {
-    if (app == target) continue;
-    for (const ScaleId s : {ScaleId::kSmall, ScaleId::kLarge}) {
-      for (const mem::TierId tier :
-           {mem::TierId::kTier0, mem::TierId::kTier1, mem::TierId::kTier2,
-            mem::TierId::kTier3}) {
-        RunConfig cfg;
-        cfg.app = app;
-        cfg.scale = s;
-        cfg.tier = tier;
-        RunResult r = run_workload(cfg);
-        if (tier == mem::TierId::kTier0) profiles.push_back(r);
-        train.push_back(std::move(r));
-      }
-    }
-  }
+  for (const RunResult& r : train)
+    if (r.config.tier == mem::TierId::kTier0) profiles.push_back(r);
   const analysis::CrossWorkloadPredictor model =
       analysis::CrossWorkloadPredictor::fit(train, profiles);
 

@@ -14,6 +14,7 @@
 #include "analysis/predictor.hpp"
 #include "core/config.hpp"
 #include "core/table.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -32,18 +33,15 @@ int main(int argc, char** argv) {
               to_string(app).c_str(), to_string(scale).c_str(),
               mem::to_string(target).c_str());
 
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec().apps({app}).scales({scale}).all_tiers());
   std::vector<RunResult> observed;
   RunResult truth;
-  for (const mem::TierId tier : mem::kAllTiers) {
-    RunConfig cfg;
-    cfg.app = app;
-    cfg.scale = scale;
-    cfg.tier = tier;
-    RunResult r = run_workload(cfg);
-    if (tier == target)
-      truth = std::move(r);
+  for (const RunResult& r : runs) {
+    if (r.config.tier == target)
+      truth = r;
     else
-      observed.push_back(std::move(r));
+      observed.push_back(r);
   }
 
   TablePrinter profile({"tier", "observed time (s)"});

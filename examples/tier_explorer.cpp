@@ -12,6 +12,7 @@
 #include "core/config.hpp"
 #include "core/strings.hpp"
 #include "core/table.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -34,31 +35,31 @@ int main(int argc, char** argv) {
   std::printf("tier_explorer: %s (%s category)\n\n", to_string(app).c_str(),
               to_string(category_of(app)).c_str());
 
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec()
+          .apps({app})
+          .scales(scales)
+          .all_tiers()
+          .deployments(
+              {{static_cast<int>(cli.get_int_or("executors", 1)),
+                static_cast<int>(cli.get_int_or("cores", 40))}})
+          .seed(seed));
+
   TablePrinter table({"scale", "tier", "exec time (s)", "vs T0",
                       "NVM media R", "NVM media W", "bound J/DIMM",
                       "NVM life used", "valid"});
-  for (const ScaleId scale : scales) {
-    double t0 = 0.0;
-    for (const mem::TierId tier : mem::kAllTiers) {
-      RunConfig cfg;
-      cfg.app = app;
-      cfg.scale = scale;
-      cfg.tier = tier;
-      cfg.seed = seed;
-      cfg.executors = static_cast<int>(cli.get_int_or("executors", 1));
-      cfg.cores_per_executor = static_cast<int>(cli.get_int_or("cores", 40));
-      const RunResult r = run_workload(cfg);
-      if (tier == mem::TierId::kTier0) t0 = r.exec_time.sec();
-      table.add_row(
-          {to_string(scale), mem::to_string(tier),
-           TablePrinter::num(r.exec_time.sec(), 2),
-           TablePrinter::num(r.exec_time.sec() / t0, 2) + "x",
-           std::to_string(r.nvdimm.media_reads),
-           std::to_string(r.nvdimm.media_writes),
-           TablePrinter::num(r.bound_node_energy_per_dimm().j(), 1),
-           strfmt("%.2e", r.wear.lifetime_fraction_used),
-           r.valid ? "yes" : "NO"});
-    }
+  double t0 = 0.0;
+  for (const RunResult& r : runs) {
+    if (r.config.tier == mem::TierId::kTier0) t0 = r.exec_time.sec();
+    table.add_row(
+        {to_string(r.config.scale), mem::to_string(r.config.tier),
+         TablePrinter::num(r.exec_time.sec(), 2),
+         TablePrinter::num(r.exec_time.sec() / t0, 2) + "x",
+         std::to_string(r.nvdimm.media_reads),
+         std::to_string(r.nvdimm.media_writes),
+         TablePrinter::num(r.bound_node_energy_per_dimm().j(), 1),
+         strfmt("%.2e", r.wear.lifetime_fraction_used),
+         r.valid ? "yes" : "NO"});
   }
   table.print(std::cout);
   return 0;

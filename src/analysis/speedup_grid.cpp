@@ -40,7 +40,8 @@ std::string SpeedupGrid::render() const {
 
 SpeedupGrid run_speedup_grid(const workloads::RunConfig& base,
                              std::vector<int> executor_axis,
-                             std::vector<int> core_axis) {
+                             std::vector<int> core_axis,
+                             runner::RunnerOptions options) {
   TSX_CHECK(!executor_axis.empty() && !core_axis.empty(),
             "grid axes must be non-empty");
 
@@ -49,21 +50,36 @@ SpeedupGrid run_speedup_grid(const workloads::RunConfig& base,
   grid.executor_axis = std::move(executor_axis);
   grid.core_axis = std::move(core_axis);
 
+  // configs[0] is the baseline; the grid cells follow in row-major order.
+  // Cells at the baseline deployment reuse the baseline run instead of
+  // simulating twice.
   workloads::RunConfig baseline = base;
   baseline.executors = 1;
   baseline.cores_per_executor = 40;
-  grid.baseline_time = workloads::run_workload(baseline).exec_time;
-
+  std::vector<workloads::RunConfig> configs{baseline};
   for (const int e : grid.executor_axis) {
-    std::vector<double> speedup_row;
-    std::vector<Duration> time_row;
     for (const int c : grid.core_axis) {
+      if (e == 1 && c == 40) continue;
       workloads::RunConfig cell = base;
       cell.executors = e;
       cell.cores_per_executor = c;
-      const Duration t = (e == 1 && c == 40)
-                             ? grid.baseline_time
-                             : workloads::run_workload(cell).exec_time;
+      configs.push_back(cell);
+    }
+  }
+
+  const std::vector<workloads::RunResult> results =
+      runner::ParallelRunner(std::move(options)).run(configs);
+  grid.baseline_time = results[0].exec_time;
+
+  std::size_t next = 1;
+  for (std::size_t e = 0; e < grid.executor_axis.size(); ++e) {
+    std::vector<double> speedup_row;
+    std::vector<Duration> time_row;
+    for (std::size_t c = 0; c < grid.core_axis.size(); ++c) {
+      const bool is_baseline_cell =
+          grid.executor_axis[e] == 1 && grid.core_axis[c] == 40;
+      const Duration t =
+          is_baseline_cell ? grid.baseline_time : results[next++].exec_time;
       time_row.push_back(t);
       speedup_row.push_back(grid.baseline_time / t);
     }

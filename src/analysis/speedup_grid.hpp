@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 namespace tsx::analysis {
@@ -32,9 +33,12 @@ struct SpeedupGrid {
   std::string render() const;
 };
 
-/// Runs the grid. Baseline is 1 executor x 40 cores of the same template.
+/// Runs the grid, fanning the cells out over a ParallelRunner. Baseline is
+/// 1 executor x 40 cores of the same template (shared with the grid cell at
+/// that deployment when the axes include it).
 SpeedupGrid run_speedup_grid(const workloads::RunConfig& base,
                              std::vector<int> executor_axis,
-                             std::vector<int> core_axis);
+                             std::vector<int> core_axis,
+                             runner::RunnerOptions options = {});
 
 }  // namespace tsx::analysis

@@ -1,0 +1,64 @@
+#include "runner/parallel_runner.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace tsx::runner {
+
+ParallelRunner::ParallelRunner(RunnerOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {}
+
+std::vector<workloads::RunResult> ParallelRunner::run(
+    const std::vector<workloads::RunConfig>& configs) {
+  std::vector<workloads::RunResult> results(configs.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::mutex progress_mutex;
+  Progress progress;
+  progress.total = configs.size();
+  const auto tick = [&](bool was_cache_hit) {
+    if (!options_.progress) return;
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++progress.completed;
+    if (was_cache_hit) ++progress.cache_hits;
+    progress.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    options_.progress(progress);
+  };
+
+  // Resolve cache hits up front so only real work hits the pool.
+  std::vector<std::size_t> pending;
+  pending.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (options_.cache) {
+      if (auto cached = options_.cache->find(configs[i])) {
+        results[i] = std::move(*cached);
+        tick(true);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  pool_.run_batch(pending.size(), [&](std::size_t p) {
+    const std::size_t i = pending[p];
+    results[i] = workloads::run_workload(configs[i]);
+    if (options_.cache) options_.cache->insert(results[i]);
+    tick(false);
+  });
+
+  return results;
+}
+
+std::vector<workloads::RunResult> ParallelRunner::run(const SweepSpec& spec) {
+  return run(spec.enumerate());
+}
+
+std::vector<workloads::RunResult> run_sweep(const SweepSpec& spec,
+                                            RunnerOptions options) {
+  return ParallelRunner(std::move(options)).run(spec);
+}
+
+}  // namespace tsx::runner

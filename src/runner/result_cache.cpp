@@ -1,0 +1,102 @@
+#include "runner/result_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/strings.hpp"
+#include "runner/serialize.hpp"
+
+namespace tsx::runner {
+
+std::optional<workloads::RunResult> ResultCache::find(
+    const workloads::RunConfig& config) const {
+  const std::uint64_t key = workloads::stable_hash(config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    for (const workloads::RunResult& r : it->second) {
+      if (r.config == config) {
+        ++hits_;
+        return r;
+      }
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const workloads::RunResult& result) {
+  const std::uint64_t key = workloads::stable_hash(result.config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<workloads::RunResult>& bucket = map_[key];
+  for (workloads::RunResult& r : bucket) {
+    if (r.config == result.config) {
+      r = result;
+      return;
+    }
+  }
+  bucket.push_back(result);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, bucket] : map_) n += bucket.size();
+  return n;
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+bool ResultCache::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << strfmt("{\"format\":\"tsx-run-cache\",\"version\":%d}\n",
+                 kStoreVersion);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, bucket] : map_)
+    for (const workloads::RunResult& r : bucket) file << to_json(r) << "\n";
+  return static_cast<bool>(file);
+}
+
+bool ResultCache::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::string line;
+  if (!std::getline(file, line)) return false;
+  const std::string expected_header = strfmt(
+      "{\"format\":\"tsx-run-cache\",\"version\":%d}", kStoreVersion);
+  if (line != expected_header) return false;
+
+  // Parse everything before touching the cache: a torn store loads nothing.
+  std::vector<workloads::RunResult> parsed;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    workloads::RunResult r;
+    if (!result_from_json(line, &r)) return false;
+    parsed.push_back(std::move(r));
+  }
+  for (const workloads::RunResult& r : parsed) insert(r);
+  return true;
+}
+
+ResultCache& ResultCache::global() {
+  static ResultCache cache;
+  return cache;
+}
+
+}  // namespace tsx::runner

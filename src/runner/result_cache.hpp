@@ -1,0 +1,65 @@
+// Memoized run results.
+//
+// A RunResult is a pure function of its RunConfig (the simulator is
+// deterministic from the seed), so identical configurations never need to be
+// simulated twice. The cache keys on workloads::stable_hash with full
+// RunConfig equality on collision, is safe to share across runner threads,
+// and can persist to a versioned JSON-lines store so separate bench binaries
+// — bench_takeaways after bench_fig2_exectime, say — reuse each other's
+// sweeps (set TSX_RUN_CACHE, see bench/bench_util.hpp).
+//
+// Store format: line 1 is a header object `{"format":"tsx-run-cache",
+// "version":N}`; every further line is one serialized RunResult. Loading a
+// store with a different version (or any unparsable line) fails cleanly
+// without touching the in-memory cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "workloads/runner.hpp"
+
+namespace tsx::runner {
+
+class ResultCache {
+ public:
+  /// Version of the on-disk store; bump when the RunResult schema changes.
+  static constexpr int kStoreVersion = 1;
+
+  /// The memoized result for `config`, if present. Thread-safe.
+  std::optional<workloads::RunResult> find(
+      const workloads::RunConfig& config) const;
+
+  /// Memoizes `result` under its own config. Last insert wins (results for
+  /// equal configs are identical by construction, so this is idempotent).
+  void insert(const workloads::RunResult& result);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+  /// Writes the whole cache to `path` (overwrites). False on I/O error.
+  bool save(const std::string& path) const;
+
+  /// Merges a store previously written by `save` into this cache. False —
+  /// and a no-op — on I/O error, version mismatch or a malformed line.
+  bool load(const std::string& path);
+
+  /// Process-wide cache shared by benches linked into one binary.
+  static ResultCache& global();
+
+ private:
+  mutable std::mutex mutex_;
+  /// stable_hash -> results whose configs collide on it (equality checked).
+  std::unordered_map<std::uint64_t, std::vector<workloads::RunResult>> map_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace tsx::runner

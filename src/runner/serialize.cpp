@@ -1,0 +1,417 @@
+#include "runner/serialize.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::runner {
+
+namespace {
+
+using workloads::RunConfig;
+using workloads::RunResult;
+
+// ---- writer ---------------------------------------------------------------
+
+std::string num(double v) { return strfmt("%.17g", v); }
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Tiny streaming JSON-object writer; callers emit fields in schema order.
+class ObjectWriter {
+ public:
+  ObjectWriter() : out_("{") {}
+  void field(const std::string& name, const std::string& raw_value) {
+    if (out_.size() > 1) out_ += ',';
+    out_ += quote(name);
+    out_ += ':';
+    out_ += raw_value;
+  }
+  std::string close() { return out_ + "}"; }
+
+ private:
+  std::string out_;
+};
+
+template <typename T, typename Fn>
+std::string array_of(const std::vector<T>& items, Fn render) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ',';
+    out += render(items[i]);
+  }
+  return out + "]";
+}
+
+std::string config_json(const RunConfig& config) {
+  // The field list is the same single source of truth the hash uses, so the
+  // persisted key and the in-memory key can never disagree.
+  ObjectWriter w;
+  for (const auto& [name, value] : workloads::config_fields(config)) {
+    // Integers and "none" are emitted bare; "none" maps to null.
+    w.field(name, value == "none" ? "null" : value);
+  }
+  return w.close();
+}
+
+std::string task_cost_json(const spark::TaskCost& c) {
+  ObjectWriter w;
+  w.field("cpu_seconds", num(c.cpu_seconds));
+  w.field("io_seconds", num(c.io_seconds));
+  w.field("disk_read", num(c.disk_read.b()));
+  w.field("disk_write", num(c.disk_write.b()));
+  std::string reads = "[", writes = "[";
+  for (int i = 0; i < spark::kNumStreamClasses; ++i) {
+    if (i) {
+      reads += ',';
+      writes += ',';
+    }
+    reads += num(c.stream_read_by[static_cast<std::size_t>(i)].b());
+    writes += num(c.stream_write_by[static_cast<std::size_t>(i)].b());
+  }
+  w.field("stream_read_by", reads + "]");
+  w.field("stream_write_by", writes + "]");
+  w.field("dep_reads", num(c.dep_reads));
+  w.field("dep_writes", num(c.dep_writes));
+  return w.close();
+}
+
+std::string traffic_json(const mem::NodeTraffic& t) {
+  ObjectWriter w;
+  w.field("read_bytes", num(t.read_bytes.b()));
+  w.field("write_bytes", num(t.write_bytes.b()));
+  w.field("read_accesses", std::to_string(t.read_accesses));
+  w.field("write_accesses", std::to_string(t.write_accesses));
+  return w.close();
+}
+
+std::string energy_row_json(const workloads::NodeEnergyRow& row) {
+  ObjectWriter w;
+  w.field("node", quote(row.node));
+  w.field("kind", std::to_string(static_cast<int>(row.kind)));
+  w.field("dimms", std::to_string(row.dimms));
+  w.field("dynamic_energy", num(row.report.dynamic_energy.j()));
+  w.field("static_energy", num(row.report.static_energy.j()));
+  w.field("total", num(row.report.total.j()));
+  w.field("average_power", num(row.report.average_power.w()));
+  w.field("per_dimm", num(row.report.per_dimm.j()));
+  return w.close();
+}
+
+// ---- parser ---------------------------------------------------------------
+
+/// Parsed JSON-ish value. Scalars keep their raw token text so integer
+/// fields can be recovered exactly (no double round trip for uint64).
+struct Value {
+  enum class Kind { kObject, kArray, kScalar } kind = Kind::kScalar;
+  std::map<std::string, Value> object;
+  std::vector<Value> array;
+  std::string text;  ///< unescaped string or raw primitive token
+
+  const Value& at(const std::string& key) const {
+    const auto it = object.find(key);
+    TSX_CHECK(it != object.end(), "missing field: " + key);
+    return it->second;
+  }
+  double as_double() const { return std::strtod(text.c_str(), nullptr); }
+  std::uint64_t as_u64() const {
+    return std::strtoull(text.c_str(), nullptr, 10);
+  }
+  int as_int() const { return static_cast<int>(std::strtol(text.c_str(), nullptr, 10)); }
+  bool as_bool() const { return text == "true" || text == "1"; }
+  bool is_null() const {
+    return kind == Kind::kScalar && text == "null";
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    const Value v = parse_value();
+    skip_ws();
+    TSX_CHECK(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    TSX_CHECK(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    TSX_CHECK(peek() == c, strfmt("expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      default: return parse_primitive();
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      Value key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(key.text, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_string() {
+    Value v;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default: TSX_FAIL(strfmt("bad escape '\\%c'", esc));
+        }
+      }
+      v.text += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  Value parse_primitive() {
+    // Numbers, true/false/null, and the inf/nan extension tokens.
+    Value v;
+    const auto is_primitive_char = [](char c) {
+      return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+             (c >= 'A' && c <= 'Z') || c == '+' || c == '-' || c == '.';
+    };
+    TSX_CHECK(is_primitive_char(peek()), "expected a JSON value");
+    while (pos_ < text_.size() && is_primitive_char(text_[pos_]))
+      v.text += text_[pos_++];
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+RunConfig config_from(const Value& v) {
+  RunConfig c;
+  c.app = static_cast<workloads::App>(v.at("app").as_int());
+  c.scale = static_cast<workloads::ScaleId>(v.at("scale").as_int());
+  c.tier = mem::tier_from_index(v.at("tier").as_int());
+  c.socket = v.at("socket").as_int();
+  c.executors = v.at("executors").as_int();
+  c.cores_per_executor = v.at("cores_per_executor").as_int();
+  c.mba_percent = v.at("mba_percent").as_int();
+  c.seed = v.at("seed").as_u64();
+  if (!v.at("shuffle_tier").is_null())
+    c.shuffle_tier = mem::tier_from_index(v.at("shuffle_tier").as_int());
+  if (!v.at("cache_tier").is_null())
+    c.cache_tier = mem::tier_from_index(v.at("cache_tier").as_int());
+  c.zero_copy_shuffle = v.at("zero_copy_shuffle").as_bool();
+  c.background_load_gbps = v.at("background_load_gbps").as_double();
+  c.machine = static_cast<workloads::MachineVariant>(v.at("machine").as_int());
+  return c;
+}
+
+spark::TaskCost task_cost_from(const Value& v) {
+  spark::TaskCost c;
+  c.cpu_seconds = v.at("cpu_seconds").as_double();
+  c.io_seconds = v.at("io_seconds").as_double();
+  c.disk_read = Bytes::of(v.at("disk_read").as_double());
+  c.disk_write = Bytes::of(v.at("disk_write").as_double());
+  const Value& reads = v.at("stream_read_by");
+  const Value& writes = v.at("stream_write_by");
+  const auto n_classes = static_cast<std::size_t>(spark::kNumStreamClasses);
+  TSX_CHECK(reads.array.size() == n_classes &&
+                writes.array.size() == n_classes,
+            "stream class count mismatch");
+  for (std::size_t i = 0; i < n_classes; ++i) {
+    c.stream_read_by[i] = Bytes::of(reads.array[i].as_double());
+    c.stream_write_by[i] = Bytes::of(writes.array[i].as_double());
+  }
+  c.dep_reads = v.at("dep_reads").as_double();
+  c.dep_writes = v.at("dep_writes").as_double();
+  return c;
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& result) {
+  ObjectWriter w;
+  w.field("config", config_json(result.config));
+  w.field("exec_time", num(result.exec_time.sec()));
+  w.field("total_cost", task_cost_json(result.total_cost));
+  w.field("jobs", std::to_string(result.jobs));
+  w.field("stages", std::to_string(result.stages));
+  w.field("tasks", std::to_string(result.tasks));
+  w.field("traffic", array_of(result.traffic, traffic_json));
+  ObjectWriter nv;
+  nv.field("node_name", quote(result.nvdimm.node_name));
+  nv.field("dimms", std::to_string(result.nvdimm.dimms));
+  nv.field("media_reads", std::to_string(result.nvdimm.media_reads));
+  nv.field("media_writes", std::to_string(result.nvdimm.media_writes));
+  nv.field("demand_read_bytes", num(result.nvdimm.demand_read_bytes.b()));
+  nv.field("demand_write_bytes", num(result.nvdimm.demand_write_bytes.b()));
+  w.field("nvdimm", nv.close());
+  w.field("energy", array_of(result.energy, energy_row_json));
+  ObjectWriter wear;
+  wear.field("lifetime_fraction_used",
+             num(result.wear.lifetime_fraction_used));
+  wear.field("projected_lifetime", num(result.wear.projected_lifetime.sec()));
+  wear.field("observed_write_rate",
+             num(result.wear.observed_write_rate.value()));
+  w.field("wear", wear.close());
+  std::string events = "[";
+  for (int i = 0; i < metrics::kNumSysEvents; ++i) {
+    if (i) events += ',';
+    events += num(result.events.values[static_cast<std::size_t>(i)]);
+  }
+  w.field("events", events + "]");
+  w.field("valid", result.valid ? "true" : "false");
+  w.field("validation", quote(result.validation));
+  w.field("bound_node", std::to_string(result.bound_node));
+  return w.close();
+}
+
+bool result_from_json(const std::string& json, RunResult* out) {
+  try {
+    const Value v = Parser(json).parse();
+    RunResult r;
+    r.config = config_from(v.at("config"));
+    r.exec_time = Duration::seconds(v.at("exec_time").as_double());
+    r.total_cost = task_cost_from(v.at("total_cost"));
+    r.jobs = v.at("jobs").as_u64();
+    r.stages = v.at("stages").as_u64();
+    r.tasks = v.at("tasks").as_u64();
+    for (const Value& t : v.at("traffic").array) {
+      mem::NodeTraffic traffic;
+      traffic.read_bytes = Bytes::of(t.at("read_bytes").as_double());
+      traffic.write_bytes = Bytes::of(t.at("write_bytes").as_double());
+      traffic.read_accesses = t.at("read_accesses").as_u64();
+      traffic.write_accesses = t.at("write_accesses").as_u64();
+      r.traffic.push_back(traffic);
+    }
+    const Value& nv = v.at("nvdimm");
+    r.nvdimm.node_name = nv.at("node_name").text;
+    r.nvdimm.dimms = nv.at("dimms").as_int();
+    r.nvdimm.media_reads = nv.at("media_reads").as_u64();
+    r.nvdimm.media_writes = nv.at("media_writes").as_u64();
+    r.nvdimm.demand_read_bytes =
+        Bytes::of(nv.at("demand_read_bytes").as_double());
+    r.nvdimm.demand_write_bytes =
+        Bytes::of(nv.at("demand_write_bytes").as_double());
+    for (const Value& e : v.at("energy").array) {
+      workloads::NodeEnergyRow row;
+      row.node = e.at("node").text;
+      row.kind = static_cast<mem::TechKind>(e.at("kind").as_int());
+      row.dimms = e.at("dimms").as_int();
+      row.report.dynamic_energy =
+          Energy::joules(e.at("dynamic_energy").as_double());
+      row.report.static_energy =
+          Energy::joules(e.at("static_energy").as_double());
+      row.report.total = Energy::joules(e.at("total").as_double());
+      row.report.average_power =
+          Power::watts(e.at("average_power").as_double());
+      row.report.per_dimm = Energy::joules(e.at("per_dimm").as_double());
+      r.energy.push_back(row);
+    }
+    const Value& wear = v.at("wear");
+    r.wear.lifetime_fraction_used =
+        wear.at("lifetime_fraction_used").as_double();
+    r.wear.projected_lifetime =
+        Duration::seconds(wear.at("projected_lifetime").as_double());
+    r.wear.observed_write_rate =
+        Bandwidth::bytes_per_sec(wear.at("observed_write_rate").as_double());
+    const Value& events = v.at("events");
+    TSX_CHECK(events.array.size() ==
+                  static_cast<std::size_t>(metrics::kNumSysEvents),
+              "event count mismatch");
+    for (std::size_t i = 0; i < events.array.size(); ++i)
+      r.events.values[i] = events.array[i].as_double();
+    r.valid = v.at("valid").as_bool();
+    r.validation = v.at("validation").text;
+    r.bound_node = v.at("bound_node").as_int();
+    *out = std::move(r);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool results_identical(const RunResult& a, const RunResult& b) {
+  return to_json(a) == to_json(b);
+}
+
+}  // namespace tsx::runner

@@ -1,0 +1,31 @@
+// Lossless RunResult serialization for the persisted result store.
+//
+// A memoized result must round-trip *exactly*: a bench that reads a cached
+// run has to print the same table, to the last digit, as the bench that
+// simulated it. Doubles are therefore written with %.17g (shortest exact
+// representation round-trips bit-identically through strtod), and 64-bit
+// counters as full decimal integers. The format is JSON with one extension —
+// non-finite doubles appear as bare `inf`/`-inf`/`nan` tokens (the wear
+// model's projected lifetime is infinite for read-only runs).
+#pragma once
+
+#include <string>
+
+#include "workloads/runner.hpp"
+
+namespace tsx::runner {
+
+/// One run as a single-line JSON object (config + every measured field).
+std::string to_json(const workloads::RunResult& result);
+
+/// Inverse of `to_json`. Returns false (leaving `*out` unspecified) on
+/// malformed input instead of throwing.
+bool result_from_json(const std::string& json, workloads::RunResult* out);
+
+/// Exact-equality helper built on the canonical serialization: true iff the
+/// two results serialize to the same bytes. This is the "bit-identical"
+/// contract the parallel runner guarantees against the serial path.
+bool results_identical(const workloads::RunResult& a,
+                       const workloads::RunResult& b);
+
+}  // namespace tsx::runner

@@ -1,0 +1,116 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tsx::runner {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    stop_ = true;
+  }
+  batch_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_batch(std::size_t count,
+                           const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+
+  // Seed each worker's deque with a contiguous slice of the index range.
+  // No worker can touch the deques here: the previous batch only finished
+  // once every worker quiesced, and the next generation is unpublished.
+  const std::size_t n_workers = workers_.size();
+  const std::size_t chunk = (count + n_workers - 1) / n_workers;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    const std::size_t lo = std::min(w * chunk, count);
+    const std::size_t hi = std::min(lo + chunk, count);
+    std::lock_guard<std::mutex> lock(workers_[w]->mutex);
+    for (std::size_t i = lo; i < hi; ++i) workers_[w]->queue.push_back(i);
+  }
+
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  task_ = &task;
+  remaining_ = count;
+  first_error_ = nullptr;
+  ++generation_;
+  batch_start_.notify_all();
+
+  // The busy_ == 0 half of the predicate is the quiescence barrier: a
+  // straggler still scanning deques must park before the next batch seeds.
+  batch_done_.wait(lock, [this] { return remaining_ == 0 && busy_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+bool ThreadPool::next_task(std::size_t self, std::size_t* index) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      *index = own.queue.back();
+      own.queue.pop_back();
+      return true;
+    }
+  }
+  // Own deque drained: steal the oldest item from the first victim found.
+  for (std::size_t off = 1; off < workers_.size(); ++off) {
+    Worker& victim = *workers_[(self + off) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      *index = victim.queue.front();
+      victim.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(batch_mutex_);
+      batch_start_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && task_ != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+      ++busy_;
+    }
+
+    std::size_t index = 0;
+    while (next_task(self, &index)) {
+      std::exception_ptr error;
+      try {
+        (*task)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --remaining_;
+    }
+
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    if (--busy_ == 0 && remaining_ == 0) batch_done_.notify_all();
+  }
+}
+
+}  // namespace tsx::runner

@@ -1,5 +1,8 @@
 #include "workloads/runner.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "core/error.hpp"
 #include "core/strings.hpp"
 #include "dfs/dfs.hpp"
@@ -23,12 +26,83 @@ std::string RunConfig::describe() const {
                 static_cast<unsigned long long>(seed));
 }
 
+std::vector<std::pair<std::string, std::string>> config_fields(
+    const RunConfig& config) {
+  const auto opt_tier = [](const std::optional<mem::TierId>& t) {
+    return t ? std::to_string(mem::index(*t)) : std::string("none");
+  };
+  return {
+      {"app", std::to_string(static_cast<int>(config.app))},
+      {"scale", std::to_string(static_cast<int>(config.scale))},
+      {"tier", std::to_string(mem::index(config.tier))},
+      {"socket", std::to_string(config.socket)},
+      {"executors", std::to_string(config.executors)},
+      {"cores_per_executor", std::to_string(config.cores_per_executor)},
+      {"mba_percent", std::to_string(config.mba_percent)},
+      {"seed", std::to_string(config.seed)},
+      {"shuffle_tier", opt_tier(config.shuffle_tier)},
+      {"cache_tier", opt_tier(config.cache_tier)},
+      {"zero_copy_shuffle", config.zero_copy_shuffle ? "1" : "0"},
+      {"background_load_gbps",
+       strfmt("%.17g", config.background_load_gbps)},
+      {"machine", std::to_string(static_cast<int>(config.machine))},
+  };
+}
+
+std::string canonical_key(const RunConfig& config) {
+  auto fields = config_fields(config);
+  std::sort(fields.begin(), fields.end());
+  std::string key;
+  for (const auto& [name, value] : fields) {
+    key += name;
+    key += '=';
+    key += value;
+    key += ';';
+  }
+  return key;
+}
+
+std::uint64_t hash_fields(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  std::sort(fields.begin(), fields.end());
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [name, value] : fields) {
+    mix(name);
+    h ^= static_cast<unsigned char>('=');
+    h *= 0x100000001b3ULL;
+    mix(value);
+    h ^= static_cast<unsigned char>(';');
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t stable_hash(const RunConfig& config) {
+  return hash_fields(config_fields(config));
+}
+
 Energy RunResult::bound_node_energy_per_dimm() const {
   const auto idx = static_cast<std::size_t>(bound_node);
   return idx < energy.size() ? energy[idx].report.per_dimm : Energy::zero();
 }
 
+namespace {
+std::atomic<std::uint64_t> g_runs_executed{0};
+}  // namespace
+
+std::uint64_t runs_executed() {
+  return g_runs_executed.load(std::memory_order_relaxed);
+}
+
 RunResult run_workload(const RunConfig& config) {
+  g_runs_executed.fetch_add(1, std::memory_order_relaxed);
   sim::Simulator simulator;
   mem::MachineModel machine(simulator,
                             config.machine == MachineVariant::kDramCxl

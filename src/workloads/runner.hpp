@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mem/energy.hpp"
@@ -57,7 +58,31 @@ struct RunConfig {
   MachineVariant machine = MachineVariant::kDramNvm;
 
   std::string describe() const;
+
+  /// Two configs are equal iff every knob matches — the identity the result
+  /// cache memoizes on (a run is a pure function of its config).
+  friend bool operator==(const RunConfig&, const RunConfig&) = default;
 };
+
+/// The config flattened to (field name, value) pairs. Every knob that can
+/// change a run's outcome appears here; this list is the single source of
+/// truth for hashing and for the persisted cache key.
+std::vector<std::pair<std::string, std::string>> config_fields(
+    const RunConfig& config);
+
+/// Canonical identity string: `config_fields` sorted by field name and
+/// joined as "name=value;...". Sorting makes the key — and therefore the
+/// hash — independent of struct or serialization field order.
+std::string canonical_key(const RunConfig& config);
+
+/// FNV-1a over a field list, sorted by name first. Exposed so tests can
+/// assert order independence directly.
+std::uint64_t hash_fields(
+    std::vector<std::pair<std::string, std::string>> fields);
+
+/// Stable 64-bit hash of a config (FNV-1a of `canonical_key`). Identical
+/// across processes and runs; suitable as a persisted cache key.
+std::uint64_t stable_hash(const RunConfig& config);
 
 struct NodeEnergyRow {
   std::string node;
@@ -96,6 +121,11 @@ struct RunResult {
 
 /// Executes one configuration start-to-finish in an isolated simulation.
 RunResult run_workload(const RunConfig& config);
+
+/// Number of simulations `run_workload` has executed in this process.
+/// Monotone, thread-safe; lets callers assert a cache hit skipped the
+/// simulation and lets progress reporters count real work.
+std::uint64_t runs_executed();
 
 /// Executes `repeats` runs with distinct seeds (for distribution studies).
 std::vector<RunResult> run_repeats(RunConfig config, int repeats);

@@ -8,6 +8,7 @@
 #include "analysis/correlation_study.hpp"
 #include "analysis/predictor.hpp"
 #include "analysis/takeaways.hpp"
+#include "runner/parallel_runner.hpp"
 #include "workloads/runner.hpp"
 
 namespace tsx::workloads {
@@ -26,10 +27,8 @@ RunResult run(App app, ScaleId scale, mem::TierId tier, int mba = 100,
 }
 
 std::vector<RunResult> runs_across_tiers(App app, ScaleId scale) {
-  std::vector<RunResult> out;
-  for (const mem::TierId tier : mem::kAllTiers)
-    out.push_back(run(app, scale, tier));
-  return out;
+  return runner::run_sweep(
+      runner::SweepSpec().apps({app}).scales({scale}).all_tiers());
 }
 
 // --- Fig. 2 top: execution time ordering --------------------------------------------
@@ -204,13 +203,8 @@ TEST(CorrelationShape, HwSpecsNearPerfectCorrelation) {
 TEST(CorrelationShape, EventsCorrelateWithTimeOnLocalTier) {
   // Fig. 5: on Tier 0, system-level events track execution time across
   // sizes/repeats for the aggregation-heavy apps.
-  std::vector<RunResult> runs;
-  for (const ScaleId scale : kAllScales) {
-    RunConfig cfg;
-    cfg.app = App::kBayes;
-    cfg.scale = scale;
-    for (const RunResult& r : run_repeats(cfg, 3)) runs.push_back(r);
-  }
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec().apps({App::kBayes}).all_scales().repeats(3));
   const auto rows = analysis::event_time_correlation(runs);
   int strongly_correlated = 0;
   for (const auto& row : rows)
@@ -229,13 +223,11 @@ TEST(CorrelationShape, PredictorLeaveOneOutReasonable) {
 // --- takeaway aggregates ----------------------------------------------------------------
 
 TEST(TakeawayAggregates, DirectionallyMatchPaper) {
-  std::vector<RunResult> runs;
-  for (const App app : {App::kBayes, App::kLda, App::kSort, App::kAls}) {
-    for (const ScaleId scale : {ScaleId::kSmall, ScaleId::kLarge}) {
-      for (const mem::TierId tier : mem::kAllTiers)
-        runs.push_back(run(app, scale, tier));
-    }
-  }
+  const auto runs = runner::run_sweep(
+      runner::SweepSpec()
+          .apps({App::kBayes, App::kLda, App::kSort, App::kAls})
+          .scales({ScaleId::kSmall, ScaleId::kLarge})
+          .all_tiers());
   const analysis::TakeawaySummary s = analysis::summarize_takeaways(runs);
   // Ordering of the advantage percentages matches the paper's 44 < 66 < 90.
   EXPECT_GT(s.tier0_advantage_pct[0], 0.0);
