@@ -1,0 +1,116 @@
+// tiering_advisor: picks a page-migration policy for one deployment.
+//
+// Runs a workload bound to a capacity tier under every tiering policy
+// (static numactl baseline + the three dynamic ones), itemizes what each
+// policy paid for its speedup — copy time, NVM media bytes, NVM write
+// energy, hint-fault cpu overhead — and recommends the fastest. With
+// --trace the winner is re-run with a live engine and the most recent
+// migration records are dumped.
+//
+// Usage:
+//   tiering_advisor [app] [--scale=large] [--tier=2] [--epoch-ms=10]
+//                   [--carve-gib=8] [--trace] [--trace-limit=20]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/table.hpp"
+#include "mem/machine.hpp"
+#include "runner/parallel_runner.hpp"
+#include "sim/simulator.hpp"
+#include "tiering/engine.hpp"
+#include "workloads/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsx;
+  using namespace tsx::workloads;
+
+  Config cli;
+  const auto positional = cli.parse_args(argc, argv);
+  const App app =
+      positional.empty() ? App::kPagerank : app_from_name(positional[0]);
+  const ScaleId scale = scale_from_label(cli.get_or("scale", "large"));
+  const mem::TierId tier =
+      mem::tier_from_index(static_cast<int>(cli.get_int_or("tier", 2)));
+
+  tiering::TieringConfig knobs;
+  knobs.epoch_ms = cli.get_double_or("epoch-ms", 10.0);
+  knobs.fast_capacity_gib = cli.get_double_or("carve-gib", 8.0);
+
+  std::printf("tiering_advisor: %s-%s bound to %s, %.1f MiB DRAM carve-out\n\n",
+              to_string(app).c_str(), to_string(scale).c_str(),
+              mem::to_string(tier).c_str(),
+              knobs.fast_capacity_gib * 1024.0);
+
+  const auto runs = runner::run_sweep(runner::SweepSpec()
+                                          .apps({app})
+                                          .scales({scale})
+                                          .tiers({tier})
+                                          .tiering(knobs)
+                                          .all_tiering_policies());
+
+  const RunResult& baseline = runs.front();  // policy axis starts at static
+  const RunResult* best = &baseline;
+  TablePrinter table({"policy", "time (s)", "vs static", "promo", "demo",
+                      "migr (s)", "nvm MB", "wr energy (J)", "ovh (s)"});
+  for (const RunResult& r : runs) {
+    if (r.exec_time.sec() < best->exec_time.sec()) best = &r;
+    table.add_row(
+        {tiering::to_string(r.config.tiering.policy),
+         TablePrinter::num(r.exec_time.sec(), 3),
+         TablePrinter::num(baseline.exec_time.sec() / r.exec_time.sec(), 3) +
+             "x",
+         std::to_string(r.tiering.promotions),
+         std::to_string(r.tiering.demotions),
+         TablePrinter::num(r.tiering.migration_seconds, 4),
+         TablePrinter::num(r.tiering.nvm_bytes_written.b() / 1048576.0, 3),
+         TablePrinter::num(r.tiering.nvm_write_energy.j(), 6),
+         TablePrinter::num(r.tiering.overhead_seconds, 4)});
+  }
+  table.print(std::cout);
+
+  const tiering::PolicyKind winner = best->config.tiering.policy;
+  std::printf("\nRecommendation: %s (%.3fx vs the static bind)\n",
+              tiering::to_string(winner).c_str(),
+              baseline.exec_time.sec() / best->exec_time.sec());
+  if (winner == tiering::PolicyKind::kStatic)
+    std::printf("  (no dynamic policy pays for its copies here — keep the\n"
+                "   numactl placement, or grow the carve-out)\n");
+
+  if (cli.get_bool_or("trace", false)) {
+    // Re-run the winner (or, if static won, lfu-promote so there is
+    // something to look at) with a live engine and dump its migrations.
+    tiering::TieringConfig traced = knobs;
+    traced.policy = winner == tiering::PolicyKind::kStatic
+                        ? tiering::PolicyKind::kLfuPromote
+                        : winner;
+    sim::Simulator simulator;
+    mem::MachineModel machine(simulator);
+    dfs::Dfs dfs;
+    spark::SparkConf conf;
+    conf.mem_bind = tier;
+    spark::SparkContext sc(machine, dfs, conf, 42);
+    tiering::Engine engine(sc, traced);
+    engine.trace().enable();
+    engine.start();
+    run_app(app, sc, scale);
+
+    const auto limit =
+        static_cast<std::size_t>(cli.get_int_or("trace-limit", 20));
+    const auto& records = engine.trace().records();
+    std::printf("\nmigration trace (%s; %zu records, %zu aged out, "
+                "showing last %zu):\n",
+                tiering::to_string(traced.policy).c_str(), records.size(),
+                engine.trace().dropped(),
+                std::min(limit, records.size()));
+    const std::size_t start =
+        records.size() > limit ? records.size() - limit : 0;
+    for (std::size_t i = start; i < records.size(); ++i) {
+      const sim::TraceRecord& rec = records[i];
+      std::printf("  %10.6fs  %-15s %s\n", rec.at.sec(),
+                  rec.category.c_str(), rec.message.c_str());
+    }
+  }
+  return 0;
+}

@@ -29,7 +29,9 @@ namespace tsx::runner {
 class ResultCache {
  public:
   /// Version of the on-disk store; bump when the RunResult schema changes.
-  static constexpr int kStoreVersion = 1;
+  /// v2: RunConfig gained the tiering section and RunResult the tiering
+  /// stats object, so pre-tiering stores must not satisfy tiering lookups.
+  static constexpr int kStoreVersion = 2;
 
   /// The memoized result for `config`, if present. Thread-safe.
   std::optional<workloads::RunResult> find(

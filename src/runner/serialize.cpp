@@ -6,6 +6,7 @@
 
 #include "core/error.hpp"
 #include "core/strings.hpp"
+#include "tiering/options.hpp"
 
 namespace tsx::runner {
 
@@ -282,6 +283,18 @@ RunConfig config_from(const Value& v) {
   c.zero_copy_shuffle = v.at("zero_copy_shuffle").as_bool();
   c.background_load_gbps = v.at("background_load_gbps").as_double();
   c.machine = static_cast<workloads::MachineVariant>(v.at("machine").as_int());
+  c.tiering.policy = tiering::policy_from_index(v.at("tiering_policy").as_int());
+  c.tiering.epoch_ms = v.at("tiering_epoch_ms").as_double();
+  c.tiering.decay = v.at("tiering_decay").as_double();
+  c.tiering.sample =
+      tiering::sample_mode_from_index(v.at("tiering_sample").as_int());
+  c.tiering.sample_period = v.at("tiering_sample_period").as_int();
+  c.tiering.hint_fault_us = v.at("tiering_hint_fault_us").as_double();
+  c.tiering.fast_capacity_gib = v.at("tiering_fast_gib").as_double();
+  c.tiering.low_watermark = v.at("tiering_low_watermark").as_double();
+  c.tiering.high_watermark = v.at("tiering_high_watermark").as_double();
+  c.tiering.max_fast_utilization = v.at("tiering_max_util").as_double();
+  c.tiering.migration_mlp = v.at("tiering_migration_mlp").as_double();
   return c;
 }
 
@@ -339,6 +352,18 @@ std::string to_json(const RunResult& result) {
     events += num(result.events.values[static_cast<std::size_t>(i)]);
   }
   w.field("events", events + "]");
+  ObjectWriter ti;
+  ti.field("epochs", std::to_string(result.tiering.epochs));
+  ti.field("promotions", std::to_string(result.tiering.promotions));
+  ti.field("demotions", std::to_string(result.tiering.demotions));
+  ti.field("hint_faults", std::to_string(result.tiering.hint_faults));
+  ti.field("bytes_promoted", num(result.tiering.bytes_promoted.b()));
+  ti.field("bytes_demoted", num(result.tiering.bytes_demoted.b()));
+  ti.field("nvm_bytes_written", num(result.tiering.nvm_bytes_written.b()));
+  ti.field("nvm_write_energy", num(result.tiering.nvm_write_energy.j()));
+  ti.field("migration_seconds", num(result.tiering.migration_seconds));
+  ti.field("overhead_seconds", num(result.tiering.overhead_seconds));
+  w.field("tiering", ti.close());
   w.field("valid", result.valid ? "true" : "false");
   w.field("validation", quote(result.validation));
   w.field("bound_node", std::to_string(result.bound_node));
@@ -400,6 +425,19 @@ bool result_from_json(const std::string& json, RunResult* out) {
               "event count mismatch");
     for (std::size_t i = 0; i < events.array.size(); ++i)
       r.events.values[i] = events.array[i].as_double();
+    const Value& ti = v.at("tiering");
+    r.tiering.epochs = ti.at("epochs").as_u64();
+    r.tiering.promotions = ti.at("promotions").as_u64();
+    r.tiering.demotions = ti.at("demotions").as_u64();
+    r.tiering.hint_faults = ti.at("hint_faults").as_u64();
+    r.tiering.bytes_promoted = Bytes::of(ti.at("bytes_promoted").as_double());
+    r.tiering.bytes_demoted = Bytes::of(ti.at("bytes_demoted").as_double());
+    r.tiering.nvm_bytes_written =
+        Bytes::of(ti.at("nvm_bytes_written").as_double());
+    r.tiering.nvm_write_energy =
+        Energy::joules(ti.at("nvm_write_energy").as_double());
+    r.tiering.migration_seconds = ti.at("migration_seconds").as_double();
+    r.tiering.overhead_seconds = ti.at("overhead_seconds").as_double();
     r.valid = v.at("valid").as_bool();
     r.validation = v.at("validation").text;
     r.bound_node = v.at("bound_node").as_int();

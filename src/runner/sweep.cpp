@@ -79,6 +79,23 @@ SweepSpec& SweepSpec::zero_copy(std::vector<bool> v) {
   return *this;
 }
 
+SweepSpec& SweepSpec::tiering_policies(std::vector<tiering::PolicyKind> v) {
+  TSX_CHECK(!v.empty(), "tiering-policy axis must be non-empty");
+  tiering_policies_ = std::move(v);
+  return *this;
+}
+
+SweepSpec& SweepSpec::all_tiering_policies() {
+  tiering_policies_.assign(tiering::kAllPolicies.begin(),
+                           tiering::kAllPolicies.end());
+  return *this;
+}
+
+SweepSpec& SweepSpec::tiering(tiering::TieringConfig base) {
+  tiering_ = base;
+  return *this;
+}
+
 SweepSpec& SweepSpec::socket(mem::SocketId s) {
   socket_ = s;
   return *this;
@@ -108,7 +125,8 @@ SweepSpec& SweepSpec::repeats(int n) {
 std::size_t SweepSpec::size() const {
   return apps_.size() * scales_.size() * tiers_.size() * deployments_.size() *
          mba_levels_.size() * machines_.size() * background_loads_.size() *
-         zero_copy_.size() * static_cast<std::size_t>(repeats_);
+         zero_copy_.size() * tiering_policies_.size() *
+         static_cast<std::size_t>(repeats_);
 }
 
 std::vector<workloads::RunConfig> SweepSpec::enumerate() const {
@@ -122,25 +140,29 @@ std::vector<workloads::RunConfig> SweepSpec::enumerate() const {
             for (const workloads::MachineVariant machine : machines_) {
               for (const double gbps : background_loads_) {
                 for (const bool zc : zero_copy_) {
-                  for (int r = 0; r < repeats_; ++r) {
-                    workloads::RunConfig cfg;
-                    cfg.app = app;
-                    cfg.scale = scale;
-                    cfg.tier = tier;
-                    cfg.socket = socket_;
-                    cfg.executors = dep.executors;
-                    cfg.cores_per_executor = dep.cores_per_executor;
-                    cfg.mba_percent = mba;
-                    cfg.machine = machine;
-                    cfg.background_load_gbps = gbps;
-                    cfg.zero_copy_shuffle = zc;
-                    cfg.shuffle_tier = shuffle_tier_;
-                    cfg.cache_tier = cache_tier_;
-                    // Seed derived at enumeration time, from the repeat
-                    // index only — independent of execution order.
-                    cfg.seed = seed_ + static_cast<std::uint64_t>(r) *
-                                           0x9e3779b9ULL;
-                    configs.push_back(cfg);
+                  for (const tiering::PolicyKind policy : tiering_policies_) {
+                    for (int r = 0; r < repeats_; ++r) {
+                      workloads::RunConfig cfg;
+                      cfg.app = app;
+                      cfg.scale = scale;
+                      cfg.tier = tier;
+                      cfg.socket = socket_;
+                      cfg.executors = dep.executors;
+                      cfg.cores_per_executor = dep.cores_per_executor;
+                      cfg.mba_percent = mba;
+                      cfg.machine = machine;
+                      cfg.background_load_gbps = gbps;
+                      cfg.zero_copy_shuffle = zc;
+                      cfg.shuffle_tier = shuffle_tier_;
+                      cfg.cache_tier = cache_tier_;
+                      cfg.tiering = tiering_;
+                      cfg.tiering.policy = policy;
+                      // Seed derived at enumeration time, from the repeat
+                      // index only — independent of execution order.
+                      cfg.seed = seed_ + static_cast<std::uint64_t>(r) *
+                                             0x9e3779b9ULL;
+                      configs.push_back(cfg);
+                    }
                   }
                 }
               }

@@ -10,7 +10,7 @@
 //
 // Enumeration order (outermost to innermost axis):
 //   app -> scale -> tier -> deployment -> mba -> machine ->
-//   background_load -> zero_copy -> repeat
+//   background_load -> zero_copy -> tiering_policy -> repeat
 //
 // Seeds: repeat r of a config uses `seed + r * 0x9e3779b9` (the same golden-
 // ratio stride as workloads::run_repeats), assigned at enumeration time —
@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "tiering/options.hpp"
 #include "workloads/runner.hpp"
 
 namespace tsx::runner {
@@ -52,11 +53,16 @@ class SweepSpec {
   SweepSpec& machines(std::vector<workloads::MachineVariant> v);
   SweepSpec& background_loads(std::vector<double> v);
   SweepSpec& zero_copy(std::vector<bool> v);
+  /// Tiering-policy axis; every other tiering knob comes from `tiering()`.
+  SweepSpec& tiering_policies(std::vector<tiering::PolicyKind> v);
+  SweepSpec& all_tiering_policies();
 
   /// Single-valued knobs applied to every enumerated config.
   SweepSpec& socket(mem::SocketId s);
   SweepSpec& shuffle_tier(std::optional<mem::TierId> t);
   SweepSpec& cache_tier(std::optional<mem::TierId> t);
+  /// Base tiering configuration; the policy axis overwrites `.policy`.
+  SweepSpec& tiering(tiering::TieringConfig base);
   SweepSpec& seed(std::uint64_t s);
   /// Each config is enumerated `n` times with derived seeds (repeat axis,
   /// innermost).
@@ -78,9 +84,12 @@ class SweepSpec {
       workloads::MachineVariant::kDramNvm};
   std::vector<double> background_loads_{0.0};
   std::vector<bool> zero_copy_{false};
+  std::vector<tiering::PolicyKind> tiering_policies_{
+      tiering::PolicyKind::kStatic};
   mem::SocketId socket_ = 1;
   std::optional<mem::TierId> shuffle_tier_;
   std::optional<mem::TierId> cache_tier_;
+  tiering::TieringConfig tiering_;
   std::uint64_t seed_ = 42;
   int repeats_ = 1;
 };

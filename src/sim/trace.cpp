@@ -6,7 +6,20 @@ namespace tsx::sim {
 
 void TraceSink::emit(Duration at, std::string category, std::string message) {
   if (!enabled_) return;
+  if (capacity_ > 0 && records_.size() >= capacity_) {
+    records_.erase(records_.begin());
+    ++dropped_;
+  }
   records_.push_back({at, std::move(category), std::move(message)});
+}
+
+void TraceSink::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (records_.size() > capacity_) {
+    records_.erase(records_.begin());
+    ++dropped_;
+  }
 }
 
 std::vector<TraceRecord> TraceSink::by_category(

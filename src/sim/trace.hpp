@@ -30,6 +30,15 @@ class TraceSink {
 
   void emit(Duration at, std::string category, std::string message);
 
+  /// Bounds the sink to the most recent `capacity` records (ring-buffer
+  /// semantics: the oldest record is dropped to admit a new one). 0 — the
+  /// default — keeps every record, the historical behaviour.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records discarded so far because the ring was full.
+  std::size_t dropped() const { return dropped_; }
+
   const std::vector<TraceRecord>& records() const { return records_; }
   void clear() { records_.clear(); }
 
@@ -41,6 +50,8 @@ class TraceSink {
 
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::size_t dropped_ = 0;
   std::vector<TraceRecord> records_;
 };
 

@@ -22,6 +22,10 @@ const std::any* BlockManager::get(const BlockKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  if (tiering_ != nullptr)
+    tiering_->on_region_access(StreamClass::kCache,
+                               cache_region(key.rdd_id, key.partition),
+                               it->second.size, mem::AccessKind::kRead);
   return &it->second.data;
 }
 
@@ -43,6 +47,12 @@ bool BlockManager::put(const BlockKey& key, std::any data, Bytes size) {
   lru_.push_front(key);
   blocks_.emplace(key, Block{std::move(data), size, alloc, lru_.begin()});
   bytes_cached_ += size;
+  if (tiering_ != nullptr) {
+    const RegionId region = cache_region(key.rdd_id, key.partition);
+    tiering_->on_region_put(StreamClass::kCache, region, size);
+    tiering_->on_region_access(StreamClass::kCache, region, size,
+                               mem::AccessKind::kWrite);
+  }
   return true;
 }
 
@@ -53,6 +63,9 @@ void BlockManager::drop(const BlockKey& key) {
   bytes_cached_ -= it->second.size;
   lru_.erase(it->second.lru_pos);
   blocks_.erase(it);
+  if (tiering_ != nullptr)
+    tiering_->on_region_drop(StreamClass::kCache,
+                             cache_region(key.rdd_id, key.partition));
 }
 
 void BlockManager::clear() {

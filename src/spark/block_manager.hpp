@@ -15,6 +15,7 @@
 
 #include "core/units.hpp"
 #include "mem/allocator.hpp"
+#include "spark/tiering_hooks.hpp"
 
 namespace tsx::spark {
 
@@ -61,6 +62,10 @@ class BlockManager {
   std::size_t block_count() const { return blocks_.size(); }
   mem::NodeId node() const { return node_; }
 
+  /// Attaches a tiering observer; cached blocks become migratable regions.
+  /// Null (the default) restores the untracked behaviour.
+  void set_tiering(TieringHooks* hooks) { tiering_ = hooks; }
+
  private:
   struct Block {
     std::any data;
@@ -80,6 +85,7 @@ class BlockManager {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  TieringHooks* tiering_ = nullptr;
 };
 
 }  // namespace tsx::spark

@@ -54,6 +54,13 @@ SparkContext::SparkContext(mem::MachineModel& machine, dfs::Dfs& dfs,
   TSX_CHECK(!executors_.empty(), "context needs at least one executor");
 }
 
+void SparkContext::set_tiering(TieringHooks* hooks) {
+  tiering_ = hooks;
+  block_manager_->set_tiering(hooks);
+  shuffle_store_.set_tiering(hooks);
+  for (auto& executor : executors_) executor->set_tiering(hooks);
+}
+
 void SparkContext::set_cost_multiplier(double m) {
   TSX_CHECK(m >= 1.0, "cost multiplier must be >= 1");
   cost_multiplier_ = m;

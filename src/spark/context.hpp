@@ -19,6 +19,7 @@
 #include "spark/executor.hpp"
 #include "spark/scheduler.hpp"
 #include "spark/shuffle.hpp"
+#include "spark/tiering_hooks.hpp"
 
 namespace tsx::spark {
 
@@ -52,6 +53,13 @@ class SparkContext {
   /// Total task slots across executors (Spark's default parallelism).
   int default_parallelism() const { return conf_.total_cores(); }
 
+  /// Attaches (or, with nullptr, detaches) a tiering observer on every
+  /// component with migratable regions: the block manager, the shuffle
+  /// store and the executors. Without a call, the engine runs the static
+  /// numactl-style placement bit for bit.
+  void set_tiering(TieringHooks* hooks);
+  TieringHooks* tiering() const { return tiering_; }
+
   /// The memory tier executors are bound to, resolved from the canonical
   /// compute socket.
   mem::TierSpec bound_tier() const {
@@ -68,6 +76,7 @@ class SparkContext {
   std::uint64_t seed_;
   double cost_multiplier_ = 1.0;
   int next_rdd_id_ = 0;
+  TieringHooks* tiering_ = nullptr;
 
   mem::TieredAllocator allocator_;
   ShuffleStore shuffle_store_;

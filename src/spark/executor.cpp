@@ -58,6 +58,21 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost,
   auto add = [&](mem::AccessKind kind, Bytes volume, double mlp,
                  StreamClass cls) {
     if (volume.b() <= 0.0) return;
+    // A tiering observer may split the class's traffic across tiers by
+    // current region placement; an empty split is "no opinion" and falls
+    // back to the static class binding (the exact pre-tiering path).
+    if (tiering_ != nullptr) {
+      const std::vector<TierShare> split = tiering_->traffic_split(cls);
+      if (!split.empty()) {
+        for (const TierShare& share : split) {
+          const Bytes part = volume * share.fraction;
+          if (part.b() <= 0.0) continue;
+          requests->push_back(
+              mem::TransferRequest{spec_.socket, share.tier, kind, part, mlp});
+        }
+        return;
+      }
+    }
     requests->push_back(mem::TransferRequest{
         spec_.socket, conf_.tier_for(cls), kind, volume, mlp});
   };

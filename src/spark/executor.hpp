@@ -22,6 +22,7 @@
 #include "spark/conf.hpp"
 #include "spark/cost_model.hpp"
 #include "spark/task.hpp"
+#include "spark/tiering_hooks.hpp"
 
 namespace tsx::spark {
 
@@ -57,6 +58,11 @@ class Executor {
   /// Integrated busy core-seconds (occupancy of this executor's slots).
   double busy_core_seconds() const { return pool_.busy_core_seconds(); }
 
+  /// Attaches a tiering observer: stream traffic of a class follows the
+  /// observer's traffic_split instead of the static class binding. Null
+  /// (the default) or an empty split keeps the static path bit for bit.
+  void set_tiering(const TieringHooks* hooks) { tiering_ = hooks; }
+
  private:
   /// Chains the simulated phases for an already-computed cost profile.
   void run_phases(std::shared_ptr<TaskCost> cost,
@@ -69,6 +75,7 @@ class Executor {
   sim::CorePool pool_;
   Duration next_dispatch_ = Duration::zero();
   std::uint64_t tasks_completed_ = 0;
+  const TieringHooks* tiering_ = nullptr;
 };
 
 }  // namespace tsx::spark

@@ -41,6 +41,12 @@ void ShuffleStore::put_bucket(int shuffle, std::size_t map_part,
   s.sizes[idx] = size;
   bytes_held_ += size;
   bytes_written_total_ += size;
+  if (tiering_ != nullptr && size.b() > 0.0) {
+    const RegionId region = shuffle_region(shuffle, map_part);
+    tiering_->on_region_put(StreamClass::kShuffle, region, size);
+    tiering_->on_region_access(StreamClass::kShuffle, region, size,
+                               mem::AccessKind::kWrite);
+  }
 }
 
 const std::any& ShuffleStore::bucket(int shuffle, std::size_t map_part,
@@ -48,7 +54,12 @@ const std::any& ShuffleStore::bucket(int shuffle, std::size_t map_part,
   const Shuffle& s = shuffle_at(shuffle);
   TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
             "bucket coordinates out of range");
-  return s.cells[map_part * s.reduces + reduce_part];
+  const std::size_t idx = map_part * s.reduces + reduce_part;
+  if (tiering_ != nullptr && s.sizes[idx].b() > 0.0)
+    tiering_->on_region_access(StreamClass::kShuffle,
+                               shuffle_region(shuffle, map_part),
+                               s.sizes[idx], mem::AccessKind::kRead);
+  return s.cells[idx];
 }
 
 Bytes ShuffleStore::bucket_size(int shuffle, std::size_t map_part,
@@ -78,11 +89,17 @@ bool ShuffleStore::is_complete(int shuffle) const {
 void ShuffleStore::clear(int shuffle) {
   Shuffle& s = shuffle_at(shuffle);
   for (auto& cell : s.cells) cell.reset();
+  bool had_bytes = false;
   for (auto& size : s.sizes) {
+    if (size.b() > 0.0) had_bytes = true;
     bytes_held_ -= size;
     size = Bytes::zero();
   }
   s.complete = false;
+  if (tiering_ != nullptr && had_bytes)
+    for (std::size_t m = 0; m < s.maps; ++m)
+      tiering_->on_region_drop(StreamClass::kShuffle,
+                               shuffle_region(shuffle, m));
 }
 
 }  // namespace tsx::spark

@@ -17,6 +17,7 @@
 
 #include "core/units.hpp"
 #include "spark/task.hpp"
+#include "spark/tiering_hooks.hpp"
 
 namespace tsx::spark {
 
@@ -54,6 +55,11 @@ class ShuffleStore {
   /// Total bytes ever written into the store.
   Bytes bytes_written_total() const { return bytes_written_total_; }
 
+  /// Attaches a tiering observer; each map task's output becomes one
+  /// migratable region (Spark's actual shuffle-file granularity). Null
+  /// (the default) restores the untracked behaviour.
+  void set_tiering(TieringHooks* hooks) { tiering_ = hooks; }
+
  private:
   struct Shuffle {
     std::size_t maps = 0;
@@ -70,6 +76,7 @@ class ShuffleStore {
   std::vector<Shuffle> shuffles_;
   Bytes bytes_held_;
   Bytes bytes_written_total_;
+  TieringHooks* tiering_ = nullptr;
 };
 
 /// Type-erased face of a shuffle dependency, all the DAG scheduler needs:

@@ -1,0 +1,46 @@
+#include "tiering/cost_model.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace tsx::tiering {
+
+MigrationCostModel::MigrationCostModel(mem::MachineModel& machine,
+                                       mem::SocketId socket, double mlp)
+    : machine_(machine), socket_(socket), mlp_(mlp) {
+  TSX_CHECK(mlp > 0.0, "migration mlp must be positive");
+}
+
+MigrationEstimate MigrationCostModel::estimate(mem::TierId from,
+                                               mem::TierId to,
+                                               Bytes bytes) const {
+  MigrationEstimate e;
+  e.copy_time =
+      machine_.idle_transfer_time(
+          {socket_, from, mem::AccessKind::kRead, bytes, mlp_}) +
+      machine_.idle_transfer_time(
+          {socket_, to, mem::AccessKind::kWrite, bytes, mlp_});
+  const mem::TierSpec dst = machine_.tier(socket_, to);
+  if (dst.tech->kind == mem::TechKind::kNvm) {
+    e.nvm_bytes_written = bytes;
+    e.nvm_write_energy =
+        Energy::joules(bytes.b() * dst.tech->write_pj_per_byte * 1e-12);
+  }
+  return e;
+}
+
+void MigrationCostModel::execute(mem::TierId from, mem::TierId to,
+                                 Bytes bytes,
+                                 std::function<void()> on_done) {
+  auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  machine_.submit_transfer(
+      {socket_, from, mem::AccessKind::kRead, bytes, mlp_},
+      [this, to, bytes, done] {
+        machine_.submit_transfer(
+            {socket_, to, mem::AccessKind::kWrite, bytes, mlp_},
+            [done] { (*done)(); });
+      });
+}
+
+}  // namespace tsx::tiering

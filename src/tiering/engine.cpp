@@ -1,0 +1,164 @@
+#include "tiering/engine.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::tiering {
+
+namespace {
+/// Migration records kept per run; old migrations age out of the ring.
+constexpr std::size_t kTraceCapacity = 4096;
+}  // namespace
+
+Engine::Engine(spark::SparkContext& sc, TieringConfig config)
+    : sc_(sc),
+      config_(config),
+      tracker_(config),
+      policy_(make_policy(config.policy)),
+      cost_model_(sc.machine(), sc.conf().cpu_node_bind,
+                  config.migration_mlp) {
+  TSX_CHECK(config.epoch_ms > 0.0, "epoch_ms must be positive");
+  trace_.set_capacity(kTraceCapacity);
+}
+
+Engine::~Engine() {
+  if (sc_.tiering() == this) sc_.set_tiering(nullptr);
+}
+
+void Engine::start() {
+  TSX_CHECK(!started_, "tiering engine already started");
+  started_ = true;
+  sc_.set_tiering(this);
+  if (config_.policy == PolicyKind::kStatic) return;
+  sc_.machine().simulator().schedule_in(Duration::millis(config_.epoch_ms),
+                                        [this] { tick(); });
+}
+
+mem::TierId Engine::slow_tier() const {
+  const mem::TierId bound = sc_.conf().mem_bind;
+  return bound != mem::TierId::kTier0 ? bound : mem::TierId::kTier2;
+}
+
+void Engine::on_region_put(spark::StreamClass cls, spark::RegionId id,
+                           Bytes bytes) {
+  tracker_.put(cls, id, bytes, sc_.conf().tier_for(cls));
+}
+
+void Engine::on_region_access(spark::StreamClass, spark::RegionId id,
+                              Bytes bytes, mem::AccessKind) {
+  tracker_.access(id, bytes);
+}
+
+void Engine::on_region_drop(spark::StreamClass, spark::RegionId id) {
+  tracker_.drop(id);
+}
+
+std::vector<spark::TierShare> Engine::traffic_split(
+    spark::StreamClass cls) const {
+  // Heap traffic is not region-backed (it is the executor's working set,
+  // pinned by numactl); only cache and shuffle regions migrate.
+  if (cls == spark::StreamClass::kHeap) return {};
+  if (config_.policy == PolicyKind::kStatic) return {};
+  const std::array<double, 4> weights = tracker_.class_tier_weights(cls);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return {};
+  std::vector<spark::TierShare> split;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    split.push_back(
+        {mem::tier_from_index(static_cast<int>(i)), weights[i] / total});
+  }
+  return split;
+}
+
+void Engine::tick() {
+  sim::Simulator& sim = sc_.machine().simulator();
+
+  // 1. Charge the epoch's hint-fault overhead: the fault handler occupies
+  //    one core of the bound socket, delaying queued tasks exactly like a
+  //    busy NUMA-balancing kernel thread would.
+  if (const std::uint64_t faults = tracker_.drain_hint_faults()) {
+    stats_.hint_faults += faults;
+    const Duration busy =
+        Duration::micros(config_.hint_fault_us * static_cast<double>(faults));
+    stats_.overhead_seconds += busy.sec();
+    sim::CorePool& cores = sc_.machine().socket_cores(sc_.conf().cpu_node_bind);
+    cores.acquire([&sim, &cores, busy] {
+      sim.schedule_in(busy, [&cores] { cores.release(); });
+    });
+  }
+
+  // 2. Age hotness across the epoch boundary.
+  tracker_.roll_epoch();
+  ++stats_.epochs;
+
+  // 3. Plan against a deterministic snapshot and execute.
+  PlanContext ctx;
+  ctx.regions = tracker_.snapshot();
+  ctx.fast = fast_tier();
+  ctx.slow = slow_tier();
+  // The multiplier is read at tick time: apps set it after the context is
+  // built, and region sizes are tracked at host-sample scale.
+  ctx.multiplier = sc_.cost_multiplier();
+  ctx.fast_capacity = Bytes::gib(config_.fast_capacity_gib);
+  Bytes used = Bytes::zero();
+  for (const Region& r : ctx.regions)
+    if (r.tier == ctx.fast) used += r.size * ctx.multiplier;
+  ctx.fast_used = used;
+  const mem::TierSpec fast_spec =
+      sc_.machine().tier(sc_.conf().cpu_node_bind, ctx.fast);
+  ctx.fast_utilization =
+      sc_.machine().channel_for(sc_.conf().cpu_node_bind, fast_spec.node)
+          .utilization();
+  ctx.config = &config_;
+
+  for (const Move& move : policy_->plan(ctx)) launch_move(move);
+
+  // 4. Recurring tick. The scheduler drives the simulator by step()/
+  //    run_until, so a pending tick never stalls run completion; ticks
+  //    beyond the workload's end are simply never fired.
+  sim.schedule_in(Duration::millis(config_.epoch_ms), [this] { tick(); });
+}
+
+void Engine::launch_move(const Move& move) {
+  Region* region = tracker_.find(move.region);
+  // The plan was made against a snapshot; skip moves that went stale
+  // (region dropped, already migrating, or already moved).
+  if (region == nullptr || region->migrating || region->tier != move.from)
+    return;
+
+  const bool promote = mem::index(move.to) < mem::index(move.from);
+  if (promote) {
+    ++stats_.promotions;
+    stats_.bytes_promoted += move.bytes;
+  } else {
+    ++stats_.demotions;
+    stats_.bytes_demoted += move.bytes;
+  }
+  const MigrationEstimate estimate =
+      cost_model_.estimate(move.from, move.to, move.bytes);
+  stats_.nvm_bytes_written += estimate.nvm_bytes_written;
+  stats_.nvm_write_energy += estimate.nvm_write_energy;
+
+  trace_.emit(sc_.now(), promote ? "tiering.promote" : "tiering.demote",
+              strfmt("region=%016llx %s -> %s %s",
+                     static_cast<unsigned long long>(move.region),
+                     mem::to_string(move.from).c_str(),
+                     mem::to_string(move.to).c_str(),
+                     to_string(move.bytes).c_str()));
+
+  // Flip placement at launch: new traffic targets the destination right
+  // away while the copy drains in the background.
+  tracker_.set_tier(move.region, move.to);
+  tracker_.set_migrating(move.region, true);
+
+  const sim::TimePoint started = sc_.now();
+  const spark::RegionId id = move.region;
+  cost_model_.execute(move.from, move.to, move.bytes, [this, id, started] {
+    stats_.migration_seconds += (sc_.now() - started).sec();
+    tracker_.set_migrating(id, false);
+  });
+}
+
+}  // namespace tsx::tiering

@@ -1,0 +1,111 @@
+#include "tiering/hotness.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace tsx::tiering {
+
+namespace {
+constexpr double kCacheline = 64.0;
+}
+
+HotnessTracker::HotnessTracker(const TieringConfig& config)
+    : config_(config) {
+  TSX_CHECK(config.sample_period >= 1, "sample_period must be >= 1");
+  TSX_CHECK(config.decay >= 0.0 && config.decay <= 1.0,
+            "decay must be in [0, 1]");
+}
+
+void HotnessTracker::put(spark::StreamClass cls, spark::RegionId id,
+                         Bytes bytes, mem::TierId tier) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    Region r;
+    r.id = id;
+    r.cls = cls;
+    r.size = bytes;
+    r.tier = tier;
+    regions_.emplace(id, r);
+    return;
+  }
+  it->second.size += bytes;
+}
+
+void HotnessTracker::access(spark::RegionId id, Bytes bytes) {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) return;
+  const double accesses = std::ceil(bytes.b() / kCacheline);
+  if (config_.sample == SampleMode::kFull) {
+    it->second.epoch_accesses += accesses;
+    return;
+  }
+  // Access-bit sampling: only every Nth event trips a hint fault and is
+  // observed; the estimate scales the observed count back up by the period.
+  const auto period = static_cast<std::uint64_t>(config_.sample_period);
+  if (access_events_++ % period == 0) {
+    it->second.epoch_accesses +=
+        accesses * static_cast<double>(config_.sample_period);
+    ++pending_hint_faults_;
+    ++total_hint_faults_;
+  }
+}
+
+void HotnessTracker::drop(spark::RegionId id) { regions_.erase(id); }
+
+void HotnessTracker::roll_epoch() {
+  for (auto& [id, r] : regions_) {
+    r.hotness = r.hotness * config_.decay + r.epoch_accesses;
+    r.epoch_accesses = 0.0;
+  }
+}
+
+std::uint64_t HotnessTracker::drain_hint_faults() {
+  const std::uint64_t faults = pending_hint_faults_;
+  pending_hint_faults_ = 0;
+  return faults;
+}
+
+Region* HotnessTracker::find(spark::RegionId id) {
+  const auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+const Region* HotnessTracker::find(spark::RegionId id) const {
+  const auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+std::vector<Region> HotnessTracker::snapshot() const {
+  std::vector<Region> out;
+  out.reserve(regions_.size());
+  for (const auto& [id, r] : regions_) out.push_back(r);
+  return out;
+}
+
+std::array<double, 4> HotnessTracker::class_tier_weights(
+    spark::StreamClass cls) const {
+  std::array<double, 4> hot{};
+  std::array<double, 4> bytes{};
+  for (const auto& [id, r] : regions_) {
+    if (r.cls != cls) continue;
+    const auto t = static_cast<std::size_t>(mem::index(r.tier));
+    // Count the current epoch's accesses too, so freshly written regions
+    // draw traffic before their first epoch boundary.
+    hot[t] += r.hotness + r.epoch_accesses;
+    bytes[t] += r.size.b();
+  }
+  double hot_total = 0.0;
+  for (const double h : hot) hot_total += h;
+  return hot_total > 0.0 ? hot : bytes;
+}
+
+void HotnessTracker::set_tier(spark::RegionId id, mem::TierId tier) {
+  if (Region* r = find(id)) r->tier = tier;
+}
+
+void HotnessTracker::set_migrating(spark::RegionId id, bool migrating) {
+  if (Region* r = find(id)) r->migrating = migrating;
+}
+
+}  // namespace tsx::tiering

@@ -1,0 +1,42 @@
+#include "tiering/options.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::tiering {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kStatic: return "static";
+    case PolicyKind::kLfuPromote: return "lfu-promote";
+    case PolicyKind::kBandwidthAware: return "bandwidth-aware";
+    case PolicyKind::kWatermark: return "watermark";
+  }
+  TSX_FAIL("unknown policy kind");
+}
+
+PolicyKind policy_from_index(int i) {
+  TSX_CHECK(i >= 0 && i < static_cast<int>(kAllPolicies.size()),
+            "policy index out of range");
+  return static_cast<PolicyKind>(i);
+}
+
+PolicyKind policy_from_name(const std::string& name) {
+  for (const PolicyKind kind : kAllPolicies)
+    if (to_string(kind) == name) return kind;
+  TSX_FAIL("unknown policy name: " + name);
+}
+
+std::string to_string(SampleMode mode) {
+  switch (mode) {
+    case SampleMode::kFull: return "full";
+    case SampleMode::kAccessBits: return "access-bits";
+  }
+  TSX_FAIL("unknown sample mode");
+}
+
+SampleMode sample_mode_from_index(int i) {
+  TSX_CHECK(i >= 0 && i <= 1, "sample mode index out of range");
+  return static_cast<SampleMode>(i);
+}
+
+}  // namespace tsx::tiering

@@ -11,6 +11,7 @@
 #include "mem/mba.hpp"
 #include "sim/simulator.hpp"
 #include "spark/context.hpp"
+#include "tiering/engine.hpp"
 
 namespace tsx::workloads {
 
@@ -46,6 +47,25 @@ std::vector<std::pair<std::string, std::string>> config_fields(
       {"background_load_gbps",
        strfmt("%.17g", config.background_load_gbps)},
       {"machine", std::to_string(static_cast<int>(config.machine))},
+      {"tiering_policy",
+       std::to_string(static_cast<int>(config.tiering.policy))},
+      {"tiering_epoch_ms", strfmt("%.17g", config.tiering.epoch_ms)},
+      {"tiering_decay", strfmt("%.17g", config.tiering.decay)},
+      {"tiering_sample",
+       std::to_string(static_cast<int>(config.tiering.sample))},
+      {"tiering_sample_period",
+       std::to_string(config.tiering.sample_period)},
+      {"tiering_hint_fault_us",
+       strfmt("%.17g", config.tiering.hint_fault_us)},
+      {"tiering_fast_gib", strfmt("%.17g", config.tiering.fast_capacity_gib)},
+      {"tiering_low_watermark",
+       strfmt("%.17g", config.tiering.low_watermark)},
+      {"tiering_high_watermark",
+       strfmt("%.17g", config.tiering.high_watermark)},
+      {"tiering_max_util",
+       strfmt("%.17g", config.tiering.max_fast_utilization)},
+      {"tiering_migration_mlp",
+       strfmt("%.17g", config.tiering.migration_mlp)},
   };
 }
 
@@ -121,6 +141,14 @@ RunResult run_workload(const RunConfig& config) {
 
   spark::SparkContext sc(machine, dfs, conf, config.seed);
 
+  // The engine exists only for dynamic policies: under `static` the run is
+  // the pre-tiering code path bit for bit (no hooks, no epoch events).
+  std::unique_ptr<tiering::Engine> engine;
+  if (config.tiering.policy != tiering::PolicyKind::kStatic) {
+    engine = std::make_unique<tiering::Engine>(sc, config.tiering);
+    engine->start();
+  }
+
   mem::MbaController mba(machine);
   if (config.mba_percent != 100)
     mba.set_throttle_percent(config.mba_percent);
@@ -175,6 +203,8 @@ RunResult run_workload(const RunConfig& config) {
                                     machine.traffic().node(bound.node),
                                     result.exec_time);
   }
+
+  if (engine) result.tiering = engine->stats();
 
   result.events = metrics::synthesize_events(
       result.total_cost, result.exec_time, result.tasks,

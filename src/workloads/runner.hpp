@@ -20,6 +20,7 @@
 #include "mem/wear.hpp"
 #include "metrics/nvdimm.hpp"
 #include "metrics/system_events.hpp"
+#include "tiering/options.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/scales.hpp"
 
@@ -56,6 +57,10 @@ struct RunConfig {
 
   /// Capacity-tier technology (Optane testbed vs CXL what-if).
   MachineVariant machine = MachineVariant::kDramNvm;
+
+  /// Dynamic page-migration subsystem. The default (`static` policy) runs
+  /// the exact pre-tiering code path — the engine is not even constructed.
+  tiering::TieringConfig tiering;
 
   std::string describe() const;
 
@@ -109,6 +114,8 @@ struct RunResult {
   mem::WearReport wear;
   /// Synthesized perf events.
   metrics::SystemEventSample events;
+  /// What the tiering engine did (all-zero under the static policy).
+  tiering::TieringStats tiering;
 
   bool valid = false;
   std::string validation;

@@ -152,6 +152,46 @@ TEST(Determinism, IdenticalRunsBitIdentical) {
     EXPECT_EQ(a.events[e], b.events[e]) << metrics::to_string(e);
 }
 
+TEST(TieringInvariants, NvmNodeWritesCoverMigrationTraffic) {
+  // A deliberately tight DRAM carve-out (~10 KB of virtual bytes) forces
+  // the LFU policy to churn: hotter cache blocks keep displacing colder
+  // ones, so the run has both promotions and demotions. Every demotion
+  // copy lands on the bound NVM node through the regular channels, so the
+  // node's ledger must account for at least the migration traffic — that
+  // is the path that feeds ipmctl counters, write energy and wear.
+  RunConfig cfg;
+  cfg.app = App::kPagerank;
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier2;
+  cfg.tiering.policy = tiering::PolicyKind::kLfuPromote;
+  cfg.tiering.epoch_ms = 10.0;
+  cfg.tiering.fast_capacity_gib = 1e-5;
+  const RunResult r = workloads::run_workload(cfg);
+  ASSERT_TRUE(r.valid) << r.validation;
+  EXPECT_GT(r.tiering.promotions, 0u);
+  EXPECT_GT(r.tiering.demotions, 0u);
+  ASSERT_GT(r.tiering.nvm_bytes_written.b(), 0.0);
+  EXPECT_GT(r.tiering.nvm_write_energy.j(), 0.0);
+  const mem::NodeTraffic& nvm = r.traffic.at(r.bound_node);
+  EXPECT_GE(nvm.write_bytes.b(), r.tiering.nvm_bytes_written.b());
+  // Those NVM media writes consume endurance: wear must be non-zero.
+  EXPECT_GT(r.wear.lifetime_fraction_used, 0.0);
+}
+
+TEST(TieringInvariants, StaticPolicyLeavesStatsAndPlacementUntouched) {
+  RunConfig cfg;
+  cfg.app = App::kPagerank;
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier2;
+  const RunResult r = workloads::run_workload(cfg);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.tiering.epochs, 0u);
+  EXPECT_EQ(r.tiering.promotions, 0u);
+  EXPECT_EQ(r.tiering.demotions, 0u);
+  EXPECT_DOUBLE_EQ(r.tiering.nvm_bytes_written.b(), 0.0);
+  EXPECT_DOUBLE_EQ(r.tiering.migration_seconds, 0.0);
+}
+
 TEST(Accumulators, AgreeWithReferenceCount) {
   sim::Simulator simulator;
   mem::MachineModel machine(simulator);

@@ -361,6 +361,33 @@ TEST(Wear, FractionAndProjection) {
   EXPECT_NEAR(r.projected_lifetime.sec(), 100.0 * 999.0, 1.0);
 }
 
+TEST(Wear, ChurnThroughMachineAdvancesWearCounters) {
+  // Migration-style churn — repeated write transfers landing on the NVM
+  // node — must show up in the wear report, because the machine charges
+  // the traffic ledger at submit time and wear is a pure function of the
+  // ledger's write bytes.
+  sim::Simulator sim;
+  MachineModel machine(sim);
+  const TierSpec nvm = machine.tier(1, TierId::kTier2);
+
+  const WearModel model(1e6);
+  const MemNodeSpec& node = machine.topology().node(nvm.node);
+  double last_fraction = 0.0;
+  for (int round = 1; round <= 3; ++round) {
+    machine.submit_transfer(
+        {1, TierId::kTier2, AccessKind::kWrite, Bytes::mib(256), 8.0}, [] {});
+    sim.run();
+    const WearReport r =
+        model.report(node, machine.traffic().node(nvm.node), sim.now());
+    EXPECT_GT(r.lifetime_fraction_used, last_fraction);
+    last_fraction = r.lifetime_fraction_used;
+    // Ideal wear leveling: fraction = written / (capacity * endurance).
+    const double expected =
+        Bytes::mib(256).b() * round / (node.capacity.b() * 1e6);
+    EXPECT_NEAR(r.lifetime_fraction_used, expected, expected * 1e-9);
+  }
+}
+
 TEST(Wear, NoWritesMeansInfiniteLifetime) {
   const TopologySpec topo = testbed_topology();
   const WearModel model;

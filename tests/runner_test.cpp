@@ -86,6 +86,32 @@ TEST(StableHash, DifferentConfigsHashDifferent) {
   EXPECT_NE(workloads::stable_hash(a), workloads::stable_hash(b));
 }
 
+TEST(StableHash, TieringFieldsAreHashed) {
+  // Every tiering knob is part of a run's identity: a pre-tiering cached
+  // result must never satisfy a lookup for a tiering run, and two runs
+  // differing only in a tiering knob must not collide.
+  const RunConfig base;
+  const auto differs = [&](auto mutate) {
+    RunConfig cfg;
+    mutate(cfg.tiering);
+    return workloads::stable_hash(cfg) != workloads::stable_hash(base);
+  };
+  using tiering::PolicyKind;
+  using tiering::SampleMode;
+  EXPECT_TRUE(differs(
+      [](auto& t) { t.policy = PolicyKind::kLfuPromote; }));
+  EXPECT_TRUE(differs([](auto& t) { t.epoch_ms = 25.0; }));
+  EXPECT_TRUE(differs([](auto& t) { t.decay = 0.9; }));
+  EXPECT_TRUE(differs([](auto& t) { t.sample = SampleMode::kAccessBits; }));
+  EXPECT_TRUE(differs([](auto& t) { t.sample_period = 32; }));
+  EXPECT_TRUE(differs([](auto& t) { t.hint_fault_us = 2.0; }));
+  EXPECT_TRUE(differs([](auto& t) { t.fast_capacity_gib = 4.0; }));
+  EXPECT_TRUE(differs([](auto& t) { t.low_watermark = 0.05; }));
+  EXPECT_TRUE(differs([](auto& t) { t.high_watermark = 0.5; }));
+  EXPECT_TRUE(differs([](auto& t) { t.max_fast_utilization = 0.5; }));
+  EXPECT_TRUE(differs([](auto& t) { t.migration_mlp = 4.0; }));
+}
+
 TEST(StableHash, IndependentOfFieldOrder) {
   // The hash sorts (name, value) pairs internally, so reordering the field
   // list — as a future RunConfig layout change would — cannot change it.
@@ -216,6 +242,23 @@ TEST(ResultCache, SaveLoadRoundTrip) {
     ASSERT_TRUE(found.has_value());
     EXPECT_TRUE(results_identical(*found, r));
   }
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadRejectsPreTieringStoreVersion) {
+  // The store format was bumped when RunConfig grew the tiering section;
+  // a v1 store (written before tiering existed) must fail to load rather
+  // than serve results whose configs silently lack tiering fields.
+  ASSERT_GE(ResultCache::kStoreVersion, 2);
+  const std::string path = ::testing::TempDir() + "/tsx_v1_cache.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"format\":\"tsx-run-cache\",\"version\":1}\n", f);
+  std::fclose(f);
+
+  ResultCache cache;
+  EXPECT_FALSE(cache.load(path));
+  EXPECT_EQ(cache.size(), 0u);
   std::remove(path.c_str());
 }
 

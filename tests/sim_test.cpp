@@ -296,5 +296,39 @@ TEST(Trace, EnabledSinkKeepsAndFilters) {
   EXPECT_NE(sink.to_string().find("two"), std::string::npos);
 }
 
+TEST(Trace, UnboundedByDefault) {
+  TraceSink sink;
+  sink.enable();
+  for (int i = 0; i < 10000; ++i)
+    sink.emit(Duration::seconds(i), "cat", std::to_string(i));
+  EXPECT_EQ(sink.records().size(), 10000u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(Trace, RingCapacityKeepsMostRecent) {
+  TraceSink sink;
+  sink.enable();
+  sink.set_capacity(3);
+  for (int i = 0; i < 7; ++i)
+    sink.emit(Duration::seconds(i), "cat", std::to_string(i));
+  ASSERT_EQ(sink.records().size(), 3u);
+  EXPECT_EQ(sink.dropped(), 4u);
+  // Oldest records aged out; the survivors keep emission order.
+  EXPECT_EQ(sink.records()[0].message, "4");
+  EXPECT_EQ(sink.records()[2].message, "6");
+}
+
+TEST(Trace, ShrinkingCapacityTrimsOldest) {
+  TraceSink sink;
+  sink.enable();
+  for (int i = 0; i < 5; ++i)
+    sink.emit(Duration::seconds(i), "cat", std::to_string(i));
+  sink.set_capacity(2);
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.records()[0].message, "3");
+  EXPECT_EQ(sink.records()[1].message, "4");
+}
+
 }  // namespace
 }  // namespace tsx::sim
