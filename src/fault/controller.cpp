@@ -1,0 +1,268 @@
+#include "fault/controller.hpp"
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::fault {
+
+namespace {
+// Ring-buffer bound on the fault trace: long chaos runs keep the most
+// recent injections/recoveries without unbounded growth.
+constexpr std::size_t kTraceCapacity = 4096;
+// Churn-poll period. Fixed (not drawn) so enabling UCEs does not perturb
+// the injection schedule of the other fault classes.
+constexpr double kUcePollMs = 5.0;
+}  // namespace
+
+Controller::Controller(spark::SparkContext& sc, FaultConfig config)
+    : sc_(sc),
+      config_(config),
+      plan_(build_plan(config, sc.job_seed(),
+                       static_cast<int>(sc.executors().size()))),
+      clock_(sc.machine().simulator()) {
+  TSX_CHECK(config_.enabled, "constructing a controller from a disabled "
+                             "FaultConfig");
+  TSX_CHECK(config_.max_task_attempts >= 1, "need at least one task attempt");
+  TSX_CHECK(config_.bw_collapse_factor > 0.0 &&
+                config_.bw_collapse_factor <= 1.0,
+            "bandwidth collapse factor must be in (0, 1]");
+  policy_.max_task_attempts = config_.max_task_attempts;
+  policy_.backoff_base = Duration::millis(config_.backoff_base_ms);
+  policy_.backoff_cap = Duration::millis(config_.backoff_cap_ms);
+  policy_.speculation = config_.speculation;
+  policy_.speculation_multiplier = config_.speculation_multiplier;
+  policy_.speculation_min_fraction = config_.speculation_min_fraction;
+  trace_.set_capacity(kTraceCapacity);
+  trace_.enable();
+}
+
+Controller::~Controller() {
+  if (started_ && sc_.fault() == this) sc_.set_fault(nullptr);
+}
+
+void Controller::start() {
+  TSX_CHECK(!started_, "fault controller started twice");
+  started_ = true;
+  sc_.set_fault(this);
+
+  for (const PlannedCrash& crash : plan_.crashes) {
+    const int executor = crash.executor;
+    clock_.arm(crash.at, [this, executor] { inject_crash(executor); });
+  }
+
+  if (config_.offline_tier >= 0 && config_.offline_at_s >= 0.0) {
+    const mem::TierId tier = mem::tier_from_index(config_.offline_tier);
+    clock_.arm(Duration::seconds(config_.offline_at_s),
+               [this, tier] { take_tier_offline(tier); });
+  }
+
+  if (config_.bw_collapse_at_s >= 0.0) {
+    clock_.arm(Duration::seconds(config_.bw_collapse_at_s),
+               [this] { collapse_bandwidth(); });
+  }
+
+  if (!plan_.uce_thresholds_gib.empty()) {
+    // Watch the bound tier's node if it is NVM; otherwise the cache tier's
+    // node (cached blocks may be NVM-bound even when the heap is not).
+    const mem::TierSpec bound = sc_.bound_tier();
+    if (bound.tech->kind == mem::TechKind::kNvm) {
+      uce_node_ = bound.node;
+    } else {
+      const mem::TierSpec cache =
+          sc_.machine().tier(sc_.conf().cpu_node_bind,
+                             sc_.conf().tier_for(spark::StreamClass::kCache));
+      if (cache.tech->kind == mem::TechKind::kNvm) uce_node_ = cache.node;
+    }
+    if (uce_node_ >= 0)
+      clock_.arm_periodic(Duration::millis(kUcePollMs),
+                          [this] { return poll_uce(); });
+  }
+}
+
+mem::TierId Controller::effective_tier(mem::TierId tier, Bytes volume) {
+  if (!offline_[static_cast<std::size_t>(mem::index(tier))]) return tier;
+  ++stats_.rerouted_requests;
+  stats_.rerouted_bytes += volume;
+  return fallback_for(tier);
+}
+
+bool Controller::tier_online(mem::TierId tier) const {
+  return !offline_[static_cast<std::size_t>(mem::index(tier))];
+}
+
+double Controller::straggle_factor(int stage_id, std::size_t partition,
+                                   int attempt) {
+  // Only a task's first launch can straggle (the slow JVM is a property of
+  // the launch, not the partition): retries and speculative duplicates run
+  // healthy, which is what makes speculation profitable.
+  if (config_.straggler_prob <= 0.0 || attempt > 0) return 1.0;
+  std::uint64_t mix = sc_.job_seed() ^ config_.salt ^
+                      (static_cast<std::uint64_t>(stage_id) << 32) ^
+                      static_cast<std::uint64_t>(partition) ^
+                      0x57a661e4d4a44ULL;
+  Rng rng(splitmix64(mix));
+  if (!rng.bernoulli(config_.straggler_prob)) return 1.0;
+  ++stats_.stragglers;
+  trace_.emit(sc_.now(), "fault.inject",
+              strfmt("straggler stage=%d part=%zu x%.1f", stage_id, partition,
+                     config_.straggler_factor));
+  return config_.straggler_factor;
+}
+
+void Controller::on_task_failure(int stage_id, std::size_t partition,
+                                 int attempt) {
+  ++stats_.task_failures;
+  trace_.emit(sc_.now(), "fault.recover",
+              strfmt("task-failed stage=%d part=%zu attempt=%d", stage_id,
+                     partition, attempt));
+}
+
+void Controller::on_retry(int stage_id, std::size_t partition,
+                          Duration backoff) {
+  ++stats_.retries;
+  stats_.backoff_wait_seconds += backoff.sec();
+  trace_.emit(sc_.now(), "fault.recover",
+              strfmt("retry stage=%d part=%zu backoff=%s", stage_id, partition,
+                     tsx::to_string(backoff).c_str()));
+}
+
+void Controller::on_speculative_launch(int stage_id, std::size_t partition,
+                                       int attempt) {
+  ++stats_.speculative_launches;
+  trace_.emit(sc_.now(), "fault.recover",
+              strfmt("speculate stage=%d part=%zu attempt=%d", stage_id,
+                     partition, attempt));
+}
+
+void Controller::on_speculative_win(int stage_id, std::size_t partition,
+                                    int attempt) {
+  ++stats_.speculative_wins;
+  trace_.emit(sc_.now(), "fault.recover",
+              strfmt("speculation-won stage=%d part=%zu attempt=%d", stage_id,
+                     partition, attempt));
+}
+
+void Controller::on_recomputed_map_task(int shuffle_id,
+                                        std::size_t map_part) {
+  ++stats_.recomputed_map_tasks;
+  trace_.emit(sc_.now(), "fault.recover",
+              strfmt("recompute shuffle=%d map=%zu", shuffle_id, map_part));
+}
+
+void Controller::inject_crash(int executor) {
+  auto& executors = sc_.executors();
+  spark::Executor& victim =
+      *executors[static_cast<std::size_t>(executor) % executors.size()];
+  ++stats_.crashes;
+  trace_.emit(sc_.now(), "fault.inject",
+              strfmt("crash executor=%d restart=%.1fs", victim.spec().id,
+                     config_.restart_delay_s));
+  // The process dies: every cached block and shuffle map output it produced
+  // is gone. Invalidate *before* failing the in-flight tasks so retries
+  // observe the loss.
+  const std::size_t blocks =
+      sc_.block_manager().drop_owned_by(victim.spec().id);
+  const std::size_t outputs =
+      sc_.shuffle_store().invalidate_owned_by(victim.spec().id);
+  stats_.lost_cache_blocks += blocks;
+  stats_.lost_shuffle_outputs += outputs;
+  if (blocks > 0 || outputs > 0)
+    trace_.emit(sc_.now(), "fault.recover",
+                strfmt("lost blocks=%zu map-outputs=%zu", blocks, outputs));
+  victim.crash(Duration::seconds(config_.restart_delay_s));
+}
+
+void Controller::take_tier_offline(mem::TierId tier) {
+  const auto idx = static_cast<std::size_t>(mem::index(tier));
+  if (offline_[idx]) return;
+  offline_[idx] = true;
+  ++stats_.tier_offline_events;
+  const mem::TierSpec dead =
+      sc_.machine().tier(sc_.conf().cpu_node_bind, tier);
+  const mem::TierId fb = fallback_for(tier);
+  trace_.emit(sc_.now(), "fault.inject",
+              strfmt("tier-offline %s (node %d) -> fallback %s",
+                     mem::to_string(tier).c_str(), dead.node,
+                     mem::to_string(fb).c_str()));
+  // Blocks cached on the dead node are gone; the block manager rebinds to
+  // the fallback node and the lineage recomputes partitions on next use.
+  spark::BlockManager& bm = sc_.block_manager();
+  if (bm.node() == dead.node) {
+    const std::size_t lost = bm.block_count();
+    bm.clear();
+    bm.set_node(sc_.machine().tier(sc_.conf().cpu_node_bind, fb).node);
+    stats_.lost_cache_blocks += lost;
+    if (lost > 0)
+      trace_.emit(sc_.now(), "fault.recover",
+                  strfmt("dropped %zu cached blocks from node %d", lost,
+                         dead.node));
+  }
+}
+
+void Controller::collapse_bandwidth() {
+  const mem::TierId tier = config_.bw_collapse_tier >= 0
+                               ? mem::tier_from_index(config_.bw_collapse_tier)
+                               : sc_.conf().mem_bind;
+  const mem::TierSpec spec =
+      sc_.machine().tier(sc_.conf().cpu_node_bind, tier);
+  sim::FluidChannel& channel = sc_.machine().channel(spec.node);
+  const Bandwidth saved = channel.capacity();
+  channel.set_capacity(saved * config_.bw_collapse_factor);
+  ++stats_.bw_collapses;
+  trace_.emit(sc_.now(), "fault.inject",
+              strfmt("bw-collapse %s x%.2f for %.1fs",
+                     channel.name().c_str(), config_.bw_collapse_factor,
+                     config_.bw_collapse_duration_s));
+  sim::FluidChannel* restore = &channel;
+  clock_.arm(sc_.now() + Duration::seconds(config_.bw_collapse_duration_s),
+             [this, restore, saved] {
+               restore->set_capacity(saved);
+               trace_.emit(sc_.now(), "fault.inject",
+                           strfmt("bw-restore %s", restore->name().c_str()));
+             });
+}
+
+bool Controller::poll_uce() {
+  const double churn_gib =
+      sc_.machine().traffic().node(uce_node_).write_bytes.b() /
+      (1024.0 * 1024.0 * 1024.0);
+  while (next_uce_ < plan_.uce_thresholds_gib.size() &&
+         churn_gib >= plan_.uce_thresholds_gib[next_uce_]) {
+    ++next_uce_;
+    ++stats_.uce_events;
+    trace_.emit(sc_.now(), "fault.inject",
+                strfmt("uce node=%d churn=%.3fGiB", uce_node_, churn_gib));
+    // The error lands on a hot page: poison the least recently used cached
+    // block if the cache lives on this node (otherwise it hit free or heap
+    // memory and only the event is recorded).
+    spark::BlockManager& bm = sc_.block_manager();
+    if (bm.node() == uce_node_ && bm.drop_lru()) {
+      ++stats_.lost_cache_blocks;
+      trace_.emit(sc_.now(), "fault.recover",
+                  "uce poisoned a cached block; lineage recomputes it");
+    }
+  }
+  return next_uce_ < plan_.uce_thresholds_gib.size();
+}
+
+mem::TierId Controller::fallback_for(mem::TierId dead) const {
+  if (config_.degrade_to >= 0 && config_.degrade_to != mem::index(dead) &&
+      !offline_[static_cast<std::size_t>(config_.degrade_to)])
+    return mem::tier_from_index(config_.degrade_to);
+  // Preference order: the sibling capacity tier first (an NVM group fails
+  // over to the other socket's group), then DRAM nearest-first.
+  static constexpr int kPrefs[4][3] = {
+      {1, 2, 3},  // Tier 0 (local DRAM) dead
+      {0, 2, 3},  // Tier 1 (remote DRAM) dead
+      {3, 0, 1},  // Tier 2 (4-DIMM NVM) dead
+      {2, 0, 1},  // Tier 3 (2-DIMM NVM) dead
+  };
+  for (const int candidate : kPrefs[mem::index(dead)]) {
+    if (!offline_[static_cast<std::size_t>(candidate)])
+      return mem::tier_from_index(candidate);
+  }
+  TSX_FAIL("every memory tier is offline");
+}
+
+}  // namespace tsx::fault

@@ -1,0 +1,93 @@
+// The fault controller: injection plan + recovery bookkeeping, wired to one
+// SparkContext.
+//
+// The controller implements spark::FaultHooks, so once attached (start())
+// the executors register in-flight tasks and consult it for straggle draws
+// and tier reroutes, the DAG scheduler retries/speculates through its
+// policy, and the shuffle store reports lineage recomputations. The
+// controller itself owns the injection side: it schedules the FaultPlan's
+// crashes, the tier-offline event, the bandwidth collapse, and the churn
+// poll that turns NVDIMM write wear into uncorrectable errors.
+//
+// Determinism contract: with the same RunConfig (seed, salt, knobs) the
+// injected schedule, the recovery actions and the final metrics are
+// bit-identical across runs and platforms. With `enabled = false` the
+// controller is never constructed and the engine runs the pre-fault code
+// path bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/options.hpp"
+#include "fault/plan.hpp"
+#include "sim/trace.hpp"
+#include "spark/context.hpp"
+#include "spark/fault_hooks.hpp"
+
+namespace tsx::fault {
+
+class Controller final : public spark::FaultHooks {
+ public:
+  Controller(spark::SparkContext& sc, FaultConfig config);
+
+  /// Detaches the hooks if still attached, so the SparkContext can safely
+  /// outlive the controller.
+  ~Controller() override;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Attaches the hooks to the SparkContext and schedules every planned
+  /// injection. Call once, before the workload runs.
+  void start();
+
+  // spark::FaultHooks
+  const spark::RecoveryPolicy& recovery() const override { return policy_; }
+  mem::TierId effective_tier(mem::TierId tier, Bytes volume) override;
+  bool tier_online(mem::TierId tier) const override;
+  double straggle_factor(int stage_id, std::size_t partition,
+                         int attempt) override;
+  void on_task_failure(int stage_id, std::size_t partition,
+                       int attempt) override;
+  void on_retry(int stage_id, std::size_t partition,
+                Duration backoff) override;
+  void on_speculative_launch(int stage_id, std::size_t partition,
+                             int attempt) override;
+  void on_speculative_win(int stage_id, std::size_t partition,
+                          int attempt) override;
+  void on_recomputed_map_task(int shuffle_id, std::size_t map_part) override;
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Injection/recovery trace ("fault.inject" / "fault.recover" records);
+  /// ring-buffered so long runs keep the most recent events.
+  sim::TraceSink& trace() { return trace_; }
+  const sim::TraceSink& trace() const { return trace_; }
+
+ private:
+  void inject_crash(int executor);
+  void take_tier_offline(mem::TierId tier);
+  void collapse_bandwidth();
+  /// Churn poll: fires queued UCEs as NVM write volume crosses the plan's
+  /// thresholds. Returns false once the threshold list is exhausted.
+  bool poll_uce();
+  /// First online tier of the dead tier's fallback preference order.
+  mem::TierId fallback_for(mem::TierId dead) const;
+
+  spark::SparkContext& sc_;
+  FaultConfig config_;
+  spark::RecoveryPolicy policy_;
+  FaultPlan plan_;
+  FaultClock clock_;
+  sim::TraceSink trace_;
+  FaultStats stats_;
+  std::array<bool, 4> offline_{};  ///< by tier index
+  std::size_t next_uce_ = 0;       ///< cursor into plan_.uce_thresholds_gib
+  mem::NodeId uce_node_ = -1;      ///< churn-watched node (-1: poll off)
+  bool started_ = false;
+};
+
+}  // namespace tsx::fault

@@ -1,0 +1,64 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace tsx::fault {
+
+FaultPlan build_plan(const FaultConfig& config, std::uint64_t seed,
+                     int num_executors) {
+  TSX_CHECK(num_executors > 0, "fault plan needs at least one executor");
+  FaultPlan plan;
+
+  // Every draw comes from one dedicated stream, keyed off the run seed and
+  // the config salt; the workload's own streams are untouched, so enabling
+  // faults never perturbs the generated data.
+  std::uint64_t mix = seed ^ config.salt ^ 0xfa0175ede7ec7edULL;
+  Rng rng(splitmix64(mix));
+
+  for (int c = 0; c < config.executor_crashes; ++c) {
+    PlannedCrash crash;
+    crash.at = Duration::seconds(
+        config.crash_offset_s + rng.uniform() * config.crash_window_s);
+    crash.executor = static_cast<int>(
+        rng.uniform_u64(static_cast<std::uint64_t>(num_executors)));
+    plan.crashes.push_back(crash);
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end(),
+            [](const PlannedCrash& a, const PlannedCrash& b) {
+              return a.at < b.at;
+            });
+
+  if (config.uce_per_gib > 0.0) {
+    // Pre-draw a generous horizon of inter-arrival gaps; the controller
+    // consumes them in order as write churn accumulates. 1024 events is
+    // far beyond any plausible run.
+    double cum = 0.0;
+    for (int i = 0; i < 1024; ++i) {
+      cum += rng.exponential(config.uce_per_gib);
+      plan.uce_thresholds_gib.push_back(cum);
+    }
+  }
+  return plan;
+}
+
+void FaultClock::arm(Duration at, std::function<void()> fn) {
+  sim_.schedule_at(std::max(at, sim_.now()), std::move(fn));
+}
+
+void FaultClock::arm_periodic(Duration period, std::function<bool()> fn) {
+  TSX_CHECK(period.sec() > 0.0, "periodic fault clock needs a period");
+  auto shared = std::make_shared<std::function<bool()>>(std::move(fn));
+  auto tick = std::make_shared<std::function<void()>>();
+  sim::Simulator& sim = sim_;
+  *tick = [&sim, period, shared, tick] {
+    if (!(*shared)()) return;
+    sim.schedule_in(period, *tick);
+  };
+  sim_.schedule_in(period, *tick);
+}
+
+}  // namespace tsx::fault

@@ -1,0 +1,63 @@
+// Fault plan: the materialized, fully deterministic injection schedule.
+//
+// Every fault a run experiences is decided *before* the run starts, by
+// drawing from an Rng seeded with (run seed ^ config salt). The plan is a
+// plain value — tests can build one, assert on it, and replay it — and the
+// FaultClock is the only piece that touches the simulator, turning plan
+// entries into scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/units.hpp"
+#include "fault/options.hpp"
+#include "sim/simulator.hpp"
+
+namespace tsx::fault {
+
+/// One planned executor crash.
+struct PlannedCrash {
+  Duration at;
+  int executor = 0;
+};
+
+/// The full injection schedule of one run. Offline / collapse events carry
+/// their times directly in the config (they are single, explicitly placed
+/// events); only the randomized draws live here.
+struct FaultPlan {
+  std::vector<PlannedCrash> crashes;  ///< sorted by time
+
+  /// Per-GiB-churn thresholds (in GiB) at which successive uncorrectable
+  /// errors fire, as cumulative sums of exponential inter-arrival draws.
+  /// Consumed in order by the controller's churn poll.
+  std::vector<double> uce_thresholds_gib;
+};
+
+/// Derives the plan from the config and the run seed. Pure and total: the
+/// same inputs always produce the same plan.
+FaultPlan build_plan(const FaultConfig& config, std::uint64_t seed,
+                     int num_executors);
+
+/// Thin scheduling facade over the simulator: arms one-shot and periodic
+/// virtual-time events for the controller. Periodic callbacks return false
+/// to stop recurring.
+class FaultClock {
+ public:
+  explicit FaultClock(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Fires `fn` at absolute virtual time `at` (clamped to now if past).
+  void arm(Duration at, std::function<void()> fn);
+
+  /// Fires `fn` every `period` starting one period from now, until it
+  /// returns false.
+  void arm_periodic(Duration period, std::function<bool()> fn);
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+}  // namespace tsx::fault

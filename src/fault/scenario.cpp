@@ -1,0 +1,64 @@
+#include "fault/scenario.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::fault {
+
+FaultConfig scenario(const std::string& name) {
+  FaultConfig config;
+  if (name == "none") return config;
+
+  config.enabled = true;
+  if (name == "crash") {
+    // One executor dies mid-stage; its cached blocks and map outputs are
+    // recomputed through the lineage and its tasks retried elsewhere.
+    config.executor_crashes = 1;
+    config.crash_offset_s = 2.0;
+    config.crash_window_s = 10.0;
+    config.restart_delay_s = 3.0;
+  } else if (name == "dimm-offline") {
+    // The 4-DIMM NVM group (Tier 2) goes dark early in the run; traffic
+    // degrades to the surviving tiers with the reroute itemized.
+    config.offline_tier = 2;
+    config.offline_at_s = 3.0;
+  } else if (name == "straggler") {
+    // A few percent of first launches drag 6x; speculation re-launches
+    // them once most of the stage has finished.
+    config.straggler_prob = 0.04;
+    config.straggler_factor = 6.0;
+    config.speculation = true;
+  } else if (name == "bw-collapse") {
+    // The bound tier's channel transiently collapses to 10% capacity —
+    // a thermal event or a patrol scrub storm.
+    config.bw_collapse_at_s = 2.0;
+    config.bw_collapse_duration_s = 3.0;
+    config.bw_collapse_factor = 0.1;
+  } else if (name == "uce") {
+    // Media wear surfaces uncorrectable errors as write churn accumulates;
+    // each poisons a cached block.
+    config.uce_per_gib = 0.02;
+  } else if (name == "chaos") {
+    config.executor_crashes = 2;
+    config.crash_offset_s = 2.0;
+    config.crash_window_s = 20.0;
+    config.restart_delay_s = 3.0;
+    config.offline_tier = 3;
+    config.offline_at_s = 6.0;
+    config.straggler_prob = 0.02;
+    config.straggler_factor = 5.0;
+    config.bw_collapse_at_s = 4.0;
+    config.bw_collapse_duration_s = 2.0;
+    config.bw_collapse_factor = 0.2;
+    config.uce_per_gib = 0.01;
+  } else {
+    TSX_FAIL("unknown fault scenario: " + name);
+  }
+  return config;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"none",        "crash", "dimm-offline", "straggler",
+          "bw-collapse", "uce",   "chaos"};
+}
+
+}  // namespace tsx::fault

@@ -1,0 +1,24 @@
+// Named fault scenarios — the drill book.
+//
+// Each scenario is a curated FaultConfig exercising one recovery path end
+// to end; `chaos` combines them. Benches and examples reference scenarios
+// by name so the acceptance drills ("one executor crash mid-stage", "one
+// NVM DIMM offline", "one straggler triggering speculation") stay in one
+// place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/options.hpp"
+
+namespace tsx::fault {
+
+/// Known names: "none", "crash", "dimm-offline", "straggler", "bw-collapse",
+/// "uce", "chaos". Throws on unknown names.
+FaultConfig scenario(const std::string& name);
+
+/// Every name `scenario` accepts, in presentation order.
+std::vector<std::string> scenario_names();
+
+}  // namespace tsx::fault

@@ -1,6 +1,7 @@
 #include "runner/parallel_runner.hpp"
 
 #include <chrono>
+#include <exception>
 #include <mutex>
 
 namespace tsx::runner {
@@ -16,11 +17,12 @@ std::vector<workloads::RunResult> ParallelRunner::run(
   std::mutex progress_mutex;
   Progress progress;
   progress.total = configs.size();
-  const auto tick = [&](bool was_cache_hit) {
+  const auto tick = [&](bool was_cache_hit, bool was_failure) {
     if (!options_.progress) return;
     std::lock_guard<std::mutex> lock(progress_mutex);
     ++progress.completed;
     if (was_cache_hit) ++progress.cache_hits;
+    if (was_failure) ++progress.failures;
     progress.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -35,7 +37,7 @@ std::vector<workloads::RunResult> ParallelRunner::run(
     if (options_.cache) {
       if (auto cached = options_.cache->find(configs[i])) {
         results[i] = std::move(*cached);
-        tick(true);
+        tick(true, false);
         continue;
       }
     }
@@ -44,9 +46,18 @@ std::vector<workloads::RunResult> ParallelRunner::run(
 
   pool_.run_batch(pending.size(), [&](std::size_t p) {
     const std::size_t i = pending[p];
-    results[i] = workloads::run_workload(configs[i]);
-    if (options_.cache) options_.cache->insert(results[i]);
-    tick(false);
+    // A run that throws — an invariant failure, a wall-clock timeout —
+    // must not take the sweep down with it: it becomes a failed result in
+    // its slot and every other run proceeds.
+    try {
+      results[i] =
+          workloads::run_workload(configs[i], options_.run_timeout_seconds);
+    } catch (const std::exception& e) {
+      results[i] = workloads::failed_result(configs[i], e.what());
+    }
+    if (options_.cache && !results[i].failed)
+      options_.cache->insert(results[i]);
+    tick(false, results[i].failed);
   });
 
   return results;

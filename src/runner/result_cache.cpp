@@ -1,5 +1,6 @@
 #include "runner/result_cache.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -82,16 +83,38 @@ bool ResultCache::load(const std::string& path) {
       "{\"format\":\"tsx-run-cache\",\"version\":%d}", kStoreVersion);
   if (line != expected_header) return false;
 
-  // Parse everything before touching the cache: a torn store loads nothing.
+  // A store can be torn mid-line by a crashed writer or a concurrent
+  // append; one bad record must not discard the healthy majority. Skip
+  // unparsable lines, keep count, and warn once per process.
   std::vector<workloads::RunResult> parsed;
+  std::uint64_t skipped = 0;
   while (std::getline(file, line)) {
     if (line.empty()) continue;
     workloads::RunResult r;
-    if (!result_from_json(line, &r)) return false;
+    if (!result_from_json(line, &r)) {
+      ++skipped;
+      continue;
+    }
     parsed.push_back(std::move(r));
   }
   for (const workloads::RunResult& r : parsed) insert(r);
+  if (skipped > 0) {
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      std::fprintf(stderr,
+                   "tsx: run cache %s: skipped %llu corrupted record "
+                   "line(s); healthy records loaded\n",
+                   path.c_str(), static_cast<unsigned long long>(skipped));
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_skipped_ += skipped;
+  }
   return true;
+}
+
+std::uint64_t ResultCache::load_skipped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return load_skipped_;
 }
 
 ResultCache& ResultCache::global() {

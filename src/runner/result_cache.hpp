@@ -31,7 +31,9 @@ class ResultCache {
   /// Version of the on-disk store; bump when the RunResult schema changes.
   /// v2: RunConfig gained the tiering section and RunResult the tiering
   /// stats object, so pre-tiering stores must not satisfy tiering lookups.
-  static constexpr int kStoreVersion = 2;
+  /// v3: the fault section (RunConfig.fault knobs, RunResult.fault stats,
+  /// failed/error flags) joined the schema and the cache key.
+  static constexpr int kStoreVersion = 3;
 
   /// The memoized result for `config`, if present. Thread-safe.
   std::optional<workloads::RunResult> find(
@@ -50,8 +52,14 @@ class ResultCache {
   bool save(const std::string& path) const;
 
   /// Merges a store previously written by `save` into this cache. False —
-  /// and a no-op — on I/O error, version mismatch or a malformed line.
+  /// and a no-op — on I/O error or version mismatch. Corrupted or truncated
+  /// record lines (a crashed writer, a torn append) are skipped, counted in
+  /// `load_skipped`, and warned about once per process; every healthy line
+  /// still loads.
   bool load(const std::string& path);
+
+  /// Total record lines skipped as unparsable across all `load` calls.
+  std::uint64_t load_skipped() const;
 
   /// Process-wide cache shared by benches linked into one binary.
   static ResultCache& global();
@@ -62,6 +70,7 @@ class ResultCache {
   std::unordered_map<std::uint64_t, std::vector<workloads::RunResult>> map_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t load_skipped_ = 0;
 };
 
 }  // namespace tsx::runner

@@ -295,6 +295,31 @@ RunConfig config_from(const Value& v) {
   c.tiering.high_watermark = v.at("tiering_high_watermark").as_double();
   c.tiering.max_fast_utilization = v.at("tiering_max_util").as_double();
   c.tiering.migration_mlp = v.at("tiering_migration_mlp").as_double();
+  c.fault.enabled = v.at("fault_enabled").as_bool();
+  c.fault.salt = v.at("fault_salt").as_u64();
+  c.fault.executor_crashes = v.at("fault_crashes").as_int();
+  c.fault.crash_offset_s = v.at("fault_crash_offset_s").as_double();
+  c.fault.crash_window_s = v.at("fault_crash_window_s").as_double();
+  c.fault.restart_delay_s = v.at("fault_restart_delay_s").as_double();
+  c.fault.offline_tier = v.at("fault_offline_tier").as_int();
+  c.fault.offline_at_s = v.at("fault_offline_at_s").as_double();
+  c.fault.degrade_to = v.at("fault_degrade_to").as_int();
+  c.fault.uce_per_gib = v.at("fault_uce_per_gib").as_double();
+  c.fault.bw_collapse_at_s = v.at("fault_bw_collapse_at_s").as_double();
+  c.fault.bw_collapse_duration_s =
+      v.at("fault_bw_collapse_duration_s").as_double();
+  c.fault.bw_collapse_factor = v.at("fault_bw_collapse_factor").as_double();
+  c.fault.bw_collapse_tier = v.at("fault_bw_collapse_tier").as_int();
+  c.fault.straggler_prob = v.at("fault_straggler_prob").as_double();
+  c.fault.straggler_factor = v.at("fault_straggler_factor").as_double();
+  c.fault.max_task_attempts = v.at("fault_max_task_attempts").as_int();
+  c.fault.backoff_base_ms = v.at("fault_backoff_base_ms").as_double();
+  c.fault.backoff_cap_ms = v.at("fault_backoff_cap_ms").as_double();
+  c.fault.speculation = v.at("fault_speculation").as_bool();
+  c.fault.speculation_multiplier =
+      v.at("fault_speculation_multiplier").as_double();
+  c.fault.speculation_min_fraction =
+      v.at("fault_speculation_min_fraction").as_double();
   return c;
 }
 
@@ -364,8 +389,34 @@ std::string to_json(const RunResult& result) {
   ti.field("migration_seconds", num(result.tiering.migration_seconds));
   ti.field("overhead_seconds", num(result.tiering.overhead_seconds));
   w.field("tiering", ti.close());
+  ObjectWriter fa;
+  fa.field("crashes", std::to_string(result.fault.crashes));
+  fa.field("tier_offline_events",
+           std::to_string(result.fault.tier_offline_events));
+  fa.field("uce_events", std::to_string(result.fault.uce_events));
+  fa.field("bw_collapses", std::to_string(result.fault.bw_collapses));
+  fa.field("stragglers", std::to_string(result.fault.stragglers));
+  fa.field("lost_cache_blocks",
+           std::to_string(result.fault.lost_cache_blocks));
+  fa.field("lost_shuffle_outputs",
+           std::to_string(result.fault.lost_shuffle_outputs));
+  fa.field("task_failures", std::to_string(result.fault.task_failures));
+  fa.field("retries", std::to_string(result.fault.retries));
+  fa.field("recomputed_map_tasks",
+           std::to_string(result.fault.recomputed_map_tasks));
+  fa.field("speculative_launches",
+           std::to_string(result.fault.speculative_launches));
+  fa.field("speculative_wins",
+           std::to_string(result.fault.speculative_wins));
+  fa.field("rerouted_requests",
+           std::to_string(result.fault.rerouted_requests));
+  fa.field("rerouted_bytes", num(result.fault.rerouted_bytes.b()));
+  fa.field("backoff_wait_seconds", num(result.fault.backoff_wait_seconds));
+  w.field("fault", fa.close());
   w.field("valid", result.valid ? "true" : "false");
   w.field("validation", quote(result.validation));
+  w.field("failed", result.failed ? "true" : "false");
+  w.field("error", quote(result.error));
   w.field("bound_node", std::to_string(result.bound_node));
   return w.close();
 }
@@ -438,8 +489,26 @@ bool result_from_json(const std::string& json, RunResult* out) {
         Energy::joules(ti.at("nvm_write_energy").as_double());
     r.tiering.migration_seconds = ti.at("migration_seconds").as_double();
     r.tiering.overhead_seconds = ti.at("overhead_seconds").as_double();
+    const Value& fa = v.at("fault");
+    r.fault.crashes = fa.at("crashes").as_u64();
+    r.fault.tier_offline_events = fa.at("tier_offline_events").as_u64();
+    r.fault.uce_events = fa.at("uce_events").as_u64();
+    r.fault.bw_collapses = fa.at("bw_collapses").as_u64();
+    r.fault.stragglers = fa.at("stragglers").as_u64();
+    r.fault.lost_cache_blocks = fa.at("lost_cache_blocks").as_u64();
+    r.fault.lost_shuffle_outputs = fa.at("lost_shuffle_outputs").as_u64();
+    r.fault.task_failures = fa.at("task_failures").as_u64();
+    r.fault.retries = fa.at("retries").as_u64();
+    r.fault.recomputed_map_tasks = fa.at("recomputed_map_tasks").as_u64();
+    r.fault.speculative_launches = fa.at("speculative_launches").as_u64();
+    r.fault.speculative_wins = fa.at("speculative_wins").as_u64();
+    r.fault.rerouted_requests = fa.at("rerouted_requests").as_u64();
+    r.fault.rerouted_bytes = Bytes::of(fa.at("rerouted_bytes").as_double());
+    r.fault.backoff_wait_seconds = fa.at("backoff_wait_seconds").as_double();
     r.valid = v.at("valid").as_bool();
     r.validation = v.at("validation").text;
+    r.failed = v.at("failed").as_bool();
+    r.error = v.at("error").text;
     r.bound_node = v.at("bound_node").as_int();
     *out = std::move(r);
     return true;

@@ -96,6 +96,11 @@ SweepSpec& SweepSpec::tiering(tiering::TieringConfig base) {
   return *this;
 }
 
+SweepSpec& SweepSpec::fault(fault::FaultConfig config) {
+  fault_ = config;
+  return *this;
+}
+
 SweepSpec& SweepSpec::socket(mem::SocketId s) {
   socket_ = s;
   return *this;
@@ -157,6 +162,7 @@ std::vector<workloads::RunConfig> SweepSpec::enumerate() const {
                       cfg.cache_tier = cache_tier_;
                       cfg.tiering = tiering_;
                       cfg.tiering.policy = policy;
+                      cfg.fault = fault_;
                       // Seed derived at enumeration time, from the repeat
                       // index only — independent of execution order.
                       cfg.seed = seed_ + static_cast<std::uint64_t>(r) *

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/options.hpp"
 #include "tiering/options.hpp"
 #include "workloads/runner.hpp"
 
@@ -63,6 +64,9 @@ class SweepSpec {
   SweepSpec& cache_tier(std::optional<mem::TierId> t);
   /// Base tiering configuration; the policy axis overwrites `.policy`.
   SweepSpec& tiering(tiering::TieringConfig base);
+  /// Fault-injection plan applied to every enumerated config (default:
+  /// faults disabled).
+  SweepSpec& fault(fault::FaultConfig config);
   SweepSpec& seed(std::uint64_t s);
   /// Each config is enumerated `n` times with derived seeds (repeat axis,
   /// innermost).
@@ -90,6 +94,7 @@ class SweepSpec {
   std::optional<mem::TierId> shuffle_tier_;
   std::optional<mem::TierId> cache_tier_;
   tiering::TieringConfig tiering_;
+  fault::FaultConfig fault_;
   std::uint64_t seed_ = 42;
   int repeats_ = 1;
 };

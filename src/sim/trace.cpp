@@ -6,20 +6,25 @@ namespace tsx::sim {
 
 void TraceSink::emit(Duration at, std::string category, std::string message) {
   if (!enabled_) return;
-  if (capacity_ > 0 && records_.size() >= capacity_) {
-    records_.erase(records_.begin());
-    ++dropped_;
-  }
+  if (capacity_ > 0 && records_.size() >= capacity_) evict_oldest();
   records_.push_back({at, std::move(category), std::move(message)});
 }
 
 void TraceSink::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
   if (capacity_ == 0) return;
-  while (records_.size() > capacity_) {
-    records_.erase(records_.begin());
-    ++dropped_;
-  }
+  while (records_.size() > capacity_) evict_oldest();
+}
+
+void TraceSink::evict_oldest() {
+  ++dropped_;
+  ++dropped_by_category_[records_.front().category];
+  records_.erase(records_.begin());
+}
+
+std::size_t TraceSink::dropped(const std::string& category) const {
+  const auto it = dropped_by_category_.find(category);
+  return it == dropped_by_category_.end() ? 0 : it->second;
 }
 
 std::vector<TraceRecord> TraceSink::by_category(

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ class TraceSink {
   /// Records discarded so far because the ring was full.
   std::size_t dropped() const { return dropped_; }
 
+  /// Records of `category` discarded so far (ring-full evictions are
+  /// accounted against the category of the *evicted* record, so a chatty
+  /// category crowding out a quiet one is visible in the ledger).
+  std::size_t dropped(const std::string& category) const;
+
+  /// Per-category drop ledger (categories with zero drops are absent).
+  const std::map<std::string, std::size_t>& dropped_by_category() const {
+    return dropped_by_category_;
+  }
+
   const std::vector<TraceRecord>& records() const { return records_; }
   void clear() { records_.clear(); }
 
@@ -49,9 +60,13 @@ class TraceSink {
   std::string to_string() const;
 
  private:
+  /// Evicts the oldest record, charging the drop to its category.
+  void evict_oldest();
+
   bool enabled_ = false;
   std::size_t capacity_ = 0;  ///< 0 = unbounded
   std::size_t dropped_ = 0;
+  std::map<std::string, std::size_t> dropped_by_category_;
   std::vector<TraceRecord> records_;
 };
 

@@ -1,5 +1,7 @@
 #include "spark/block_manager.hpp"
 
+#include <vector>
+
 #include "core/error.hpp"
 
 namespace tsx::spark {
@@ -35,7 +37,8 @@ Bytes BlockManager::size_of(const BlockKey& key) const {
   return it->second.size;
 }
 
-bool BlockManager::put(const BlockKey& key, std::any data, Bytes size) {
+bool BlockManager::put(const BlockKey& key, std::any data, Bytes size,
+                       int owner) {
   TSX_CHECK(size.b() >= 0.0, "negative block size");
   if (has(key)) drop(key);  // overwrite semantics
   if (size > budget_) return false;
@@ -45,7 +48,8 @@ bool BlockManager::put(const BlockKey& key, std::any data, Bytes size) {
 
   const mem::AllocationId alloc = allocator_.allocate(node_, size);
   lru_.push_front(key);
-  blocks_.emplace(key, Block{std::move(data), size, alloc, lru_.begin()});
+  blocks_.emplace(key,
+                  Block{std::move(data), size, alloc, lru_.begin(), owner});
   bytes_cached_ += size;
   if (tiering_ != nullptr) {
     const RegionId region = cache_region(key.rdd_id, key.partition);
@@ -70,6 +74,20 @@ void BlockManager::drop(const BlockKey& key) {
 
 void BlockManager::clear() {
   while (!blocks_.empty()) drop(blocks_.begin()->first);
+}
+
+bool BlockManager::drop_lru() {
+  if (lru_.empty()) return false;
+  drop(lru_.back());
+  return true;
+}
+
+std::size_t BlockManager::drop_owned_by(int executor_id) {
+  std::vector<BlockKey> victims;
+  for (const auto& [key, block] : blocks_)
+    if (block.owner == executor_id) victims.push_back(key);
+  for (const BlockKey& key : victims) drop(key);
+  return victims.size();
 }
 
 void BlockManager::evict_one() {

@@ -46,10 +46,20 @@ class BlockManager {
   /// Stores a block, evicting LRU blocks as needed. Returns false (and
   /// stores nothing) if the block alone exceeds the budget — the partition
   /// is then recomputed on every use, like an uncacheable Spark block.
-  bool put(const BlockKey& key, std::any data, Bytes size);
+  /// `owner` is the executor that computed the block (-1 outside the
+  /// scheduler); a crash drops every block its executor owned.
+  bool put(const BlockKey& key, std::any data, Bytes size, int owner = -1);
 
   /// Drops one block (no-op if absent).
   void drop(const BlockKey& key);
+
+  /// Drops every block owned by `executor_id` (it crashed); the lineage
+  /// recomputes those partitions on next use. Returns how many were lost.
+  std::size_t drop_owned_by(int executor_id);
+
+  /// Drops the least recently used block (an uncorrectable media error
+  /// poisoned its backing pages). Returns false if the store was empty.
+  bool drop_lru();
 
   /// Drops everything.
   void clear();
@@ -62,6 +72,10 @@ class BlockManager {
   std::size_t block_count() const { return blocks_.size(); }
   mem::NodeId node() const { return node_; }
 
+  /// Rebinds future blocks to `node` (tier degradation after a node goes
+  /// offline). Existing blocks must already have been dropped.
+  void set_node(mem::NodeId node) { node_ = node; }
+
   /// Attaches a tiering observer; cached blocks become migratable regions.
   /// Null (the default) restores the untracked behaviour.
   void set_tiering(TieringHooks* hooks) { tiering_ = hooks; }
@@ -72,6 +86,7 @@ class BlockManager {
     Bytes size;
     mem::AllocationId allocation;
     std::list<BlockKey>::iterator lru_pos;
+    int owner = -1;  ///< producing executor (-1 outside the scheduler)
   };
 
   void evict_one();

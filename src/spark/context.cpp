@@ -61,6 +61,12 @@ void SparkContext::set_tiering(TieringHooks* hooks) {
   for (auto& executor : executors_) executor->set_tiering(hooks);
 }
 
+void SparkContext::set_fault(FaultHooks* hooks) {
+  fault_ = hooks;
+  shuffle_store_.set_fault(hooks, seed_);
+  for (auto& executor : executors_) executor->set_fault(hooks);
+}
+
 void SparkContext::set_cost_multiplier(double m) {
   TSX_CHECK(m >= 1.0, "cost multiplier must be >= 1");
   cost_multiplier_ = m;

@@ -60,6 +60,14 @@ class SparkContext {
   void set_tiering(TieringHooks* hooks);
   TieringHooks* tiering() const { return tiering_; }
 
+  /// Attaches (or, with nullptr, detaches) a fault observer on every
+  /// component that participates in injection and recovery: the executors
+  /// (crash/straggle/reroute), the shuffle store (lineage recovery) and the
+  /// scheduler (retries, speculation). Without a call, the engine runs the
+  /// pre-fault path bit for bit.
+  void set_fault(FaultHooks* hooks);
+  FaultHooks* fault() const { return fault_; }
+
   /// The memory tier executors are bound to, resolved from the canonical
   /// compute socket.
   mem::TierSpec bound_tier() const {
@@ -77,6 +85,7 @@ class SparkContext {
   double cost_multiplier_ = 1.0;
   int next_rdd_id_ = 0;
   TieringHooks* tiering_ = nullptr;
+  FaultHooks* fault_ = nullptr;
 
   mem::TieredAllocator allocator_;
   ShuffleStore shuffle_store_;

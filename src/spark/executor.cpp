@@ -1,7 +1,10 @@
 #include "spark/executor.hpp"
 
+#include <algorithm>
 #include <string>
 #include <vector>
+
+#include "core/error.hpp"
 
 namespace tsx::spark {
 
@@ -21,24 +24,56 @@ Executor::Executor(mem::MachineModel& machine, ExecutorSpec spec,
 void Executor::submit(Work work) {
   sim::Simulator& sim = machine_.simulator();
   // Serialized dispatch: each task leaves the driver loop task_dispatch
-  // after the previous one, never before "now".
+  // after the previous one, never before "now" — and, after a crash, never
+  // before the replacement process has re-registered.
   const Duration dispatch_at =
-      std::max(sim.now(), next_dispatch_) + conf_.task_dispatch;
+      std::max({sim.now(), next_dispatch_, available_from_}) +
+      conf_.task_dispatch;
   next_dispatch_ = dispatch_at;
 
   auto shared = std::make_shared<Work>(std::move(work));
-  sim.schedule_at(dispatch_at, [this, shared] {
+  std::shared_ptr<Flight> flight;
+  if (fault_ != nullptr) {
+    flight = std::make_shared<Flight>();
+    flight->failed = shared->failed;
+    inflight_.push_back(flight);
+  }
+  sim.schedule_at(dispatch_at, [this, shared, flight] {
+    // A crash between submit and dispatch killed the queued task; its
+    // `failed` callback already fired at crash time.
+    if (flight != nullptr && flight->aborted) return;
+    // The straggle draw happens at dispatch so its order — and therefore
+    // the injected schedule — is a pure function of virtual time.
+    const double stretch =
+        fault_ != nullptr
+            ? fault_->straggle_factor(shared->stage_id, shared->partition,
+                                      shared->attempt)
+            : 1.0;
     // A task needs one of this executor's slots *and* a hardware thread of
     // the bound socket — multiple executors oversubscribing one socket
     // queue on the shared core pool.
-    pool_.acquire([this, shared] {
-      machine_.socket_cores(spec_.socket).acquire([this, shared] {
-        // Task starts: run the host computation now, then replay its cost.
-        auto cost = std::make_shared<TaskCost>(shared->host());
-        run_phases(cost, [this, shared, cost] {
+    pool_.acquire([this, shared, flight, stretch] {
+      if (flight != nullptr && flight->aborted) {
+        pool_.release();
+        return;
+      }
+      machine_.socket_cores(spec_.socket).acquire([this, shared, flight,
+                                                   stretch] {
+        if (flight != nullptr && flight->aborted) {
           machine_.socket_cores(spec_.socket).release();
           pool_.release();
+          return;
+        }
+        // Task starts: run the host computation now, then replay its cost.
+        auto cost = std::make_shared<TaskCost>(shared->host());
+        run_phases(cost, stretch, [this, shared, flight, cost] {
+          machine_.socket_cores(spec_.socket).release();
+          pool_.release();
+          // A zombie of a crashed incarnation: resources return to the OS
+          // but nothing reports — the retry owns the task's outcome now.
+          if (flight != nullptr && flight->aborted) return;
           ++tasks_completed_;
+          forget(flight);
           shared->done(*cost);
         });
       });
@@ -46,7 +81,29 @@ void Executor::submit(Work work) {
   });
 }
 
-void Executor::run_phases(std::shared_ptr<TaskCost> cost,
+void Executor::crash(Duration restart_delay) {
+  TSX_CHECK(fault_ != nullptr, "crash on an executor without fault hooks");
+  ++crashes_;
+  const Duration now = machine_.simulator().now();
+  available_from_ = std::max(available_from_, now + restart_delay);
+  next_dispatch_ = std::max(next_dispatch_, available_from_);
+  // Fail every queued or running launch at crash time. Their phase chains
+  // (if any) keep draining as zombies and release slots on their own.
+  auto victims = std::move(inflight_);
+  inflight_.clear();
+  for (const auto& flight : victims) {
+    flight->aborted = true;
+    if (flight->failed) flight->failed();
+  }
+}
+
+void Executor::forget(const std::shared_ptr<Flight>& flight) {
+  if (flight == nullptr) return;
+  inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), flight),
+                  inflight_.end());
+}
+
+void Executor::run_phases(std::shared_ptr<TaskCost> cost, double stretch,
                           std::function<void()> finish) {
   sim::Simulator& sim = machine_.simulator();
 
@@ -55,6 +112,11 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost,
   // dependent writes. Classes route to their bound tiers, so e.g. shuffle
   // buffers can live on a different tier than the heap (SparkConf).
   auto requests = std::make_shared<std::vector<mem::TransferRequest>>();
+  // With a fault observer attached, traffic bound for an offline tier is
+  // redirected to the observer's surviving fallback tier.
+  const auto route = [this](mem::TierId tier, Bytes volume) {
+    return fault_ != nullptr ? fault_->effective_tier(tier, volume) : tier;
+  };
   auto add = [&](mem::AccessKind kind, Bytes volume, double mlp,
                  StreamClass cls) {
     if (volume.b() <= 0.0) return;
@@ -67,14 +129,14 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost,
         for (const TierShare& share : split) {
           const Bytes part = volume * share.fraction;
           if (part.b() <= 0.0) continue;
-          requests->push_back(
-              mem::TransferRequest{spec_.socket, share.tier, kind, part, mlp});
+          requests->push_back(mem::TransferRequest{
+              spec_.socket, route(share.tier, part), kind, part, mlp});
         }
         return;
       }
     }
     requests->push_back(mem::TransferRequest{
-        spec_.socket, conf_.tier_for(cls), kind, volume, mlp});
+        spec_.socket, route(conf_.tier_for(cls), volume), kind, volume, mlp});
   };
   add(mem::AccessKind::kRead, Bytes::of(cost->dep_reads * kCacheline),
       costs_.dep_mlp, StreamClass::kHeap);
@@ -114,8 +176,12 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost,
         cost->disk_read, machine_.storage_channel().capacity(), disk_write);
   };
   // Phase 0: fixed I/O latency + cpu burn, then disk, then memory chain.
-  sim.schedule_in(Duration::seconds(cost->io_seconds + cost->cpu_seconds),
-                  disk_read);
+  // A straggling dispatch (stretch > 1) drags this host-side phase out —
+  // a GC storm or a descheduled JVM; the factor is exactly 1.0 when
+  // healthy, so the multiplication is bit-exact on the fault-free path.
+  sim.schedule_in(
+      Duration::seconds((cost->io_seconds + cost->cpu_seconds) * stretch),
+      disk_read);
 }
 
 }  // namespace tsx::spark

@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mem/machine.hpp"
 #include "spark/conf.hpp"
 #include "spark/cost_model.hpp"
+#include "spark/fault_hooks.hpp"
 #include "spark/task.hpp"
 #include "spark/tiering_hooks.hpp"
 
@@ -47,6 +49,14 @@ class Executor {
     std::function<TaskCost()> host;
     /// Fires when the task's last simulated phase completes.
     std::function<void(const TaskCost&)> done;
+
+    // Fault-mode extras. All unused (and unread) on the fault-free path.
+    /// Fires at most once, at crash time, if this executor dies while the
+    /// task is queued or running. `done` then never fires for this launch.
+    std::function<void()> failed;
+    int stage_id = -1;
+    std::size_t partition = 0;
+    int attempt = 0;
   };
 
   /// Queues one task. Dispatch is serialized per executor; execution
@@ -63,10 +73,37 @@ class Executor {
   /// (the default) or an empty split keeps the static path bit for bit.
   void set_tiering(const TieringHooks* hooks) { tiering_ = hooks; }
 
+  /// Attaches a fault observer: tasks register in-flight so a crash can
+  /// fail them, dispatch consults straggle_factor, and memory traffic is
+  /// rerouted around offline tiers. Null keeps the pre-fault path.
+  void set_fault(FaultHooks* hooks) { fault_ = hooks; }
+
+  /// Kills this executor process: every queued or running task fails now
+  /// (its `failed` callback fires; `done` is suppressed), and a replacement
+  /// process accepts dispatches only from now + `restart_delay`. In-flight
+  /// simulated phases drain as zombies — they release their core slots but
+  /// report nothing. Requires an attached fault observer.
+  void crash(Duration restart_delay);
+
+  /// Earliest virtual time the (possibly restarting) process accepts a
+  /// dispatch; zero forever on the fault-free path.
+  Duration available_from() const { return available_from_; }
+  std::uint64_t crashes() const { return crashes_; }
+
  private:
+  /// One queued-or-running launch; `aborted` flips when the owning
+  /// incarnation crashes and every later phase of the chain bails out
+  /// (releasing whatever it holds) instead of reporting completion.
+  struct Flight {
+    bool aborted = false;
+    std::function<void()> failed;
+  };
+
   /// Chains the simulated phases for an already-computed cost profile.
-  void run_phases(std::shared_ptr<TaskCost> cost,
+  void run_phases(std::shared_ptr<TaskCost> cost, double stretch,
                   std::function<void()> finish);
+
+  void forget(const std::shared_ptr<Flight>& flight);
 
   mem::MachineModel& machine_;
   ExecutorSpec spec_;
@@ -76,6 +113,10 @@ class Executor {
   Duration next_dispatch_ = Duration::zero();
   std::uint64_t tasks_completed_ = 0;
   const TieringHooks* tiering_ = nullptr;
+  FaultHooks* fault_ = nullptr;
+  Duration available_from_ = Duration::zero();
+  std::uint64_t crashes_ = 0;
+  std::vector<std::shared_ptr<Flight>> inflight_;  ///< fault mode only
 };
 
 }  // namespace tsx::spark

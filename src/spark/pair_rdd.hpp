@@ -157,7 +157,8 @@ class PlainShuffleDep final : public ShuffleDependencyBase {
     ShuffleStore& store = typed_parent_->context()->shuffle_store();
     for (std::size_t r = 0; r < buckets.size(); ++r) {
       const Bytes size = Bytes::of(est_bytes_all(buckets[r]));
-      store.put_bucket(shuffle_id_, map_part, r, std::move(buckets[r]), size);
+      store.put_bucket(shuffle_id_, map_part, r, std::move(buckets[r]), size,
+                       ctx.executor_id());
     }
   }
 
@@ -198,7 +199,8 @@ class PlainShuffledRDD final : public RDD<std::pair<K, V>> {
       detail::ShuffleFetchAccount fetch(
           ctx, part, executors, this->context()->conf().zero_copy_shuffle);
       for (std::size_t m = 0; m < maps; ++m) {
-        const std::any& cell = store.bucket(dep_->shuffle_id(), m, part);
+        const std::any& cell =
+            store.fetch_bucket(dep_->shuffle_id(), m, part, ctx);
         TSX_CHECK(cell.has_value(), "missing shuffle bucket");
         const auto& bucket = std::any_cast<const std::vector<Record>&>(cell);
         fetch.add_bucket(m, static_cast<double>(bucket.size()),
@@ -294,7 +296,8 @@ class CombineShuffleDep final : public ShuffleDependencyBase {
     ShuffleStore& store = typed_parent_->context()->shuffle_store();
     for (std::size_t r = 0; r < buckets.size(); ++r) {
       const Bytes size = Bytes::of(est_bytes_all(buckets[r]));
-      store.put_bucket(shuffle_id_, map_part, r, std::move(buckets[r]), size);
+      store.put_bucket(shuffle_id_, map_part, r, std::move(buckets[r]), size,
+                       ctx.executor_id());
     }
   }
 
@@ -336,7 +339,8 @@ class CombinedShuffledRDD final : public RDD<std::pair<K, C>> {
       detail::ShuffleFetchAccount fetch(
           ctx, part, executors, this->context()->conf().zero_copy_shuffle);
       for (std::size_t m = 0; m < maps; ++m) {
-        const std::any& cell = store.bucket(dep_->shuffle_id(), m, part);
+        const std::any& cell =
+            store.fetch_bucket(dep_->shuffle_id(), m, part, ctx);
         TSX_CHECK(cell.has_value(), "missing shuffle bucket");
         const auto& bucket =
             std::any_cast<const std::vector<OutRecord>&>(cell);
@@ -410,7 +414,8 @@ class JoinedRDD final : public RDD<std::pair<K, std::pair<V, W>>> {
       const std::size_t maps = store.map_partitions(left_->shuffle_id());
       double n = 0.0;
       for (std::size_t m = 0; m < maps; ++m) {
-        const std::any& cell = store.bucket(left_->shuffle_id(), m, part);
+        const std::any& cell =
+            store.fetch_bucket(left_->shuffle_id(), m, part, ctx);
         TSX_CHECK(cell.has_value(), "missing shuffle bucket");
         const auto& bucket =
             std::any_cast<const std::vector<std::pair<K, V>>&>(cell);
@@ -431,7 +436,8 @@ class JoinedRDD final : public RDD<std::pair<K, std::pair<V, W>>> {
       const std::size_t maps = store.map_partitions(right_->shuffle_id());
       double n = 0.0;
       for (std::size_t m = 0; m < maps; ++m) {
-        const std::any& cell = store.bucket(right_->shuffle_id(), m, part);
+        const std::any& cell =
+            store.fetch_bucket(right_->shuffle_id(), m, part, ctx);
         TSX_CHECK(cell.has_value(), "missing shuffle bucket");
         const auto& bucket =
             std::any_cast<const std::vector<std::pair<K, W>>&>(cell);
@@ -525,7 +531,6 @@ RddPtr<std::pair<K, V>> partition_by(RddPtr<std::pair<K, V>> rdd,
 /// shuffle (what HiBench's repartition microbenchmark exercises).
 template <typename T>
 RddPtr<T> repartition(RddPtr<T> rdd, std::size_t num_partitions) {
-  SparkContext& sc = *rdd->context();
   // Round-robin keys spread records evenly, like Spark's repartition.
   auto keyed = map_partitions_rdd<std::pair<std::uint64_t, T>>(
       std::move(rdd),

@@ -445,7 +445,7 @@ class CachedRDD final : public RDD<T> {
     std::vector<T> data = parent_->compute(part, ctx);
     const Bytes size = Bytes::of(est_bytes_all(data));
     ctx.charge_stream_write(size, StreamClass::kCache);
-    blocks.put(key, data, size);
+    blocks.put(key, data, size, ctx.executor_id());
     return data;
   }
 
@@ -640,7 +640,10 @@ void save_as_text_file(const RddPtr<T>& rdd, const std::string& path,
       rdd,
       [&rdd, &format, slots, &fs](std::size_t p, TaskContext& ctx) {
         const std::vector<T> data = rdd->compute(p, ctx);
-        std::vector<std::string>& lines = (*slots)[p];
+        // Build locally and commit by assignment: task attempts must be
+        // idempotent (a retry or speculative duplicate replaces — never
+        // extends — a failed attempt's partial output).
+        std::vector<std::string> lines;
         lines.reserve(data.size());
         double bytes = 0.0;
         for (const T& x : data) {
@@ -651,6 +654,7 @@ void save_as_text_file(const RddPtr<T>& rdd, const std::string& path,
         ctx.charge_stream_read(Bytes::of(bytes));
         ctx.charge_io(fs.write_seek_overhead(Bytes::of(bytes)));
         ctx.charge_disk_write(Bytes::of(bytes));
+        (*slots)[p] = std::move(lines);
       },
       parts, "saveAsTextFile:" + rdd->name());
   if (metrics) *metrics = jm;

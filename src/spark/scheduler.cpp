@@ -1,6 +1,9 @@
 #include "spark/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
 
 #include "core/error.hpp"
 #include "core/log.hpp"
@@ -44,7 +47,8 @@ void DAGScheduler::advance(Duration d) {
 
 StageRecord DAGScheduler::run_stage(const std::string& label,
                                     std::size_t num_tasks, const TaskFn& task,
-                                    JobMetrics& metrics) {
+                                    JobMetrics& metrics,
+                                    const StageOptions& opts) {
   TSX_CHECK(num_tasks > 0, "stage with zero tasks: " + label);
   advance(sc_.conf().stage_overhead);
 
@@ -60,37 +64,41 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   drained_before.reserve(channels.size());
   for (const auto* ch : channels) drained_before.push_back(ch->drained_total().b());
 
-  auto& executors = sc_.executors();
-  auto remaining = std::make_shared<std::size_t>(num_tasks);
-  for (std::size_t p = 0; p < num_tasks; ++p) {
-    Executor& executor = *executors[task_counter_++ % executors.size()];
-    const int stage_id = record.stage_id;
-    executor.submit(Executor::Work{
-        [this, stage_id, p, &task]() -> TaskCost {
-          // Per-task rng stream: deterministic in (job seed, stage, task).
-          std::uint64_t mix = sc_.job_seed() ^
-                              (static_cast<std::uint64_t>(stage_id) << 32) ^
-                              static_cast<std::uint64_t>(p);
-          TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
-                          Rng(splitmix64(mix)));
-          task(p, ctx);
-          return ctx.cost();
-        },
-        [this, remaining, &metrics](const TaskCost& cost) {
-          metrics.total_cost += cost;
-          lifetime_cost_ += cost;
-          --*remaining;
-        }});
-  }
+  if (sc_.fault() != nullptr) {
+    run_tasks_with_recovery(record, num_tasks, task, metrics, opts);
+  } else {
+    auto& executors = sc_.executors();
+    auto remaining = std::make_shared<std::size_t>(num_tasks);
+    for (std::size_t p = 0; p < num_tasks; ++p) {
+      Executor& executor = *executors[task_counter_++ % executors.size()];
+      const int stage_id = record.stage_id;
+      executor.submit(Executor::Work{
+          [this, stage_id, p, &task]() -> TaskCost {
+            // Per-task rng stream: deterministic in (job seed, stage, task).
+            std::uint64_t mix = sc_.job_seed() ^
+                                (static_cast<std::uint64_t>(stage_id) << 32) ^
+                                static_cast<std::uint64_t>(p);
+            TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
+                            Rng(splitmix64(mix)));
+            task(p, ctx);
+            return ctx.cost();
+          },
+          [this, remaining, &metrics](const TaskCost& cost) {
+            metrics.total_cost += cost;
+            lifetime_cost_ += cost;
+            --*remaining;
+          }});
+    }
 
-  // The stage barrier: step the simulator until the last task (and its
-  // memory flows) completes. Stepping — rather than draining — tolerates
-  // concurrent background activity (noisy-neighbor load generators).
-  sim::Simulator& sim = sc_.machine().simulator();
-  while (*remaining > 0) {
-    TSX_CHECK(sim.step() > 0,
-              "deadlock: stage " + label + " has unfinished tasks but no "
-              "pending events");
+    // The stage barrier: step the simulator until the last task (and its
+    // memory flows) completes. Stepping — rather than draining — tolerates
+    // concurrent background activity (noisy-neighbor load generators).
+    sim::Simulator& sim = sc_.machine().simulator();
+    while (*remaining > 0) {
+      TSX_CHECK(sim.step() > 0,
+                "deadlock: stage " + label + " has unfinished tasks but no "
+                "pending events");
+    }
   }
 
   record.end = sc_.now();
@@ -112,6 +120,159 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
                  << num_tasks << " tasks in "
                  << tsx::to_string(record.duration());
   return record;
+}
+
+void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
+                                           std::size_t num_tasks,
+                                           const TaskFn& task,
+                                           JobMetrics& metrics,
+                                           const StageOptions& opts) {
+  // One entry per task slot of the stage. `done` is the first-completion-
+  // wins guard: whichever launch (original, retry or speculative duplicate)
+  // reports first owns the outcome; every later report is a zombie and is
+  // dropped here. `live` counts launches currently queued or running so a
+  // crash that kills one copy does not retry while a duplicate survives.
+  struct TaskState {
+    int attempts = 0;
+    int live = 0;
+    int spec_attempt = -1;  ///< attempt number of the speculative duplicate
+    bool done = false;
+    bool speculated = false;
+    Duration launched;  ///< most recent launch (straggler detection)
+  };
+
+  const int stage_id = record.stage_id;
+  const int rng_stage = opts.rng_stage >= 0 ? opts.rng_stage : stage_id;
+  auto states = std::make_shared<std::vector<TaskState>>(num_tasks);
+  auto remaining = std::make_shared<std::size_t>(num_tasks);
+  auto durations = std::make_shared<std::vector<double>>();
+  auto launch = std::make_shared<std::function<void(std::size_t)>>();
+
+  *launch = [this, states, remaining, durations, launch, stage_id, rng_stage,
+             num_tasks, opts, &task, &metrics](std::size_t i) {
+    sim::Simulator& sim = sc_.machine().simulator();
+    auto& executors = sc_.executors();
+
+    TaskState& st = (*states)[i];
+    const int attempt = st.attempts++;
+    ++st.live;
+    st.launched = sim.now();
+    const std::size_t p = opts.partitions != nullptr ? (*opts.partitions)[i] : i;
+
+    // Round-robin over executors currently accepting dispatches; when every
+    // process is mid-restart, fall back to the plain round-robin choice
+    // (the task then waits out the restart in the dispatch queue).
+    Executor* chosen = nullptr;
+    Executor* fallback = nullptr;
+    for (std::size_t k = 0; k < executors.size(); ++k) {
+      Executor& e = *executors[task_counter_++ % executors.size()];
+      if (fallback == nullptr) fallback = &e;
+      if (e.available_from() <= sim.now()) {
+        chosen = &e;
+        break;
+      }
+    }
+    if (chosen == nullptr) chosen = fallback;
+
+    Executor::Work work;
+    work.stage_id = stage_id;
+    work.partition = p;
+    work.attempt = attempt;
+    const int executor_id = chosen->spec().id;
+    work.host = [this, states, i, p, rng_stage, executor_id,
+                 &task]() -> TaskCost {
+      if ((*states)[i].done) return TaskCost{};  // losing duplicate: no-op
+      // Retries and duplicates replay the *same* rng stream as the first
+      // attempt — a task is a pure function of (job seed, stage, partition),
+      // which is what makes recovery reproduce results byte for byte.
+      std::uint64_t mix = sc_.job_seed() ^
+                          (static_cast<std::uint64_t>(rng_stage) << 32) ^
+                          static_cast<std::uint64_t>(p);
+      TaskContext ctx(rng_stage, p, sc_.costs(), sc_.cost_multiplier(),
+                      Rng(splitmix64(mix)), executor_id);
+      task(p, ctx);
+      return ctx.cost();
+    };
+    work.done = [this, states, remaining, durations, launch, i, attempt,
+                 stage_id, num_tasks, opts, &metrics](const TaskCost& cost) {
+      TaskState& st = (*states)[i];
+      if (st.done) return;  // a duplicate already delivered this partition
+      st.done = true;
+      --st.live;
+      FaultHooks& fault = *sc_.fault();
+      sim::Simulator& sim = sc_.machine().simulator();
+      const std::size_t p =
+          opts.partitions != nullptr ? (*opts.partitions)[i] : i;
+      metrics.total_cost += cost;
+      lifetime_cost_ += cost;
+      durations->push_back((sim.now() - st.launched).sec());
+      --*remaining;
+      if (st.spec_attempt >= 0 && attempt == st.spec_attempt)
+        fault.on_speculative_win(stage_id, p, attempt);
+
+      // Straggler sweep (Spark's speculative execution): once most of the
+      // stage has finished, duplicate any task running far beyond the
+      // median completed duration.
+      const RecoveryPolicy& policy = fault.recovery();
+      if (!policy.speculation || *remaining == 0) return;
+      const std::size_t completed = num_tasks - *remaining;
+      const auto quorum = static_cast<std::size_t>(
+          std::ceil(policy.speculation_min_fraction *
+                    static_cast<double>(num_tasks)));
+      if (completed < quorum) return;
+      std::vector<double> sorted = *durations;
+      std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                       sorted.end());
+      const double median = sorted[sorted.size() / 2];
+      for (std::size_t j = 0; j < states->size(); ++j) {
+        TaskState& other = (*states)[j];
+        if (other.done || other.speculated || other.attempts == 0) continue;
+        const double running = (sim.now() - other.launched).sec();
+        if (running <= median * policy.speculation_multiplier) continue;
+        other.speculated = true;
+        other.spec_attempt = other.attempts;
+        const std::size_t pj =
+            opts.partitions != nullptr ? (*opts.partitions)[j] : j;
+        fault.on_speculative_launch(stage_id, pj, other.attempts);
+        (*launch)(j);
+      }
+    };
+    work.failed = [this, states, launch, i, attempt, stage_id,
+                   opts]() {
+      TaskState& st = (*states)[i];
+      if (st.done) return;  // zombie of an already-delivered partition
+      --st.live;
+      FaultHooks& fault = *sc_.fault();
+      const std::size_t p =
+          opts.partitions != nullptr ? (*opts.partitions)[i] : i;
+      fault.on_task_failure(stage_id, p, attempt);
+      if (st.live > 0) return;  // a surviving duplicate still owns the task
+      TSX_CHECK(st.attempts < fault.recovery().max_task_attempts,
+                "task exhausted its attempts: stage " +
+                    std::to_string(stage_id) + " partition " +
+                    std::to_string(p));
+      // Capped exponential backoff before the relaunch, exactly Spark's
+      // per-task retry discipline.
+      const RecoveryPolicy& policy = fault.recovery();
+      const double wait =
+          std::min(std::ldexp(policy.backoff_base.sec(), attempt),
+                   policy.backoff_cap.sec());
+      const Duration backoff = Duration::seconds(wait);
+      fault.on_retry(stage_id, p, backoff);
+      sc_.machine().simulator().schedule_in(backoff,
+                                            [launch, i] { (*launch)(i); });
+    };
+    chosen->submit(std::move(work));
+  };
+
+  for (std::size_t i = 0; i < num_tasks; ++i) (*launch)(i);
+
+  sim::Simulator& sim = sc_.machine().simulator();
+  while (*remaining > 0) {
+    TSX_CHECK(sim.step() > 0,
+              "deadlock: stage " + record.label + " has unfinished tasks "
+              "but no pending events");
+  }
 }
 
 JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
@@ -140,12 +301,35 @@ JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
   std::vector<int> seen_shuffles;
   collect_shuffles(*final_rdd, shuffle_order, seen_rdds, seen_shuffles);
 
+  const bool fault_mode = sc_.fault() != nullptr;
   for (const auto& dep : shuffle_order) {
+    // Record the lineage before the stage runs: a crash inside the stage
+    // (or any later one) recomputes lost map output through it.
+    if (fault_mode) sc_.shuffle_store().register_dependency(dep);
     const auto map_tasks = dep->parent()->num_partitions();
-    metrics.stages.push_back(run_stage(
-        "shuffle-map:" + dep->parent()->name(), map_tasks,
-        [&dep](std::size_t p, TaskContext& ctx) { dep->run_map_task(p, ctx); },
-        metrics));
+    const auto map_fn = [&dep](std::size_t p, TaskContext& ctx) {
+      dep->run_map_task(p, ctx);
+    };
+    metrics.stages.push_back(run_stage("shuffle-map:" + dep->parent()->name(),
+                                       map_tasks, map_fn, metrics));
+    if (fault_mode) {
+      sc_.shuffle_store().set_map_stage(dep->shuffle_id(),
+                                        metrics.stages.back().stage_id);
+      // A crash mid-stage can take already-completed map outputs down with
+      // the executor; rerun exactly the lost partitions — under the
+      // original stage's rng streams — before passing the barrier.
+      while (true) {
+        const std::vector<std::size_t> lost =
+            sc_.shuffle_store().lost_parts(dep->shuffle_id());
+        if (lost.empty()) break;
+        StageOptions opts;
+        opts.rng_stage = sc_.shuffle_store().map_stage(dep->shuffle_id());
+        opts.partitions = &lost;
+        metrics.stages.push_back(
+            run_stage("recover:" + dep->parent()->name(), lost.size(),
+                      map_fn, metrics, opts));
+      }
+    }
     sc_.shuffle_store().mark_complete(dep->shuffle_id());
   }
 

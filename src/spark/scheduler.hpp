@@ -50,6 +50,17 @@ struct JobMetrics {
   std::vector<StageRecord> stages;
 };
 
+/// Per-stage scheduling overrides used by recovery stages (fault mode).
+struct StageOptions {
+  /// Stage id the task rng streams derive from (-1: the stage's own id).
+  /// Recovery stages rerun lost map tasks of an earlier stage and must
+  /// reuse its streams to reproduce the buckets byte for byte.
+  int rng_stage = -1;
+  /// When set, task index i computes partition (*partitions)[i] instead of
+  /// partition i — a recovery stage covers only the lost map partitions.
+  const std::vector<std::size_t>* partitions = nullptr;
+};
+
 class DAGScheduler {
  public:
   explicit DAGScheduler(SparkContext& sc) : sc_(sc) {}
@@ -87,7 +98,15 @@ class DAGScheduler {
 
   /// Runs one barrier stage of `num_tasks` tasks and returns its record.
   StageRecord run_stage(const std::string& label, std::size_t num_tasks,
-                        const TaskFn& task, JobMetrics& metrics);
+                        const TaskFn& task, JobMetrics& metrics,
+                        const StageOptions& opts = {});
+
+  /// Fault-mode task loop: per-task retries with capped exponential
+  /// backoff, speculative duplicates for stragglers, live-executor
+  /// placement. Fills in the submission/barrier part of run_stage.
+  void run_tasks_with_recovery(const StageRecord& record,
+                               std::size_t num_tasks, const TaskFn& task,
+                               JobMetrics& metrics, const StageOptions& opts);
 
   /// Advances virtual time by `d` (framework overhead with no resource use).
   void advance(Duration d);

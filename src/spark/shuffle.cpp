@@ -13,6 +13,7 @@ int ShuffleStore::register_shuffle(std::size_t map_partitions,
   s.reduces = reduce_partitions;
   s.cells.resize(map_partitions * reduce_partitions);
   s.sizes.resize(map_partitions * reduce_partitions, Bytes::zero());
+  s.owners.resize(map_partitions, -1);
   shuffles_.push_back(std::move(s));
   return static_cast<int>(shuffles_.size()) - 1;
 }
@@ -31,14 +32,21 @@ ShuffleStore::Shuffle& ShuffleStore::shuffle_at(int id) {
 
 void ShuffleStore::put_bucket(int shuffle, std::size_t map_part,
                               std::size_t reduce_part, std::any records,
-                              Bytes size) {
+                              Bytes size, int owner) {
   Shuffle& s = shuffle_at(shuffle);
   TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
             "bucket coordinates out of range");
   const std::size_t idx = map_part * s.reduces + reduce_part;
-  TSX_CHECK(!s.cells[idx].has_value(), "bucket written twice");
+  if (s.cells[idx].has_value()) {
+    // Only recovery reruns and speculative duplicates legitimately rewrite
+    // a bucket; without a fault observer a rewrite is an engine bug.
+    TSX_CHECK(fault_ != nullptr, "bucket written twice");
+    bytes_held_ -= s.sizes[idx];
+  }
   s.cells[idx] = std::move(records);
   s.sizes[idx] = size;
+  s.owners[map_part] = owner;
+  if (!s.lost.empty()) s.lost.erase(map_part);  // a rewrite recovers the part
   bytes_held_ += size;
   bytes_written_total_ += size;
   if (tiering_ != nullptr && size.b() > 0.0) {
@@ -78,6 +86,85 @@ std::size_t ShuffleStore::reduce_partitions(int shuffle) const {
   return shuffle_at(shuffle).reduces;
 }
 
+const std::any& ShuffleStore::fetch_bucket(int shuffle, std::size_t map_part,
+                                           std::size_t reduce_part,
+                                           TaskContext& ctx) {
+  if (fault_ != nullptr) {
+    Shuffle& s = shuffle_at(shuffle);
+    if (s.lost.count(map_part) > 0) recover_map_part(shuffle, map_part, ctx);
+  }
+  return bucket(shuffle, map_part, reduce_part);
+}
+
+void ShuffleStore::register_dependency(
+    std::shared_ptr<ShuffleDependencyBase> dep) {
+  TSX_CHECK(dep != nullptr, "registering null shuffle dependency");
+  shuffle_at(dep->shuffle_id()).dep = std::move(dep);
+}
+
+void ShuffleStore::set_map_stage(int shuffle, int stage_id) {
+  Shuffle& s = shuffle_at(shuffle);
+  // Keep the first stage that materialized the shuffle: its rng stream is
+  // what the persisted buckets were drawn from, so reruns must reuse it.
+  if (s.map_stage_id < 0) s.map_stage_id = stage_id;
+}
+
+std::size_t ShuffleStore::invalidate_owned_by(int executor_id) {
+  std::size_t lost_outputs = 0;
+  for (std::size_t sid = 0; sid < shuffles_.size(); ++sid) {
+    Shuffle& s = shuffles_[sid];
+    for (std::size_t m = 0; m < s.maps; ++m) {
+      if (s.owners[m] != executor_id) continue;
+      bool had_output = false;
+      for (std::size_t r = 0; r < s.reduces; ++r) {
+        const std::size_t idx = m * s.reduces + r;
+        if (s.cells[idx].has_value()) had_output = true;
+        s.cells[idx].reset();
+        bytes_held_ -= s.sizes[idx];
+        s.sizes[idx] = Bytes::zero();
+      }
+      s.owners[m] = -1;
+      if (had_output) {
+        ++lost_outputs;
+        s.lost.insert(m);
+        if (tiering_ != nullptr)
+          tiering_->on_region_drop(
+              StreamClass::kShuffle,
+              shuffle_region(static_cast<int>(sid), m));
+      }
+    }
+  }
+  return lost_outputs;
+}
+
+std::vector<std::size_t> ShuffleStore::lost_parts(int shuffle) const {
+  const Shuffle& s = shuffle_at(shuffle);
+  return {s.lost.begin(), s.lost.end()};
+}
+
+void ShuffleStore::recover_map_part(int shuffle, std::size_t map_part,
+                                    TaskContext& ctx) {
+  Shuffle& s = shuffle_at(shuffle);
+  TSX_CHECK(s.dep != nullptr,
+            "lost shuffle bucket with no registered lineage");
+  TSX_CHECK(s.map_stage_id >= 0,
+            "lost shuffle bucket with unknown map stage");
+  s.lost.erase(map_part);
+  // The rerun must reproduce the original output byte for byte: it runs
+  // under the *original* map stage's rng stream (retries and reruns of a
+  // task are the same draw in Spark — same stage attempt semantics), on
+  // the fetching executor, and its bill lands on the fetching task.
+  std::uint64_t mix =
+      job_seed_ ^ (static_cast<std::uint64_t>(s.map_stage_id) << 32) ^
+      static_cast<std::uint64_t>(map_part);
+  TaskContext sub(s.map_stage_id, map_part, ctx.costs(),
+                  ctx.cost_multiplier(), Rng(splitmix64(mix)),
+                  ctx.executor_id());
+  s.dep->run_map_task(map_part, sub);
+  ctx.absorb(sub.cost());
+  fault_->on_recomputed_map_task(shuffle, map_part);
+}
+
 void ShuffleStore::mark_complete(int shuffle) {
   shuffle_at(shuffle).complete = true;
 }
@@ -96,6 +183,8 @@ void ShuffleStore::clear(int shuffle) {
     size = Bytes::zero();
   }
   s.complete = false;
+  for (auto& owner : s.owners) owner = -1;
+  s.lost.clear();
   if (tiering_ != nullptr && had_bytes)
     for (std::size_t m = 0; m < s.maps; ++m)
       tiering_->on_region_drop(StreamClass::kShuffle,

@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "spark/fault_hooks.hpp"
 #include "spark/task.hpp"
 #include "spark/tiering_hooks.hpp"
 
 namespace tsx::spark {
 
 class RddBase;
+class ShuffleDependencyBase;
 
 class ShuffleStore {
  public:
@@ -29,8 +31,12 @@ class ShuffleStore {
   int register_shuffle(std::size_t map_partitions,
                        std::size_t reduce_partitions);
 
+  /// Deposits one bucket. `owner` is the executor that produced it (-1
+  /// outside the scheduler); a crash invalidates every bucket its executor
+  /// owned. Rewriting an existing bucket is legal only under an attached
+  /// fault observer (recovery reruns and speculative duplicates).
   void put_bucket(int shuffle, std::size_t map_part, std::size_t reduce_part,
-                  std::any records, Bytes size);
+                  std::any records, Bytes size, int owner = -1);
 
   /// Bucket contents; empty std::any if the map task produced no records
   /// for this reduce partition.
@@ -38,6 +44,14 @@ class ShuffleStore {
                          std::size_t reduce_part) const;
   Bytes bucket_size(int shuffle, std::size_t map_part,
                     std::size_t reduce_part) const;
+
+  /// Recovery-aware fetch: like bucket(), but if map partition `map_part`
+  /// was lost to a fault, its output is first recomputed through the
+  /// registered lineage — inside the fetching task, under the original map
+  /// stage's rng stream, with the bill absorbed into `ctx`. Spark's exact
+  /// semantics: a FetchFailed reduce task triggers parent recomputation.
+  const std::any& fetch_bucket(int shuffle, std::size_t map_part,
+                               std::size_t reduce_part, TaskContext& ctx);
 
   std::size_t map_partitions(int shuffle) const;
   std::size_t reduce_partitions(int shuffle) const;
@@ -60,6 +74,30 @@ class ShuffleStore {
   /// (the default) restores the untracked behaviour.
   void set_tiering(TieringHooks* hooks) { tiering_ = hooks; }
 
+  /// Attaches a fault observer and the seed reruns derive rng streams from.
+  /// Null (the default) keeps the strict pre-fault store: no ownership
+  /// bookkeeping consulted, rewrites forbidden, fetches never recover.
+  void set_fault(FaultHooks* hooks, std::uint64_t job_seed) {
+    fault_ = hooks;
+    job_seed_ = job_seed;
+  }
+
+  /// Records the lineage behind a shuffle so lost map output can be
+  /// recomputed (fault mode; called by the scheduler before the map stage).
+  void register_dependency(std::shared_ptr<ShuffleDependencyBase> dep);
+  /// Records which stage originally ran the shuffle's map tasks — reruns
+  /// reuse its rng stream so recomputed buckets are byte-identical.
+  void set_map_stage(int shuffle, int stage_id);
+  int map_stage(int shuffle) const { return shuffle_at(shuffle).map_stage_id; }
+
+  /// Invalidates every bucket owned by `executor_id` (it crashed). The
+  /// affected map partitions are marked lost; returns how many map outputs
+  /// were taken down.
+  std::size_t invalidate_owned_by(int executor_id);
+
+  /// Map partitions of `shuffle` currently lost (ascending).
+  std::vector<std::size_t> lost_parts(int shuffle) const;
+
  private:
   struct Shuffle {
     std::size_t maps = 0;
@@ -67,16 +105,25 @@ class ShuffleStore {
     // cell (m, r) at index m * reduces + r
     std::vector<std::any> cells;
     std::vector<Bytes> sizes;
+    std::vector<int> owners;  ///< producing executor per map part (-1 none)
+    std::set<std::size_t> lost;  ///< map parts invalidated by a fault
+    int map_stage_id = -1;
+    std::shared_ptr<ShuffleDependencyBase> dep;  ///< lineage (fault mode)
     bool complete = false;
   };
 
   const Shuffle& shuffle_at(int id) const;
   Shuffle& shuffle_at(int id);
 
+  /// Recomputes one lost map partition through the lineage, charging `ctx`.
+  void recover_map_part(int shuffle, std::size_t map_part, TaskContext& ctx);
+
   std::vector<Shuffle> shuffles_;
   Bytes bytes_held_;
   Bytes bytes_written_total_;
   TieringHooks* tiering_ = nullptr;
+  FaultHooks* fault_ = nullptr;
+  std::uint64_t job_seed_ = 0;
 };
 
 /// Type-erased face of a shuffle dependency, all the DAG scheduler needs:

@@ -49,12 +49,13 @@ bool TaskCost::is_zero() const {
 
 TaskContext::TaskContext(int stage_id, std::size_t partition,
                          const CostModel& costs, double cost_multiplier,
-                         Rng rng)
+                         Rng rng, int executor_id)
     : stage_id_(stage_id),
       partition_(partition),
       costs_(costs),
       multiplier_(cost_multiplier),
-      rng_(rng) {
+      rng_(rng),
+      executor_id_(executor_id) {
   TSX_CHECK(cost_multiplier >= 1.0, "cost multiplier must be >= 1");
 }
 

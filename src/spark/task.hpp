@@ -66,13 +66,17 @@ struct TaskCost {
 class TaskContext {
  public:
   TaskContext(int stage_id, std::size_t partition, const CostModel& costs,
-              double cost_multiplier, Rng rng);
+              double cost_multiplier, Rng rng, int executor_id = -1);
 
   int stage_id() const { return stage_id_; }
   std::size_t partition() const { return partition_; }
   const CostModel& costs() const { return costs_; }
   double cost_multiplier() const { return multiplier_; }
   Rng& rng() { return rng_; }
+  /// Executor running this task (-1 when driven outside the scheduler, e.g.
+  /// in unit tests). Stores record it as the owner of produced state so a
+  /// crash can invalidate exactly what the dead executor held.
+  int executor_id() const { return executor_id_; }
 
   /// Charges host-side measured work, scaled by the cost multiplier.
   void charge_cpu(Duration cpu);
@@ -93,6 +97,11 @@ class TaskContext {
   /// grow with the virtual dataset.
   void charge_cpu_unscaled(Duration cpu);
 
+  /// Folds an already-scaled cost into this task — the bill of a nested
+  /// recovery computation (a lost shuffle map partition recomputed inside a
+  /// reduce task's fetch) lands on the fetching task.
+  void absorb(const TaskCost& cost) { cost_ += cost; }
+
   const TaskCost& cost() const { return cost_; }
 
  private:
@@ -101,6 +110,7 @@ class TaskContext {
   const CostModel& costs_;
   double multiplier_;
   Rng rng_;
+  int executor_id_;
   TaskCost cost_;
 };
 

@@ -127,6 +127,12 @@ void Engine::launch_move(const Move& move) {
   // (region dropped, already migrating, or already moved).
   if (region == nullptr || region->migrating || region->tier != move.from)
     return;
+  // A fault observer may have taken a tier's node offline; migrations
+  // touching a dead tier are dropped (the fallback remap handles traffic).
+  if (spark::FaultHooks* fault = sc_.fault()) {
+    if (!fault->tier_online(move.from) || !fault->tier_online(move.to))
+      return;
+  }
 
   const bool promote = mem::index(move.to) < mem::index(move.from);
   if (promote) {

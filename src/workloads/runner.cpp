@@ -10,6 +10,7 @@
 #include "mem/machine.hpp"
 #include "mem/mba.hpp"
 #include "sim/simulator.hpp"
+#include "fault/controller.hpp"
 #include "spark/context.hpp"
 #include "tiering/engine.hpp"
 
@@ -66,6 +67,38 @@ std::vector<std::pair<std::string, std::string>> config_fields(
        strfmt("%.17g", config.tiering.max_fast_utilization)},
       {"tiering_migration_mlp",
        strfmt("%.17g", config.tiering.migration_mlp)},
+      {"fault_enabled", config.fault.enabled ? "1" : "0"},
+      {"fault_salt", std::to_string(config.fault.salt)},
+      {"fault_crashes", std::to_string(config.fault.executor_crashes)},
+      {"fault_crash_offset_s", strfmt("%.17g", config.fault.crash_offset_s)},
+      {"fault_crash_window_s", strfmt("%.17g", config.fault.crash_window_s)},
+      {"fault_restart_delay_s",
+       strfmt("%.17g", config.fault.restart_delay_s)},
+      {"fault_offline_tier", std::to_string(config.fault.offline_tier)},
+      {"fault_offline_at_s", strfmt("%.17g", config.fault.offline_at_s)},
+      {"fault_degrade_to", std::to_string(config.fault.degrade_to)},
+      {"fault_uce_per_gib", strfmt("%.17g", config.fault.uce_per_gib)},
+      {"fault_bw_collapse_at_s",
+       strfmt("%.17g", config.fault.bw_collapse_at_s)},
+      {"fault_bw_collapse_duration_s",
+       strfmt("%.17g", config.fault.bw_collapse_duration_s)},
+      {"fault_bw_collapse_factor",
+       strfmt("%.17g", config.fault.bw_collapse_factor)},
+      {"fault_bw_collapse_tier",
+       std::to_string(config.fault.bw_collapse_tier)},
+      {"fault_straggler_prob", strfmt("%.17g", config.fault.straggler_prob)},
+      {"fault_straggler_factor",
+       strfmt("%.17g", config.fault.straggler_factor)},
+      {"fault_max_task_attempts",
+       std::to_string(config.fault.max_task_attempts)},
+      {"fault_backoff_base_ms",
+       strfmt("%.17g", config.fault.backoff_base_ms)},
+      {"fault_backoff_cap_ms", strfmt("%.17g", config.fault.backoff_cap_ms)},
+      {"fault_speculation", config.fault.speculation ? "1" : "0"},
+      {"fault_speculation_multiplier",
+       strfmt("%.17g", config.fault.speculation_multiplier)},
+      {"fault_speculation_min_fraction",
+       strfmt("%.17g", config.fault.speculation_min_fraction)},
   };
 }
 
@@ -121,9 +154,21 @@ std::uint64_t runs_executed() {
   return g_runs_executed.load(std::memory_order_relaxed);
 }
 
-RunResult run_workload(const RunConfig& config) {
+RunResult failed_result(const RunConfig& config, const std::string& error) {
+  RunResult result;
+  result.config = config;
+  result.failed = true;
+  result.valid = false;
+  result.error = error;
+  result.validation = "run failed: " + error;
+  return result;
+}
+
+RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
   g_runs_executed.fetch_add(1, std::memory_order_relaxed);
   sim::Simulator simulator;
+  if (wall_budget_seconds > 0.0)
+    simulator.set_wall_budget(wall_budget_seconds);
   mem::MachineModel machine(simulator,
                             config.machine == MachineVariant::kDramCxl
                                 ? mem::cxl_topology()
@@ -147,6 +192,15 @@ RunResult run_workload(const RunConfig& config) {
   if (config.tiering.policy != tiering::PolicyKind::kStatic) {
     engine = std::make_unique<tiering::Engine>(sc, config.tiering);
     engine->start();
+  }
+
+  // Same contract for the fault plane: the controller exists only when
+  // faults are enabled, so a fault-free run is the pre-fault path bit for
+  // bit (no hooks, no in-flight registries, no injection events).
+  std::unique_ptr<fault::Controller> faults;
+  if (config.fault.enabled) {
+    faults = std::make_unique<fault::Controller>(sc, config.fault);
+    faults->start();
   }
 
   mem::MbaController mba(machine);
@@ -205,6 +259,7 @@ RunResult run_workload(const RunConfig& config) {
   }
 
   if (engine) result.tiering = engine->stats();
+  if (faults) result.fault = faults->stats();
 
   result.events = metrics::synthesize_events(
       result.total_cost, result.exec_time, result.tasks,

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/options.hpp"
 #include "mem/energy.hpp"
 #include "mem/tier.hpp"
 #include "mem/traffic.hpp"
@@ -61,6 +62,10 @@ struct RunConfig {
   /// Dynamic page-migration subsystem. The default (`static` policy) runs
   /// the exact pre-tiering code path — the engine is not even constructed.
   tiering::TieringConfig tiering;
+
+  /// Fault injection + recovery. The default (`enabled = false`) runs the
+  /// exact pre-fault code path — the controller is not even constructed.
+  fault::FaultConfig fault;
 
   std::string describe() const;
 
@@ -116,9 +121,18 @@ struct RunResult {
   metrics::SystemEventSample events;
   /// What the tiering engine did (all-zero under the static policy).
   tiering::TieringStats tiering;
+  /// What the fault plane injected and what recovery cost (all-zero when
+  /// faults are disabled).
+  fault::FaultStats fault;
 
   bool valid = false;
   std::string validation;
+
+  /// True when the run itself died — an exception or a wall-clock timeout
+  /// escaped the simulation. `error` then carries the reason and every
+  /// metric above is default-initialized. Failed results are never cached.
+  bool failed = false;
+  std::string error;
 
   /// Energy of the bound tier's node, per DIMM (what Fig. 2-bottom plots).
   Energy bound_node_energy_per_dimm() const;
@@ -127,7 +141,15 @@ struct RunResult {
 };
 
 /// Executes one configuration start-to-finish in an isolated simulation.
-RunResult run_workload(const RunConfig& config);
+/// `wall_budget_seconds` > 0 arms a cooperative real-time budget on the
+/// run's simulator: a run exceeding it throws tsx::Error (callers that
+/// sandbox runs turn that into a failed RunResult).
+RunResult run_workload(const RunConfig& config,
+                       double wall_budget_seconds = 0.0);
+
+/// A failed-run placeholder: config + failed flag + error string, every
+/// metric zeroed. What ParallelRunner records when a run throws.
+RunResult failed_result(const RunConfig& config, const std::string& error);
 
 /// Number of simulations `run_workload` has executed in this process.
 /// Monotone, thread-safe; lets callers assert a cache hit skipped the

@@ -71,6 +71,19 @@ TEST(SweepSpec, RejectsEmptyAxes) {
 
 // --- stable hash ----------------------------------------------------------
 
+TEST(SweepSpec, FaultKnobAppliesToEveryConfig) {
+  fault::FaultConfig f;
+  f.enabled = true;
+  f.executor_crashes = 2;
+  f.salt = 99;
+  const auto configs = tiny_grid().fault(f).enumerate();
+  ASSERT_EQ(configs.size(), 4u);
+  for (const auto& cfg : configs) EXPECT_EQ(cfg.fault, f);
+  // And the default keeps faults off.
+  for (const auto& cfg : tiny_grid().enumerate())
+    EXPECT_FALSE(cfg.fault.enabled);
+}
+
 TEST(StableHash, EqualConfigsHashEqual) {
   RunConfig a;
   a.app = App::kLda;
@@ -190,6 +203,53 @@ TEST(ParallelRunner, ProgressReachesTotal) {
   EXPECT_EQ(calls, 4u);
 }
 
+TEST(ParallelRunner, IsolatesAThrowingRun) {
+  // One config is poisoned: an enabled fault plane with zero task attempts
+  // fails the controller's validation inside run_workload. The batch must
+  // survive — the bad run becomes a failed RunResult, the healthy runs are
+  // untouched, and the failure is visible in the progress feed.
+  auto configs = tiny_grid().enumerate();
+  const std::size_t bad = 1;
+  configs[bad].fault.enabled = true;
+  configs[bad].fault.executor_crashes = 1;
+  configs[bad].fault.max_task_attempts = 0;
+
+  ResultCache cache;
+  std::size_t last_failures = 0;
+  RunnerOptions options;
+  options.threads = 2;
+  options.cache = &cache;
+  options.progress = [&](const Progress& p) { last_failures = p.failures; };
+  const auto results = ParallelRunner(options).run(configs);
+
+  ASSERT_EQ(results.size(), configs.size());
+  EXPECT_TRUE(results[bad].failed);
+  EXPECT_FALSE(results[bad].valid);
+  EXPECT_FALSE(results[bad].error.empty());
+  EXPECT_EQ(results[bad].config, configs[bad]);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == bad) continue;
+    EXPECT_FALSE(results[i].failed) << "run " << i;
+    EXPECT_TRUE(results[i].valid) << "run " << i;
+  }
+  EXPECT_EQ(last_failures, 1u);
+  // Failed runs are never memoized — a retry must re-execute them.
+  EXPECT_EQ(cache.size(), configs.size() - 1);
+  EXPECT_FALSE(cache.find(configs[bad]).has_value());
+}
+
+TEST(ParallelRunner, WallTimeoutBecomesAFailedResult) {
+  RunnerOptions options;
+  options.threads = 2;
+  options.run_timeout_seconds = 1e-9;  // no real run fits in a nanosecond
+  const auto results = ParallelRunner(options).run(tiny_grid());
+  ASSERT_EQ(results.size(), 4u);
+  for (const RunResult& r : results) {
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.error.find("wall-clock"), std::string::npos) << r.error;
+  }
+}
+
 // --- ResultCache ----------------------------------------------------------
 
 TEST(ResultCache, HitSkipsSimulation) {
@@ -273,6 +333,34 @@ TEST(ResultCache, LoadRejectsGarbage) {
   EXPECT_FALSE(cache.load(path));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.load(path + ".does-not-exist"));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadToleratesCorruptedLines) {
+  // A crash mid-save (or a truncated copy) leaves garbage and half-written
+  // records in the store. Loading must salvage every healthy record and
+  // account for what it skipped, not reject the whole file.
+  const auto runs = run_sweep(tiny_grid());
+  ResultCache cache;
+  for (const RunResult& r : runs) cache.insert(r);
+
+  const std::string path = ::testing::TempDir() + "/tsx_torn_cache.jsonl";
+  ASSERT_TRUE(cache.save(path));
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  std::fputs("!!! not json at all !!!\n", f);
+  std::fputs("{\"config\":{\"app\":\"sort\",\"scale\":\"ti", f);  // torn write
+  std::fclose(f);
+
+  ResultCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), runs.size());
+  EXPECT_EQ(loaded.load_skipped(), 2u);
+  for (const RunResult& r : runs) {
+    const auto found = loaded.find(r.config);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_TRUE(results_identical(*found, r));
+  }
   std::remove(path.c_str());
 }
 

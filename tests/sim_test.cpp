@@ -330,5 +330,55 @@ TEST(Trace, ShrinkingCapacityTrimsOldest) {
   EXPECT_EQ(sink.records()[1].message, "4");
 }
 
+TEST(Trace, DropsAreAccountedPerCategory) {
+  TraceSink sink;
+  sink.enable();
+  sink.set_capacity(2);
+  // Emission order: a a b b a — the ring holds the last two, so the first
+  // two "a" and the first "b" age out.
+  sink.emit(Duration::seconds(0), "a", "0");
+  sink.emit(Duration::seconds(1), "a", "1");
+  sink.emit(Duration::seconds(2), "b", "2");
+  sink.emit(Duration::seconds(3), "b", "3");
+  sink.emit(Duration::seconds(4), "a", "4");
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.dropped("a"), 2u);
+  EXPECT_EQ(sink.dropped("b"), 1u);
+  EXPECT_EQ(sink.dropped("never-emitted"), 0u);
+  ASSERT_EQ(sink.dropped_by_category().size(), 2u);
+}
+
+TEST(Simulator, WallBudgetAbortsLongRuns) {
+  Simulator sim;
+  // A self-rescheduling event keeps the queue alive well past the check
+  // interval; an already-exhausted budget must abort the drain.
+  std::function<void()> tick = [&] { sim.schedule_in(Duration::millis(1), tick); };
+  sim.schedule_in(Duration::millis(1), tick);
+  sim.set_wall_budget(1e-12);
+  EXPECT_THROW(sim.run(), tsx::Error);
+}
+
+TEST(Simulator, ZeroWallBudgetMeansUnlimited) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i)
+    sim.schedule_in(Duration::millis(i), [&] { ++fired; });
+  sim.set_wall_budget(0.0);
+  EXPECT_EQ(sim.run(), 2000u);
+  EXPECT_EQ(fired, 2000);
+}
+
+TEST(Trace, ShrinkAccountsDropsPerCategory) {
+  TraceSink sink;
+  sink.enable();
+  sink.emit(Duration::seconds(0), "x", "0");
+  sink.emit(Duration::seconds(1), "y", "1");
+  sink.emit(Duration::seconds(2), "y", "2");
+  sink.set_capacity(1);
+  EXPECT_EQ(sink.dropped("x"), 1u);
+  EXPECT_EQ(sink.dropped("y"), 1u);
+  EXPECT_EQ(sink.records()[0].message, "2");
+}
+
 }  // namespace
 }  // namespace tsx::sim
