@@ -1,0 +1,148 @@
+// Performance harness for the intra-run parallel data plane (DESIGN.md
+// §11), seeding the repo's wall-clock perf trajectory.
+//
+// Part 1 is the determinism gate: the full Fig. 2 sweep (every app x scale
+// x tier) must produce byte-identical RunResult JSON with TSX_TASK_THREADS
+// in {1, 4, 8}. Every run goes through a plain serial run_workload loop —
+// no ParallelRunner (an active sweep would clamp the inner pools through
+// the thread budget) and no ResultCache (a hit would skip the simulation
+// and make the comparison vacuous).
+//
+// Part 2 measures what the plane buys: wall-clock per workload, serial vs
+// 2/4/8 evaluation threads, on the paper's small scale. Results land in
+// BENCH_perf.json in the working directory so CI can archive the trajectory
+// as an artifact. Speedups are hardware-dependent (a 1-core container shows
+// none); the gate above is what guarantees they are free of simulation
+// drift.
+//
+//   TSX_PERF_SCALE=tiny|small|large   timing scale (default small)
+//   TSX_PERF_REPEATS=<n>              timing repeats per cell (default 3)
+//   TSX_PERF_SKIP_GATE=1              timing only (for quick local runs)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runner/serialize.hpp"
+#include "workloads/scales.hpp"
+
+namespace {
+
+using namespace tsx;
+using namespace tsx::bench;
+using namespace tsx::workloads;
+
+void set_task_threads(int threads) {
+  if (threads <= 1) {
+    unsetenv("TSX_TASK_THREADS");
+  } else {
+    setenv("TSX_TASK_THREADS", std::to_string(threads).c_str(), 1);
+  }
+}
+
+double wall_seconds(const RunConfig& cfg, int repeats) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    (void)run_workload(cfg);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || secs < best) best = secs;  // best-of-N: least noisy
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  print_header("PERF", "intra-run parallel data plane: identity + speedup");
+
+  const int kThreadCounts[] = {2, 4, 8};
+
+  // --- Part 1: 84-config bit-identity gate ------------------------------
+  if (std::getenv("TSX_PERF_SKIP_GATE") == nullptr) {
+    const auto configs = fig2_spec().enumerate();
+    set_task_threads(1);
+    std::vector<std::string> reference;
+    reference.reserve(configs.size());
+    for (const RunConfig& cfg : configs)
+      reference.push_back(runner::to_json(run_workload(cfg)));
+
+    std::size_t mismatches = 0;
+    for (const int threads : {4, 8}) {
+      set_task_threads(threads);
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (runner::to_json(run_workload(configs[i])) != reference[i]) {
+          ++mismatches;
+          std::printf("MISMATCH at %d threads: %s\n", threads,
+                      configs[i].describe().c_str());
+        }
+      }
+    }
+    set_task_threads(1);
+    std::printf(
+        "bit-identity gate: %zu configs x {1,4,8} threads, %zu mismatches%s\n\n",
+        configs.size(), mismatches,
+        mismatches == 0 ? " (the parallel plane is invisible in the results)"
+                        : "");
+    if (mismatches != 0) return 1;
+  }
+
+  // --- Part 2: wall-clock speedup per workload ---------------------------
+  ScaleId scale = ScaleId::kSmall;
+  if (const char* s = std::getenv("TSX_PERF_SCALE"))
+    scale = scale_from_label(s);
+  int repeats = 3;
+  if (const char* r = std::getenv("TSX_PERF_REPEATS"))
+    repeats = std::max(1, std::atoi(r));
+
+  TablePrinter table({"app", "serial (s)", "2t (s)", "4t (s)", "8t (s)",
+                      "speedup@8"});
+  std::string json = "{\n  \"bench\": \"perf\",\n  \"scale\": \"" +
+                     to_string(scale) + "\",\n  \"repeats\": " +
+                     std::to_string(repeats) + ",\n  \"workloads\": [\n";
+  bool first_row = true;
+  for (const App app : kAllApps) {
+    RunConfig cfg;
+    cfg.app = app;
+    cfg.scale = scale;
+    set_task_threads(1);
+    const double serial = wall_seconds(cfg, repeats);
+    std::vector<double> parallel;
+    for (const int threads : kThreadCounts) {
+      set_task_threads(threads);
+      parallel.push_back(wall_seconds(cfg, repeats));
+    }
+    set_task_threads(1);
+    const double speedup8 = parallel.back() > 0.0 ? serial / parallel.back()
+                                                  : 0.0;
+    table.add_row({to_string(app), TablePrinter::num(serial, 3),
+                   TablePrinter::num(parallel[0], 3),
+                   TablePrinter::num(parallel[1], 3),
+                   TablePrinter::num(parallel[2], 3),
+                   TablePrinter::num(speedup8, 2) + "x"});
+    if (!first_row) json += ",\n";
+    first_row = false;
+    json += strfmt(
+        "    {\"app\": \"%s\", \"serial_s\": %.6f, \"threads_2_s\": %.6f, "
+        "\"threads_4_s\": %.6f, \"threads_8_s\": %.6f, \"speedup_8\": %.4f}",
+        to_string(app).c_str(), serial, parallel[0], parallel[1], parallel[2],
+        speedup8);
+  }
+  json += "\n  ]\n}\n";
+  table.print(std::cout);
+
+  std::FILE* out = std::fopen("BENCH_perf.json", "w");
+  if (out == nullptr) {
+    std::printf("could not open BENCH_perf.json for writing\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_perf.json\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Incremental median over an insert-only stream — the classic two-heap
+// split. A max-heap holds the floor(n/2) smallest values, a min-heap the
+// rest, so the upper median (the 0-based rank-floor(n/2) order statistic,
+// exactly what nth_element at index n/2 selects) is always the min-heap's
+// top. push() is O(log n), upper_median() O(1); re-sorting the whole sample
+// per query — O(n) each, O(n^2) per stage for the scheduler's straggler
+// sweep — is what this replaces.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tsx {
+
+class RunningMedian {
+ public:
+  void push(double x) {
+    if (hi_.empty() || x >= hi_.top()) {
+      hi_.push(x);
+    } else {
+      lo_.push(x);
+    }
+    // Invariant: |lo| = floor(n/2), so hi_.top() is the upper median.
+    const std::size_t n = lo_.size() + hi_.size();
+    if (lo_.size() > n / 2) {
+      hi_.push(lo_.top());
+      lo_.pop();
+    } else if (lo_.size() < n / 2) {
+      lo_.push(hi_.top());
+      hi_.pop();
+    }
+  }
+
+  /// The 0-based rank-floor(n/2) order statistic. Requires size() > 0.
+  double upper_median() const { return hi_.top(); }
+
+  std::size_t size() const { return lo_.size() + hi_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::priority_queue<double> lo_;  // max-heap: the floor(n/2) smallest
+  std::priority_queue<double, std::vector<double>, std::greater<double>> hi_;
+};
+
+}  // namespace tsx

@@ -1,0 +1,48 @@
+#include "core/thread_budget.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace tsx {
+
+ThreadBudget& ThreadBudget::global() {
+  static ThreadBudget budget;
+  return budget;
+}
+
+void ThreadBudget::register_outer(int workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outer_workers_ += std::max(workers, 0);
+}
+
+void ThreadBudget::unregister_outer(int workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outer_workers_ -= std::max(workers, 0);
+  if (outer_workers_ < 0) outer_workers_ = 0;
+}
+
+int ThreadBudget::grant_inner(int want) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (want < 1) want = 1;
+  if (outer_workers_ == 0) return want;
+  const int share = total() / outer_workers_;
+  return std::max(1, std::min(want, share));
+}
+
+int ThreadBudget::outer_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outer_workers_;
+}
+
+void ThreadBudget::set_total_for_test(int total) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_override_ = total;
+}
+
+int ThreadBudget::total() const {
+  if (total_override_ > 0) return total_override_;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace tsx

@@ -1,0 +1,53 @@
+// Process-wide thread budget for nested parallelism.
+//
+// Two layers want threads: the experiment runner (one worker per concurrent
+// simulation) and, inside every simulation, the Spark engine's intra-run
+// task pool. Left uncoordinated, a 16-way sweep of 8-thread runs would put
+// 128 runnable threads on 16 cores. The budget is the handshake: outer
+// layers register their worker count, inner layers ask for a grant, and the
+// grant divides the machine between them.
+//
+// Policy:
+//  - No outer layer registered: an explicit inner request is honored as
+//    asked, even past the core count. Determinism never depends on the
+//    thread count, so oversubscription only costs context switches — and
+//    honoring the request is what lets determinism/TSan tests drive real
+//    multi-threading on small CI machines.
+//  - Outer layer(s) registered: the grant is clamped to the fair share
+//    total/outer_workers (at least 1, i.e. serial evaluation), so nested
+//    runner x task parallelism never oversubscribes.
+#pragma once
+
+#include <mutex>
+
+namespace tsx {
+
+class ThreadBudget {
+ public:
+  /// The process-global budget every layer coordinates through.
+  static ThreadBudget& global();
+
+  /// An outer fan-out layer (e.g. runner::ParallelRunner) announces its
+  /// worker count for its lifetime; pair with unregister_outer.
+  void register_outer(int workers);
+  void unregister_outer(int workers);
+
+  /// Grants an inner layer up to `want` threads under the policy above.
+  /// Always returns at least 1.
+  int grant_inner(int want) const;
+
+  /// Outer workers currently registered (0 when no sweep is active).
+  int outer_workers() const;
+
+  /// Overrides the detected hardware concurrency (tests); 0 restores it.
+  void set_total_for_test(int total);
+
+ private:
+  int total() const;
+
+  mutable std::mutex mutex_;
+  int outer_workers_ = 0;
+  int total_override_ = 0;
+};
+
+}  // namespace tsx

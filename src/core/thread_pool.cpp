@@ -1,8 +1,8 @@
-#include "runner/thread_pool.hpp"
+#include "core/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace tsx::runner {
+namespace tsx {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -113,4 +113,4 @@ void ThreadPool::worker_loop(std::size_t self) {
   }
 }
 
-}  // namespace tsx::runner
+}  // namespace tsx

@@ -4,10 +4,18 @@
 #include <exception>
 #include <mutex>
 
+#include "core/thread_budget.hpp"
+
 namespace tsx::runner {
 
 ParallelRunner::ParallelRunner(RunnerOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {}
+    : options_(std::move(options)), pool_(options_.threads) {
+  ThreadBudget::global().register_outer(pool_.thread_count());
+}
+
+ParallelRunner::~ParallelRunner() {
+  ThreadBudget::global().unregister_outer(pool_.thread_count());
+}
 
 std::vector<workloads::RunResult> ParallelRunner::run(
     const std::vector<workloads::RunConfig>& configs) {

@@ -52,7 +52,14 @@ struct RunnerOptions {
 
 class ParallelRunner {
  public:
+  /// Registers the worker count with the process ThreadBudget for the
+  /// runner's lifetime, so each run's intra-run task pool (TSX_TASK_THREADS)
+  /// is clamped to its fair share of the machine.
   explicit ParallelRunner(RunnerOptions options = {});
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
 
   /// Executes every config; result[i] corresponds to configs[i].
   std::vector<workloads::RunResult> run(

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "spark/task.hpp"
+#include "spark/task_effects.hpp"
 
 namespace tsx::spark {
 
@@ -18,9 +19,16 @@ class Accumulator {
  public:
   explicit Accumulator(T zero) : cell_(std::make_shared<T>(std::move(zero))) {}
 
-  /// Task-side: fold `amount` into the accumulator.
+  /// Task-side: fold `amount` into the accumulator. Under parallel stage
+  /// evaluation the fold is deferred to the commit phase, so the cell is
+  /// only ever touched by the driver thread and non-commutative folds (e.g.
+  /// floating-point sums) land in the serial engine's exact order.
   void add(const T& amount, TaskContext& ctx) const {
-    *cell_ += amount;
+    if (TaskEffects* fx = TaskEffects::current()) {
+      fx->defer([cell = cell_, amount] { *cell += amount; });
+    } else {
+      *cell_ += amount;
+    }
     ctx.charge_cpu_unscaled(Duration::nanos(ctx.costs().agg_cpu_ns));
   }
 

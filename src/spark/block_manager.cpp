@@ -1,8 +1,11 @@
 #include "spark/block_manager.hpp"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "spark/task_effects.hpp"
 
 namespace tsx::spark {
 
@@ -13,10 +16,21 @@ BlockManager::BlockManager(mem::TieredAllocator& allocator, Bytes budget,
 BlockManager::~BlockManager() { clear(); }
 
 bool BlockManager::has(const BlockKey& key) const {
+  if (const TaskEffects* fx = TaskEffects::current())
+    if (fx->has_block(key)) return true;
   return blocks_.count(key) > 0;
 }
 
 const std::any* BlockManager::get(const BlockKey& key) {
+  if (TaskEffects* fx = TaskEffects::current()) {
+    // Parallel evaluation: serve the task's own overlay or the stage-start
+    // snapshot without touching LRU/hit-miss/tiering state; the real lookup
+    // (and all its bookkeeping) replays in commit order.
+    fx->defer([this, key] { (void)get(key); });
+    if (const std::any* own = fx->find_block(key)) return own;
+    const auto it = blocks_.find(key);
+    return it == blocks_.end() ? nullptr : &it->second.data;
+  }
   const auto it = blocks_.find(key);
   if (it == blocks_.end()) {
     ++misses_;
@@ -32,6 +46,8 @@ const std::any* BlockManager::get(const BlockKey& key) {
 }
 
 Bytes BlockManager::size_of(const BlockKey& key) const {
+  if (const TaskEffects* fx = TaskEffects::current())
+    if (fx->has_block(key)) return fx->block_size(key);
   const auto it = blocks_.find(key);
   TSX_CHECK(it != blocks_.end(), "size_of unknown block");
   return it->second.size;
@@ -40,6 +56,17 @@ Bytes BlockManager::size_of(const BlockKey& key) const {
 bool BlockManager::put(const BlockKey& key, std::any data, Bytes size,
                        int owner) {
   TSX_CHECK(size.b() >= 0.0, "negative block size");
+  if (TaskEffects* fx = TaskEffects::current()) {
+    // Whether the real store accepts the block (budget, physical capacity)
+    // is decided at commit; the optimistic answer here only shapes this
+    // task's own view through the overlay.
+    auto shared = std::make_shared<std::any>(std::move(data));
+    fx->put_block(key, shared, size);
+    fx->defer([this, key, shared, size, owner] {
+      (void)put(key, std::move(*shared), size, owner);
+    });
+    return true;
+  }
   if (has(key)) drop(key);  // overwrite semantics
   if (size > budget_) return false;
   while (bytes_cached_ + size > budget_ && !blocks_.empty()) evict_one();

@@ -17,6 +17,8 @@ SparkConf SparkConf::from(const Config& config) {
       config.get_int_or("spark.mem.tier", mem::index(conf.mem_bind))));
   conf.shuffle_partitions = static_cast<int>(
       config.get_int_or("spark.shuffle.partitions", conf.shuffle_partitions));
+  conf.intra_run_threads = static_cast<int>(
+      config.get_int_or("spark.task.threads", conf.intra_run_threads));
   if (config.contains("spark.shuffle.tier"))
     conf.shuffle_bind = mem::tier_from_index(
         static_cast<int>(config.get_int("spark.shuffle.tier")));

@@ -53,6 +53,12 @@ struct SparkConf {
   /// analogue). 0 means "derive from total cores".
   int shuffle_partitions = 0;
 
+  /// Host threads evaluating one stage's task functions concurrently
+  /// (DESIGN.md §11). Purely an execution-speed knob: results are
+  /// bit-identical for every value, so it is not part of RunConfig or any
+  /// cache key. <= 1 keeps the serial data plane; fault mode always does.
+  int intra_run_threads = 1;
+
   /// Fraction of executor memory reserved for storage (cached RDDs).
   double storage_fraction = 0.5;
   /// Executor heap analogue, used for cache-capacity accounting.

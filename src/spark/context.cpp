@@ -54,6 +54,13 @@ SparkContext::SparkContext(mem::MachineModel& machine, dfs::Dfs& dfs,
   TSX_CHECK(!executors_.empty(), "context needs at least one executor");
 }
 
+ThreadPool* SparkContext::task_pool() {
+  if (conf_.intra_run_threads <= 1) return nullptr;
+  if (task_pool_ == nullptr)
+    task_pool_ = std::make_unique<ThreadPool>(conf_.intra_run_threads);
+  return task_pool_.get();
+}
+
 void SparkContext::set_tiering(TieringHooks* hooks) {
   tiering_ = hooks;
   block_manager_->set_tiering(hooks);

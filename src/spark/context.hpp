@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "dfs/dfs.hpp"
 #include "mem/allocator.hpp"
 #include "mem/machine.hpp"
@@ -53,6 +54,12 @@ class SparkContext {
   /// Total task slots across executors (Spark's default parallelism).
   int default_parallelism() const { return conf_.total_cores(); }
 
+  /// The intra-run task pool (DESIGN.md §11), created lazily on first use
+  /// when conf().intra_run_threads > 1; nullptr otherwise. A non-null pool
+  /// switches the scheduler's fault-free stages to two-phase
+  /// evaluate/commit execution — bit-identical to serial, just faster.
+  ThreadPool* task_pool();
+
   /// Attaches (or, with nullptr, detaches) a tiering observer on every
   /// component with migratable regions: the block manager, the shuffle
   /// store and the executors. Without a call, the engine runs the static
@@ -92,6 +99,7 @@ class SparkContext {
   std::unique_ptr<BlockManager> block_manager_;
   std::vector<std::unique_ptr<Executor>> executors_;
   DAGScheduler scheduler_;
+  std::unique_ptr<ThreadPool> task_pool_;
 };
 
 }  // namespace tsx::spark

@@ -45,7 +45,10 @@ class Executor {
 
   struct Work {
     /// Host-side computation; runs at simulated task start and returns the
-    /// charged cost profile.
+    /// charged cost profile. Under the parallel data plane (DESIGN.md §11)
+    /// this slot instead commits the task's pre-evaluated effect buffer and
+    /// returns its pre-computed cost — the simulated timeline is identical
+    /// either way, because host execution is instantaneous in virtual time.
     std::function<TaskCost()> host;
     /// Fires when the task's last simulated phase completes.
     std::function<void(const TaskCost&)> done;

@@ -7,26 +7,21 @@
 
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "core/running_median.hpp"
 #include "spark/context.hpp"
+#include "spark/task_effects.hpp"
 
 namespace tsx::spark {
-
-namespace {
-bool contains(const std::vector<int>& xs, int x) {
-  return std::find(xs.begin(), xs.end(), x) != xs.end();
-}
-}  // namespace
 
 void DAGScheduler::collect_shuffles(
     const RddBase& rdd,
     std::vector<std::shared_ptr<ShuffleDependencyBase>>& order,
-    std::vector<int>& seen_rdds, std::vector<int>& seen_shuffles) const {
-  if (contains(seen_rdds, rdd.id())) return;
-  seen_rdds.push_back(rdd.id());
+    std::unordered_set<int>& seen_rdds,
+    std::unordered_set<int>& seen_shuffles) const {
+  if (!seen_rdds.insert(rdd.id()).second) return;
   for (const Dependency& dep : rdd.dependencies()) {
     if (dep.is_shuffle()) {
-      if (contains(seen_shuffles, dep.shuffle->shuffle_id())) continue;
-      seen_shuffles.push_back(dep.shuffle->shuffle_id());
+      if (!seen_shuffles.insert(dep.shuffle->shuffle_id()).second) continue;
       if (sc_.shuffle_store().is_complete(dep.shuffle->shuffle_id()))
         continue;  // map output reuse: already materialized by a prior job
       collect_shuffles(*dep.shuffle->parent(), order, seen_rdds,
@@ -66,6 +61,8 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
 
   if (sc_.fault() != nullptr) {
     run_tasks_with_recovery(record, num_tasks, task, metrics, opts);
+  } else if (sc_.task_pool() != nullptr && num_tasks > 1) {
+    run_tasks_parallel(record, num_tasks, task, metrics);
   } else {
     auto& executors = sc_.executors();
     auto remaining = std::make_shared<std::size_t>(num_tasks);
@@ -122,6 +119,67 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   return record;
 }
 
+void DAGScheduler::run_tasks_parallel(const StageRecord& record,
+                                      std::size_t num_tasks,
+                                      const TaskFn& task,
+                                      JobMetrics& metrics) {
+  const int stage_id = record.stage_id;
+
+  // Phase 1 — evaluate. Every host function runs concurrently on the
+  // context's pool. A task is a pure function of (job seed, stage,
+  // partition): its rng stream is private, its TaskContext is
+  // thread-confined, and every write to shared engine state (shuffle
+  // buckets, cached blocks, accumulators, tiering hotness) is recorded into
+  // its TaskEffects buffer instead of applied. Reads see the stage-start
+  // snapshot plus the task's own buffer — which is exactly what the serial
+  // engine shows a task, because within one fault-free stage tasks only
+  // ever read state they wrote themselves or state committed before the
+  // previous stage barrier.
+  std::vector<TaskCost> costs(num_tasks);
+  auto effects = std::make_shared<std::vector<TaskEffects>>(num_tasks);
+  sc_.task_pool()->run_batch(num_tasks, [&](std::size_t p) {
+    TaskEffects::Scope scope(&(*effects)[p]);
+    std::uint64_t mix = sc_.job_seed() ^
+                        (static_cast<std::uint64_t>(stage_id) << 32) ^
+                        static_cast<std::uint64_t>(p);
+    TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
+                    Rng(splitmix64(mix)));
+    task(p, ctx);
+    costs[p] = ctx.cost();
+  });
+
+  // Phase 2 — commit. Submissions replay the serial path exactly: same
+  // partition order, same round-robin executor assignment, same dispatch
+  // serialization, and a host that returns the pre-computed cost — so the
+  // simulator sees an identical event schedule, each buffer commits at the
+  // very instant the serial engine would have mutated the stores, and the
+  // done callbacks (whose += order sets the low bits of total_cost) fire in
+  // the identical completion order.
+  auto& executors = sc_.executors();
+  auto remaining = std::make_shared<std::size_t>(num_tasks);
+  auto shared_costs = std::make_shared<std::vector<TaskCost>>(std::move(costs));
+  for (std::size_t p = 0; p < num_tasks; ++p) {
+    Executor& executor = *executors[task_counter_++ % executors.size()];
+    executor.submit(Executor::Work{
+        [effects, shared_costs, p]() -> TaskCost {
+          (*effects)[p].commit();
+          return (*shared_costs)[p];
+        },
+        [this, remaining, &metrics](const TaskCost& cost) {
+          metrics.total_cost += cost;
+          lifetime_cost_ += cost;
+          --*remaining;
+        }});
+  }
+
+  sim::Simulator& sim = sc_.machine().simulator();
+  while (*remaining > 0) {
+    TSX_CHECK(sim.step() > 0,
+              "deadlock: stage " + record.label + " has unfinished tasks "
+              "but no pending events");
+  }
+}
+
 void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
                                            std::size_t num_tasks,
                                            const TaskFn& task,
@@ -145,7 +203,11 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
   const int rng_stage = opts.rng_stage >= 0 ? opts.rng_stage : stage_id;
   auto states = std::make_shared<std::vector<TaskState>>(num_tasks);
   auto remaining = std::make_shared<std::size_t>(num_tasks);
-  auto durations = std::make_shared<std::vector<double>>();
+  // Completed-task durations feed the straggler sweep. The two-heap keeps
+  // the upper median (the same rank-n/2 order statistic a full nth_element
+  // selects) incrementally: O(log n) per completion instead of copying and
+  // selecting over the whole sample — O(n^2) per stage — every time.
+  auto durations = std::make_shared<RunningMedian>();
   auto launch = std::make_shared<std::function<void(std::size_t)>>();
 
   *launch = [this, states, remaining, durations, launch, stage_id, rng_stage,
@@ -205,7 +267,7 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
           opts.partitions != nullptr ? (*opts.partitions)[i] : i;
       metrics.total_cost += cost;
       lifetime_cost_ += cost;
-      durations->push_back((sim.now() - st.launched).sec());
+      durations->push((sim.now() - st.launched).sec());
       --*remaining;
       if (st.spec_attempt >= 0 && attempt == st.spec_attempt)
         fault.on_speculative_win(stage_id, p, attempt);
@@ -220,10 +282,7 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
           std::ceil(policy.speculation_min_fraction *
                     static_cast<double>(num_tasks)));
       if (completed < quorum) return;
-      std::vector<double> sorted = *durations;
-      std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
-                       sorted.end());
-      const double median = sorted[sorted.size() / 2];
+      const double median = durations->upper_median();
       for (std::size_t j = 0; j < states->size(); ++j) {
         TaskState& other = (*states)[j];
         if (other.done || other.speculated || other.attempts == 0) continue;
@@ -297,8 +356,8 @@ JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
   metrics.start = sc_.now();
 
   std::vector<std::shared_ptr<ShuffleDependencyBase>> shuffle_order;
-  std::vector<int> seen_rdds;
-  std::vector<int> seen_shuffles;
+  std::unordered_set<int> seen_rdds;
+  std::unordered_set<int> seen_shuffles;
   collect_shuffles(*final_rdd, shuffle_order, seen_rdds, seen_shuffles);
 
   const bool fault_mode = sc_.fault() != nullptr;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/units.hpp"
@@ -90,11 +91,13 @@ class DAGScheduler {
   using TaskFn = std::function<void(std::size_t, TaskContext&)>;
 
   /// Depth-first lineage walk collecting unexecuted shuffle dependencies,
-  /// parents before children.
+  /// parents before children. The seen-sets make the walk O(1) per lineage
+  /// node — iterative workloads (pagerank) build deep, wide DAGs.
   void collect_shuffles(
       const RddBase& rdd,
       std::vector<std::shared_ptr<ShuffleDependencyBase>>& order,
-      std::vector<int>& seen_rdds, std::vector<int>& seen_shuffles) const;
+      std::unordered_set<int>& seen_rdds,
+      std::unordered_set<int>& seen_shuffles) const;
 
   /// Runs one barrier stage of `num_tasks` tasks and returns its record.
   StageRecord run_stage(const std::string& label, std::size_t num_tasks,
@@ -107,6 +110,15 @@ class DAGScheduler {
   void run_tasks_with_recovery(const StageRecord& record,
                                std::size_t num_tasks, const TaskFn& task,
                                JobMetrics& metrics, const StageOptions& opts);
+
+  /// Parallel data plane (DESIGN.md §11): evaluates every task host
+  /// function of the stage on the context's thread pool with side effects
+  /// buffered per task, then commits the buffers — and feeds the
+  /// pre-computed TaskCosts into the simulator — through the exact
+  /// submission sequence the serial path uses. Fault-free stages only;
+  /// bit-identical to the serial branch of run_stage.
+  void run_tasks_parallel(const StageRecord& record, std::size_t num_tasks,
+                          const TaskFn& task, JobMetrics& metrics);
 
   /// Advances virtual time by `d` (framework overhead with no resource use).
   void advance(Duration d);

@@ -1,6 +1,10 @@
 #include "spark/shuffle.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "core/error.hpp"
+#include "spark/task_effects.hpp"
 
 namespace tsx::spark {
 
@@ -36,6 +40,17 @@ void ShuffleStore::put_bucket(int shuffle, std::size_t map_part,
   Shuffle& s = shuffle_at(shuffle);
   TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
             "bucket coordinates out of range");
+  if (TaskEffects* fx = TaskEffects::current()) {
+    // Parallel evaluation: stage the bucket per map task and deposit it at
+    // commit. Reducers only read across the stage barrier, so no task ever
+    // needs to see an uncommitted bucket.
+    auto shared = std::make_shared<std::any>(std::move(records));
+    fx->defer([this, shuffle, map_part, reduce_part, shared, size, owner] {
+      put_bucket(shuffle, map_part, reduce_part, std::move(*shared), size,
+                 owner);
+    });
+    return;
+  }
   const std::size_t idx = map_part * s.reduces + reduce_part;
   if (s.cells[idx].has_value()) {
     // Only recovery reruns and speculative duplicates legitimately rewrite
@@ -63,10 +78,21 @@ const std::any& ShuffleStore::bucket(int shuffle, std::size_t map_part,
   TSX_CHECK(map_part < s.maps && reduce_part < s.reduces,
             "bucket coordinates out of range");
   const std::size_t idx = map_part * s.reduces + reduce_part;
-  if (tiering_ != nullptr && s.sizes[idx].b() > 0.0)
-    tiering_->on_region_access(StreamClass::kShuffle,
-                               shuffle_region(shuffle, map_part),
-                               s.sizes[idx], mem::AccessKind::kRead);
+  if (tiering_ != nullptr && s.sizes[idx].b() > 0.0) {
+    if (TaskEffects* fx = TaskEffects::current()) {
+      // The bucket data is safe to read concurrently (written before the
+      // stage barrier), but the hotness bump must land in commit order.
+      fx->defer([this, shuffle, map_part, size = s.sizes[idx]] {
+        tiering_->on_region_access(StreamClass::kShuffle,
+                                   shuffle_region(shuffle, map_part), size,
+                                   mem::AccessKind::kRead);
+      });
+    } else {
+      tiering_->on_region_access(StreamClass::kShuffle,
+                                 shuffle_region(shuffle, map_part),
+                                 s.sizes[idx], mem::AccessKind::kRead);
+    }
+  }
   return s.cells[idx];
 }
 

@@ -16,6 +16,12 @@
 // of the paper's nominal dataset and charge costs scaled up by
 // nominal/sample, so large-scale runs simulate faithfully without hosting
 // gigabytes (documented in DESIGN.md §3 and EXPERIMENTS.md).
+//
+// A TaskContext is strictly thread-confined: it is created by (and its rng
+// stream derived from) the (job seed, stage, partition) triple, lives on
+// whichever thread evaluates the task — a pool worker under the parallel
+// data plane (DESIGN.md §11) — and is never shared, so charging needs no
+// synchronization in either execution mode.
 #pragma once
 
 #include <array>

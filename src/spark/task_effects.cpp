@@ -1,0 +1,17 @@
+#include "spark/task_effects.hpp"
+
+namespace tsx::spark {
+
+namespace {
+thread_local TaskEffects* g_current = nullptr;
+}  // namespace
+
+TaskEffects* TaskEffects::current() { return g_current; }
+
+TaskEffects::Scope::Scope(TaskEffects* effects) : prev_(g_current) {
+  g_current = effects;
+}
+
+TaskEffects::Scope::~Scope() { g_current = prev_; }
+
+}  // namespace tsx::spark

@@ -1,0 +1,98 @@
+// Per-task side-effect buffer for the parallel data plane.
+//
+// When the scheduler evaluates a stage's host functions concurrently
+// (DESIGN.md §11), tasks must not touch shared engine state: the shuffle
+// store, the block manager, accumulators and the tiering observer all keep
+// order-sensitive bookkeeping (LRU lists, hit/miss counters, hotness
+// decay, floating-point sums) whose low bits encode mutation order. Each
+// task therefore records its writes into a TaskEffects buffer — an ordered
+// list of deferred operations — while its reads see the stage-start
+// snapshot plus its own buffered writes (the block overlay). The commit
+// phase replays every buffer through the real components at the same
+// simulated instant, in the same order, as serial execution would have
+// produced, so every counter, trace and double is bit-identical.
+//
+// The buffer is installed per worker thread via TaskEffects::Scope;
+// components consult TaskEffects::current() — a thread_local — and fall
+// back to the direct (serial) path when none is installed. The driver
+// thread never installs one, so serial and fault-mode execution run the
+// pre-parallel code byte for byte.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/units.hpp"
+#include "spark/block_manager.hpp"
+
+namespace tsx::spark {
+
+class TaskEffects {
+ public:
+  /// The buffer installed on the calling thread, or nullptr when execution
+  /// is direct (serial driver, fault mode, commit replay).
+  static TaskEffects* current();
+
+  /// RAII installation of a buffer on the current thread (restores the
+  /// previous one on destruction, so scopes nest).
+  class Scope {
+   public:
+    explicit Scope(TaskEffects* effects);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TaskEffects* prev_;
+  };
+
+  /// Appends one deferred mutation. Ops replay in defer order at commit —
+  /// the order the serial engine would have applied them within this task.
+  void defer(std::function<void()> op) { ops_.push_back(std::move(op)); }
+
+  /// Records a block this task cached, so its own later reads hit it
+  /// (diamond lineages recompute a cached parent twice within one task).
+  void put_block(const BlockKey& key, std::shared_ptr<std::any> data,
+                 Bytes size) {
+    overlay_[key] = Overlay{std::move(data), size};
+  }
+
+  /// The task's own buffered block, or nullptr if it never cached `key`.
+  const std::any* find_block(const BlockKey& key) const {
+    const auto it = overlay_.find(key);
+    return it == overlay_.end() ? nullptr : it->second.data.get();
+  }
+  bool has_block(const BlockKey& key) const {
+    return overlay_.count(key) > 0;
+  }
+  /// Size of the task's own buffered block; requires has_block(key).
+  Bytes block_size(const BlockKey& key) const {
+    return overlay_.at(key).size;
+  }
+
+  std::size_t op_count() const { return ops_.size(); }
+
+  /// Replays the deferred mutations in order against the real components.
+  /// Runs on the driver thread with no buffer installed, so each op takes
+  /// the direct path. Idempotence is not required: commit runs once.
+  void commit() {
+    for (const auto& op : ops_) op();
+    ops_.clear();
+    overlay_.clear();
+  }
+
+ private:
+  struct Overlay {
+    std::shared_ptr<std::any> data;
+    Bytes size;
+  };
+
+  std::vector<std::function<void()>> ops_;
+  std::map<BlockKey, Overlay> overlay_;
+};
+
+}  // namespace tsx::spark

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "core/error.hpp"
+#include "core/thread_budget.hpp"
 #include "core/strings.hpp"
 #include "dfs/dfs.hpp"
 #include "mem/background_load.hpp"
@@ -183,6 +185,17 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
   conf.shuffle_bind = config.shuffle_tier;
   conf.cache_bind = config.cache_tier;
   conf.zero_copy_shuffle = config.zero_copy_shuffle;
+
+  // TSX_TASK_THREADS enables the intra-run parallel data plane (DESIGN.md
+  // §11). Deliberately NOT part of RunConfig: results are bit-identical for
+  // every thread count, so the knob must never reach the stable hash or the
+  // ResultCache key. The budget clamp keeps nested sweep x task parallelism
+  // from oversubscribing; with no sweep active the request is honored as
+  // given.
+  if (const char* env = std::getenv("TSX_TASK_THREADS")) {
+    const int want = std::atoi(env);
+    if (want > 1) conf.intra_run_threads = ThreadBudget::global().grant_inner(want);
+  }
 
   spark::SparkContext sc(machine, dfs, conf, config.seed);
 
