@@ -9,9 +9,11 @@
 // and make the comparison vacuous).
 //
 // Part 2 measures what the plane buys: wall-clock per workload, serial vs
-// 2/4/8 evaluation threads, on the paper's small scale. Results land in
-// BENCH_perf.json in the working directory so CI can archive the trajectory
-// as an artifact. Speedups are hardware-dependent (a 1-core container shows
+// 2/4/8 evaluation threads, on the paper's small scale. Each run APPENDS an
+// entry to the history array in BENCH_perf.json in the working directory,
+// so successive CI runs accumulate the repo's perf trajectory instead of
+// overwriting it (a pre-history single-object file is absorbed as the
+// oldest entry). Speedups are hardware-dependent (a 1-core container shows
 // none); the gate above is what guarantees they are free of simulation
 // drift.
 //
@@ -41,6 +43,39 @@ void set_task_threads(int threads) {
   } else {
     setenv("TSX_TASK_THREADS", std::to_string(threads).c_str(), 1);
   }
+}
+
+/// The JSON texts of the history entries already recorded in `path`, ready
+/// to splice back into a new history array. A pre-history file (one bare
+/// `{"bench": "perf", ..., "workloads": [...]}` object) is wrapped whole as
+/// the oldest entry. Empty when the file is absent or unrecognizable.
+std::string prior_history_entries(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) text.append(buf, n);
+  std::fclose(in);
+
+  const auto trim = [](std::string s) {
+    const std::size_t a = s.find_first_not_of(" \t\r\n");
+    if (a == std::string::npos) return std::string();
+    return s.substr(a, s.find_last_not_of(" \t\r\n") - a + 1);
+  };
+  const std::size_t history = text.find("\"history\"");
+  if (history != std::string::npos) {
+    // The history array is the file's outermost array: its '[' is the
+    // first after the key and its ']' the last in the file.
+    const std::size_t open = text.find('[', history);
+    const std::size_t close = text.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open)
+      return "";
+    return trim(text.substr(open + 1, close - open - 1));
+  }
+  if (text.find("\"workloads\"") != std::string::npos) return trim(text);
+  return "";
 }
 
 double wall_seconds(const RunConfig& cfg, int repeats) {
@@ -102,9 +137,9 @@ int main() {
 
   TablePrinter table({"app", "serial (s)", "2t (s)", "4t (s)", "8t (s)",
                       "speedup@8"});
-  std::string json = "{\n  \"bench\": \"perf\",\n  \"scale\": \"" +
-                     to_string(scale) + "\",\n  \"repeats\": " +
-                     std::to_string(repeats) + ",\n  \"workloads\": [\n";
+  std::string entry = "    {\n      \"scale\": \"" + to_string(scale) +
+                      "\",\n      \"repeats\": " + std::to_string(repeats) +
+                      ",\n      \"workloads\": [\n";
   bool first_row = true;
   for (const App app : kAllApps) {
     RunConfig cfg;
@@ -125,16 +160,22 @@ int main() {
                    TablePrinter::num(parallel[1], 3),
                    TablePrinter::num(parallel[2], 3),
                    TablePrinter::num(speedup8, 2) + "x"});
-    if (!first_row) json += ",\n";
+    if (!first_row) entry += ",\n";
     first_row = false;
-    json += strfmt(
-        "    {\"app\": \"%s\", \"serial_s\": %.6f, \"threads_2_s\": %.6f, "
-        "\"threads_4_s\": %.6f, \"threads_8_s\": %.6f, \"speedup_8\": %.4f}",
+    entry += strfmt(
+        "        {\"app\": \"%s\", \"serial_s\": %.6f, \"threads_2_s\": "
+        "%.6f, \"threads_4_s\": %.6f, \"threads_8_s\": %.6f, "
+        "\"speedup_8\": %.4f}",
         to_string(app).c_str(), serial, parallel[0], parallel[1], parallel[2],
         speedup8);
   }
-  json += "\n  ]\n}\n";
+  entry += "\n      ]\n    }";
   table.print(std::cout);
+
+  const std::string prior = prior_history_entries("BENCH_perf.json");
+  std::string json = "{\n  \"bench\": \"perf\",\n  \"history\": [\n";
+  if (!prior.empty()) json += "    " + prior + ",\n";
+  json += entry + "\n  ]\n}\n";
 
   std::FILE* out = std::fopen("BENCH_perf.json", "w");
   if (out == nullptr) {
@@ -143,6 +184,11 @@ int main() {
   }
   std::fputs(json.c_str(), out);
   std::fclose(out);
-  std::printf("\nwrote BENCH_perf.json\n");
+  std::size_t entries = 0;
+  for (std::size_t at = json.find("\"workloads\""); at != std::string::npos;
+       at = json.find("\"workloads\"", at + 1))
+    ++entries;
+  std::printf("\nBENCH_perf.json history now holds %zu run%s\n", entries,
+              entries == 1 ? "" : "s");
   return 0;
 }

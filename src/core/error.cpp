@@ -2,6 +2,23 @@
 
 #include <sstream>
 
+namespace tsx {
+
+std::string to_string(const Diagnostic& d) {
+  return d.field + ": " + d.message;
+}
+
+Error diagnostics_error(const std::string& context,
+                        const std::vector<Diagnostic>& issues) {
+  std::ostringstream os;
+  os << context << ":";
+  for (std::size_t i = 0; i < issues.size(); ++i)
+    os << (i == 0 ? " " : "; ") << to_string(issues[i]);
+  return Error(os.str());
+}
+
+}  // namespace tsx
+
 namespace tsx::detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

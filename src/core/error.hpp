@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace tsx {
 
@@ -16,6 +17,25 @@ class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// One structured validation finding: which knob is bad and why. Config
+/// validators (RunConfig::validate and the per-subsystem validators it
+/// aggregates) return lists of these so callers can reject with itemized
+/// reasons instead of failing on the first bad field.
+struct Diagnostic {
+  std::string field;    ///< dotted knob path, e.g. "tiering.epoch_ms"
+  std::string message;  ///< what is wrong and what would be acceptable
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// "field: message".
+std::string to_string(const Diagnostic& d);
+
+/// Folds a non-empty diagnostic list into one Error: "context: field:
+/// message; field: message; ...".
+Error diagnostics_error(const std::string& context,
+                        const std::vector<Diagnostic>& issues);
 
 namespace detail {
 /// Builds the exception message and throws. Out-of-line so the macro below

@@ -23,10 +23,10 @@ Controller::Controller(spark::SparkContext& sc, FaultConfig config)
       clock_(sc.machine().simulator()) {
   TSX_CHECK(config_.enabled, "constructing a controller from a disabled "
                              "FaultConfig");
-  TSX_CHECK(config_.max_task_attempts >= 1, "need at least one task attempt");
-  TSX_CHECK(config_.bw_collapse_factor > 0.0 &&
-                config_.bw_collapse_factor <= 1.0,
-            "bandwidth collapse factor must be in (0, 1]");
+  // Structured knob validation replaces the old per-field ad-hoc checks;
+  // the same validator runs at runner entry and service admission.
+  if (const auto issues = config_.validate(); !issues.empty())
+    throw diagnostics_error("invalid FaultConfig", issues);
   policy_.max_task_attempts = config_.max_task_attempts;
   policy_.backoff_base = Duration::millis(config_.backoff_base_ms);
   policy_.backoff_cap = Duration::millis(config_.backoff_cap_ms);

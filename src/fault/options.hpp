@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "core/error.hpp"
 #include "core/units.hpp"
 
 namespace tsx::fault {
@@ -74,6 +76,11 @@ struct FaultConfig {
   bool speculation = true;
   double speculation_multiplier = 1.5;
   double speculation_min_fraction = 0.75;
+
+  /// Structured range and conflict checks over every knob (meaningful when
+  /// `enabled`). Empty means valid. Aggregated by RunConfig::validate (with
+  /// a "fault." field prefix) and enforced by the controller constructor.
+  std::vector<Diagnostic> validate() const;
 
   friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };

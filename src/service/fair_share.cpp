@@ -1,0 +1,42 @@
+#include "service/fair_share.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace tsx::service {
+
+std::map<std::string, double> fair_shares(const std::vector<ShareInput>& in) {
+  std::map<std::string, double> shares;
+  // Pool weight table and the active-weight sums at both tree levels.
+  std::map<std::string, double> pool_weight;
+  std::map<std::string, double> pool_active_tenant_weight;
+  for (const ShareInput& t : in) {
+    TSX_CHECK(t.tenant_weight > 0.0, "tenant weight must be positive");
+    TSX_CHECK(t.pool_weight > 0.0, "pool weight must be positive");
+    shares[t.tenant] = 0.0;
+    pool_weight[t.pool] = t.pool_weight;
+    if (t.active) pool_active_tenant_weight[t.pool] += t.tenant_weight;
+  }
+  double active_pool_weight = 0.0;
+  for (const auto& [pool, tenant_weight] : pool_active_tenant_weight) {
+    (void)tenant_weight;
+    active_pool_weight += pool_weight.at(pool);
+  }
+  if (active_pool_weight <= 0.0) return shares;  // nobody active
+  for (const ShareInput& t : in) {
+    if (!t.active) continue;
+    const double pool_share = pool_weight.at(t.pool) / active_pool_weight;
+    const double within_pool =
+        t.tenant_weight / pool_active_tenant_weight.at(t.pool);
+    shares[t.tenant] = pool_share * within_pool;
+  }
+  return shares;
+}
+
+double usage_ratio(const ResourceFractions& usage, double share) {
+  if (share <= 0.0) return std::numeric_limits<double>::infinity();
+  return usage.dominant() / share;
+}
+
+}  // namespace tsx::service

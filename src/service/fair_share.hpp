@@ -1,0 +1,53 @@
+// Hierarchical weighted fair-share arithmetic.
+//
+// The scheduler's policy core, factored out as pure functions so the
+// fairness invariants are testable without running a single simulation.
+// The model follows the ytsaurus fair-share tree in miniature: tenants
+// hang under weighted pools, a pool's share of the machine is its weight
+// over the active pools' weights, and a tenant's share is its weight over
+// the active tenants of its pool — so shares always sum to 1 across the
+// active set and an idle tenant's entitlement flows to its siblings first.
+//
+// Scheduling order derives from the usage ratio u(t) / s(t): cumulative
+// normalized service over entitled share. The tenant with the smallest
+// ratio is the most underserved and schedules first; a tenant whose ratio
+// exceeds 1 is over quota and is the one preemption taxes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsx::service {
+
+/// One tenant's position in the share tree plus whether it currently has
+/// demand (queued or running work). Inactive tenants get share 0.
+struct ShareInput {
+  std::string tenant;
+  std::string pool;
+  double tenant_weight = 1.0;
+  double pool_weight = 1.0;
+  bool active = true;
+};
+
+/// Weighted hierarchical fair shares: pool weight over active pools, times
+/// tenant weight over the pool's active tenants. Sums to 1 over the active
+/// set (empty active set: all zero). Weights must be positive.
+std::map<std::string, double> fair_shares(const std::vector<ShareInput>& in);
+
+/// A tenant's consumption (or allocation) of the machine's two arbitrated
+/// resources, normalized to capacity fractions. `dominant` follows DRF:
+/// the binding resource defines the tenant's load on the machine.
+struct ResourceFractions {
+  double cores = 0.0;
+  double bytes = 0.0;
+
+  double dominant() const { return cores > bytes ? cores : bytes; }
+};
+
+/// Usage ratio: dominant normalized usage over fair share. Underserved
+/// tenants have small ratios; > 1 means over quota. A zero share (inactive
+/// tenant) yields +infinity so it never wins a scheduling comparison.
+double usage_ratio(const ResourceFractions& usage, double share);
+
+}  // namespace tsx::service

@@ -1,0 +1,254 @@
+// Multi-tenant service layer: many concurrent applications, one machine.
+//
+// Everything below tsx::service runs ONE application at a time against the
+// whole testbed; the paper's colocation observations (Sec. V's noisy
+// neighbors, the background_load_gbps knob) were previously only reachable
+// by hand-crafting interference into individual configs. The Service closes
+// that gap: tenants submit jobs against one shared machine model, and a
+// deterministic virtual-time scheduler arbitrates the two resources the
+// paper shows matter — executor cores per socket and bytes of the bound
+// memory tier — using hierarchical weighted fair share with preemption
+// (ArbitrationMode::kFairShare) or plain FIFO for contrast.
+//
+// Execution model: each admitted job still runs through
+// workloads::run_workload in its own isolated simulator; the service layer
+// decides *when* it starts, *how wide* it runs (executor/core shaping when
+// the fair grant is below demand), *how much* of its bound tier it may
+// cache into (fast-capacity clamping for dynamic-tiering jobs), and *how
+// noisy* the channel is (co-runners on the same memory node contribute
+// per_core_stream_gbps per granted core of background load, frozen at the
+// job's start). A single-tenant service therefore grants full demand,
+// shapes nothing, and reproduces the direct run_workload result
+// byte-for-byte — the identity bench_ext_tenancy gates on.
+//
+// Determinism: the drain loop is a pure function of (ServiceConfig, pools,
+// tenants, jobs). Ties break on ids and names, time advances only to event
+// timestamps, and no wall clock or global RNG is consulted; replaying the
+// same submission mix yields a byte-identical report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "mem/tier.hpp"
+#include "runner/result_cache.hpp"
+#include "service/fair_share.hpp"
+#include "workloads/runner.hpp"
+
+namespace tsx::service {
+
+/// How the scheduler orders and admits queued jobs.
+enum class ArbitrationMode {
+  /// Hierarchical weighted fair share: most-underserved tenant first,
+  /// over-quota tenants preemptible. Work-conserving and starvation-free.
+  kFairShare,
+  /// Strict arrival order with head-of-line blocking and no preemption —
+  /// the contrast baseline for the noisy-neighbor drill.
+  kFifo,
+};
+
+std::string to_string(ArbitrationMode mode);
+
+/// A weighted scheduling pool; tenants hang under pools (see fair_share.hpp).
+struct PoolSpec {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct TenantSpec {
+  std::string name;
+  std::string pool = "default";  ///< auto-created with weight 1 if unknown
+  double weight = 1.0;
+};
+
+struct ServiceConfig {
+  /// Recorded in the report and used by harnesses to derive job mixes; the
+  /// scheduler itself is RNG-free, so this fully names a drain outcome.
+  std::uint64_t seed = 42;
+  /// Every submitted job must target this machine variant.
+  workloads::MachineVariant machine = workloads::MachineVariant::kDramNvm;
+  ArbitrationMode mode = ArbitrationMode::kFairShare;
+  /// Background load a co-running job exerts on its bound memory node, per
+  /// granted core (GB/s). The Sec. V interference coupling.
+  double per_core_stream_gbps = 0.25;
+  /// After this many preemptions a job becomes non-preemptible — the
+  /// starvation-freedom bound.
+  int max_preemptions_per_job = 2;
+  /// Per-run wall-clock budget passed to run_workload (0 = none); a blown
+  /// budget yields a failed RunResult, not a dead service.
+  double run_wall_budget_s = 0.0;
+  /// Optional memoization: identical shaped configs (including replays and
+  /// preempted-then-rerun jobs) skip the simulation.
+  runner::ResultCache* cache = nullptr;
+};
+
+/// One submitted application run.
+struct JobSpec {
+  workloads::RunConfig config;
+  double submit_at_s = 0.0;
+  /// Bytes of the bound tier the job wants reserved. Zero means "derive
+  /// from the deployment": executors x the 16 GiB SparkConf heap default.
+  Bytes memory_demand = Bytes::zero();
+  bool preemptible = true;
+};
+
+/// What the arbiter actually reserved for a running job.
+struct ResourceGrant {
+  int cores = 0;  ///< hardware threads on the job's socket
+  Bytes bytes;    ///< reservation on the job's bound memory node
+};
+
+enum class JobState { kQueued, kRunning, kDone };
+
+std::string to_string(JobState state);
+
+/// Full per-job audit trail: what was asked, what was granted, what ran.
+struct JobOutcome {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  ResourceGrant grant;              ///< of the final (completed) start
+  workloads::RunConfig executed;    ///< spec.config after shaping
+  workloads::RunResult result;
+  bool shaped = false;              ///< executed differs from spec.config
+  double background_gbps = 0.0;     ///< co-runner interference at start
+  double submitted_s = 0.0;
+  double started_s = 0.0;           ///< final start (post any preemption)
+  double finished_s = 0.0;
+  double queue_wait_s = 0.0;        ///< total time spent queued
+  int preemptions = 0;
+  double wasted_s = 0.0;            ///< run time thrown away by preemption
+};
+
+/// Per-tenant resource and cost accounting over one drain.
+struct TenantUsage {
+  double core_seconds = 0.0;        ///< granted cores x occupancy
+  double gib_seconds = 0.0;         ///< granted tier GiB x occupancy
+  double wasted_core_seconds = 0.0; ///< itemized preemption waste
+  double exec_seconds = 0.0;        ///< sum of completed run times
+  double queue_wait_seconds = 0.0;
+  double migration_seconds = 0.0;   ///< tiering engine time, summed
+  Bytes bytes_migrated;             ///< promoted + demoted
+  Energy energy;                    ///< whole-machine energy of the runs
+  std::uint64_t retries = 0;        ///< fault-plane recovery work
+  std::uint64_t recomputed_tasks = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t preemptions = 0;
+  int peak_cores = 0;               ///< max concurrently granted
+  double peak_gib = 0.0;
+};
+
+struct ServiceReport {
+  std::uint64_t seed = 0;
+  ArbitrationMode mode = ArbitrationMode::kFairShare;
+  workloads::MachineVariant machine = workloads::MachineVariant::kDramNvm;
+  double makespan_s = 0.0;
+  std::uint64_t scheduling_rounds = 0;
+  std::uint64_t preemptions = 0;
+  std::vector<JobOutcome> jobs;  ///< in job-id order
+  /// Tenant name -> usage, in name order.
+  std::vector<std::pair<std::string, TenantUsage>> tenants;
+};
+
+/// Deterministic single-line JSON rendering of a report (job results are
+/// summarized by config hash + headline metrics, not embedded wholesale).
+/// Byte-identical across replays of the same mix — the replay-test anchor.
+std::string to_json(const ServiceReport& report);
+
+/// Admission verdict: either a job id, or the itemized reasons the job can
+/// never run on this service (unknown tenant, invalid config, demand
+/// exceeding the bound node's capacity, machine-variant mismatch).
+struct SubmitResult {
+  bool admitted = false;
+  std::uint64_t job_id = 0;  ///< valid iff admitted
+  std::vector<Diagnostic> issues;
+};
+
+/// The multi-tenant front door. Typical use:
+///
+///   Service svc({.seed = 7});
+///   svc.add_tenant({.name = "etl", .weight = 2.0})
+///      .add_tenant({.name = "adhoc"});
+///   svc.submit("etl", {.config = cfg});
+///   ServiceReport report = svc.drain();
+///
+/// Not thread-safe; one drain per Service instance.
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+
+  Service& add_pool(const PoolSpec& pool);
+  /// Registers a tenant; its pool is auto-created (weight 1) if new.
+  Service& add_tenant(const TenantSpec& tenant);
+
+  /// Admission control: validates the config (RunConfig::validate), checks
+  /// the machine variant, and rejects demands no grant could ever satisfy.
+  /// Admitted jobs queue until the arbiter starts them.
+  SubmitResult submit(const std::string& tenant, JobSpec spec);
+
+  /// Runs the virtual-time event loop to completion: admits arrivals,
+  /// schedules/preempts per the arbitration mode, executes every started
+  /// job through run_workload, and returns the full audit report.
+  /// Callable once.
+  ServiceReport drain();
+
+  const ServiceConfig& config() const { return config_; }
+  const mem::TopologySpec& topology() const { return topo_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string tenant;
+    JobSpec spec;
+    int charge_cores = 0;      ///< socket-clamped core demand
+    Bytes demand_bytes;        ///< effective bound-node byte demand
+    mem::SocketId socket = 0;
+    mem::NodeId node = 0;      ///< bound tier's memory node
+    double enqueued_s = 0.0;   ///< last time the job entered the queue
+    JobOutcome out;
+  };
+  struct Running {
+    std::size_t job = 0;  ///< index into jobs_
+    ResourceGrant grant;
+    double started_s = 0.0;
+    double finish_s = 0.0;
+  };
+
+  ResourceGrant need_for(const Job& job, double share) const;
+  bool fits(const Job& job, const ResourceGrant& need) const;
+  std::map<std::string, double> shares_now() const;
+  ResourceFractions usage_of(const std::string& tenant, double now) const;
+  ResourceFractions allocation_of(const std::string& tenant) const;
+  void try_schedule(double now);
+  bool try_preempt_for(const Job& job, const ResourceGrant& need,
+                       const std::map<std::string, double>& shares,
+                       double now);
+  void preempt(std::size_t running_index, double now);
+  void start(std::size_t job_index, double now);
+  void complete(std::size_t running_index);
+  workloads::RunResult execute(const workloads::RunConfig& config);
+
+  ServiceConfig config_;
+  mem::TopologySpec topo_;
+  std::map<std::string, double> pools_;        ///< name -> weight
+  std::map<std::string, TenantSpec> tenants_;
+  std::map<std::string, TenantUsage> usage_;
+  std::vector<Job> jobs_;
+  std::vector<std::size_t> queued_;  ///< job indices, (submit, id) order
+  std::vector<Running> running_;
+  std::vector<int> free_cores_;      ///< per socket
+  std::vector<Bytes> free_bytes_;    ///< per memory node
+  int total_cores_ = 0;
+  Bytes total_bytes_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t preemptions_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace tsx::service

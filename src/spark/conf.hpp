@@ -12,11 +12,16 @@
 
 #include "core/config.hpp"
 #include "mem/tier.hpp"
+#include "spark/placement.hpp"
 #include "spark/task.hpp"
 
 namespace tsx::spark {
 
-struct SparkConf {
+/// SparkConf embeds PlacementSpec as a base so the placement knobs are one
+/// value (`conf.placement()`) while the historical field spellings
+/// (`conf.mem_bind` / `shuffle_bind` / `cache_bind`) and `conf.tier_for`
+/// keep compiling unchanged at every pre-spec call site.
+struct SparkConf : PlacementSpec {
   /// Number of executor processes (paper: 1..8 in Fig. 4).
   int executor_instances = 1;
   /// Cores (hardware threads) per executor (paper: 5..40).
@@ -24,23 +29,13 @@ struct SparkConf {
 
   /// numactl --cpunodebind: socket whose cores every executor binds to.
   mem::SocketId cpu_node_bind = 1;
-  /// numactl --membind: memory tier executors allocate from.
-  mem::TierId mem_bind = mem::TierId::kTier0;
 
-  /// Per-access-type placement (the Sec. IV-G exploration): shuffle buffers
-  /// and cached blocks can be bound to tiers different from the heap.
-  /// Unset means "follow mem_bind" (plain numactl behaviour).
-  std::optional<mem::TierId> shuffle_bind;
-  std::optional<mem::TierId> cache_bind;
-
-  /// Resolved tier for a stream class.
-  mem::TierId tier_for(StreamClass cls) const {
-    switch (cls) {
-      case StreamClass::kShuffle: return shuffle_bind.value_or(mem_bind);
-      case StreamClass::kCache: return cache_bind.value_or(mem_bind);
-      case StreamClass::kHeap: break;
-    }
-    return mem_bind;
+  /// The placement knobs as one value.
+  PlacementSpec& placement() { return *this; }
+  const PlacementSpec& placement() const { return *this; }
+  SparkConf& set_placement(const PlacementSpec& spec) {
+    placement() = spec;
+    return *this;
   }
 
   /// Zero-copy shuffle over a unified memory space (Sec. IV-G's "avoid

@@ -18,6 +18,7 @@
 #include "spark/conf.hpp"
 #include "spark/cost_model.hpp"
 #include "spark/executor.hpp"
+#include "spark/runtime_hooks.hpp"
 #include "spark/scheduler.hpp"
 #include "spark/shuffle.hpp"
 #include "spark/tiering_hooks.hpp"
@@ -60,20 +61,23 @@ class SparkContext {
   /// evaluate/commit execution — bit-identical to serial, just faster.
   ThreadPool* task_pool();
 
-  /// Attaches (or, with nullptr, detaches) a tiering observer on every
-  /// component with migratable regions: the block manager, the shuffle
-  /// store and the executors. Without a call, the engine runs the static
-  /// numactl-style placement bit for bit.
-  void set_tiering(TieringHooks* hooks);
-  TieringHooks* tiering() const { return tiering_; }
+  /// Installs an observer bundle on every component that participates in
+  /// either plane: the block manager, the shuffle store and the executors
+  /// (tiering: region lifecycle + traffic splits), plus the executors,
+  /// shuffle store and scheduler (fault: crash/straggle/reroute, lineage
+  /// recovery, retries, speculation). The single registration seam layers
+  /// above the engine (tsx::service) go through; a default-constructed
+  /// bundle — the null-object default — runs the static, fault-free path
+  /// bit for bit.
+  void install(const RuntimeHooks& hooks);
+  const RuntimeHooks& hooks() const { return hooks_; }
 
-  /// Attaches (or, with nullptr, detaches) a fault observer on every
-  /// component that participates in injection and recovery: the executors
-  /// (crash/straggle/reroute), the shuffle store (lineage recovery) and the
-  /// scheduler (retries, speculation). Without a call, the engine runs the
-  /// pre-fault path bit for bit.
+  /// Thin legacy wrappers over `install`, kept for per-plane callers
+  /// (tiering::Engine / fault::Controller rebind only their own slot).
+  void set_tiering(TieringHooks* hooks);
+  TieringHooks* tiering() const { return hooks_.tiering; }
   void set_fault(FaultHooks* hooks);
-  FaultHooks* fault() const { return fault_; }
+  FaultHooks* fault() const { return hooks_.fault; }
 
   /// The memory tier executors are bound to, resolved from the canonical
   /// compute socket.
@@ -91,8 +95,7 @@ class SparkContext {
   std::uint64_t seed_;
   double cost_multiplier_ = 1.0;
   int next_rdd_id_ = 0;
-  TieringHooks* tiering_ = nullptr;
-  FaultHooks* fault_ = nullptr;
+  RuntimeHooks hooks_;
 
   mem::TieredAllocator allocator_;
   ShuffleStore shuffle_store_;

@@ -1,0 +1,33 @@
+// RuntimeHooks: the engine's observer planes as one registration bundle.
+//
+// The Spark engine exposes two observer seams — page-migration policy
+// (TieringHooks, implemented by tiering::Engine) and fault injection +
+// recovery (FaultHooks, implemented by fault::Controller). They used to be
+// installed through two independent setters; RuntimeHooks bundles both
+// pointers into one value so a layer that provisions engines per tenant
+// (tsx::service) installs everything through a single seam,
+// SparkContext::install().
+//
+// The null-object default (both pointers null) is the contract that keeps
+// fault-free / static-placement runs bit-identical to the pre-hooks engine:
+// installing a default-constructed bundle is exactly the pre-hooks code
+// path — no retry bookkeeping, no migration accounting, no extra events.
+#pragma once
+
+#include "spark/fault_hooks.hpp"
+#include "spark/tiering_hooks.hpp"
+
+namespace tsx::spark {
+
+struct RuntimeHooks {
+  TieringHooks* tiering = nullptr;
+  FaultHooks* fault = nullptr;
+
+  /// True when installing this bundle changes nothing about a run — the
+  /// null-object default.
+  bool empty() const { return tiering == nullptr && fault == nullptr; }
+
+  friend bool operator==(const RuntimeHooks&, const RuntimeHooks&) = default;
+};
+
+}  // namespace tsx::spark

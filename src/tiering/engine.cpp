@@ -17,7 +17,10 @@ Engine::Engine(spark::SparkContext& sc, TieringConfig config)
       policy_(make_policy(config.policy)),
       cost_model_(sc.machine(), sc.conf().cpu_node_bind,
                   config.migration_mlp) {
-  TSX_CHECK(config.epoch_ms > 0.0, "epoch_ms must be positive");
+  // Structured knob validation replaces the old ad-hoc epoch check; the
+  // same validator runs at runner entry and service admission.
+  if (const auto issues = config.validate(); !issues.empty())
+    throw diagnostics_error("invalid TieringConfig", issues);
   trace_.set_capacity(kTraceCapacity);
 }
 

@@ -10,7 +10,9 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/error.hpp"
 #include "core/units.hpp"
 
 namespace tsx::tiering {
@@ -75,6 +77,11 @@ struct TieringConfig {
 
   /// Memory-level parallelism of the migration copy engine.
   double migration_mlp = 8.0;
+
+  /// Structured range checks over every knob. Empty means valid. Aggregated
+  /// by RunConfig::validate (with a "tiering." field prefix) and enforced by
+  /// the engine constructor.
+  std::vector<Diagnostic> validate() const;
 
   friend bool operator==(const TieringConfig&, const TieringConfig&) = default;
 };

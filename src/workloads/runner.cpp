@@ -30,22 +30,39 @@ std::string RunConfig::describe() const {
                 static_cast<unsigned long long>(seed));
 }
 
+spark::PlacementSpec RunConfig::placement() const {
+  spark::PlacementSpec spec;
+  spec.heap(tier);
+  if (shuffle_tier) spec.shuffle_on(*shuffle_tier);
+  if (cache_tier) spec.cache_on(*cache_tier);
+  return spec;
+}
+
+RunConfig& RunConfig::set_placement(const spark::PlacementSpec& spec) {
+  tier = spec.mem_bind;
+  shuffle_tier = spec.shuffle_bind;
+  cache_tier = spec.cache_bind;
+  return *this;
+}
+
 std::vector<std::pair<std::string, std::string>> config_fields(
     const RunConfig& config) {
-  const auto opt_tier = [](const std::optional<mem::TierId>& t) {
-    return t ? std::to_string(mem::index(*t)) : std::string("none");
-  };
+  // Placement enters the identity through the spec's canonical fields
+  // ("tier" / "shuffle_tier" / "cache_tier" — frozen names and positions,
+  // so the hash, every persisted cache key and the serialized byte layout
+  // are unchanged from the pre-spec encoding).
+  const auto placement = config.placement().canonical_fields();
   return {
       {"app", std::to_string(static_cast<int>(config.app))},
       {"scale", std::to_string(static_cast<int>(config.scale))},
-      {"tier", std::to_string(mem::index(config.tier))},
+      placement[0],  // "tier"
       {"socket", std::to_string(config.socket)},
       {"executors", std::to_string(config.executors)},
       {"cores_per_executor", std::to_string(config.cores_per_executor)},
       {"mba_percent", std::to_string(config.mba_percent)},
       {"seed", std::to_string(config.seed)},
-      {"shuffle_tier", opt_tier(config.shuffle_tier)},
-      {"cache_tier", opt_tier(config.cache_tier)},
+      placement[1],  // "shuffle_tier"
+      placement[2],  // "cache_tier"
       {"zero_copy_shuffle", config.zero_copy_shuffle ? "1" : "0"},
       {"background_load_gbps",
        strfmt("%.17g", config.background_load_gbps)},
@@ -143,6 +160,73 @@ std::uint64_t stable_hash(const RunConfig& config) {
   return hash_fields(config_fields(config));
 }
 
+std::vector<Diagnostic> RunConfig::validate() const {
+  std::vector<Diagnostic> issues;
+  const auto bad = [&issues](const std::string& field,
+                             const std::string& message) {
+    issues.push_back({field, message});
+  };
+
+  const mem::TopologySpec topo = machine == MachineVariant::kDramCxl
+                                     ? mem::cxl_topology()
+                                     : mem::testbed_topology();
+  if (executors < 1) bad("executors", "need at least one executor");
+  if (cores_per_executor < 1)
+    bad("cores_per_executor", "each executor needs at least one core");
+  if (socket < 0 || socket >= topo.sockets)
+    bad("socket", strfmt("cpunodebind socket must lie in [0, %d)",
+                         topo.sockets));
+  if (mba_percent < 1 || mba_percent > 100)
+    bad("mba_percent", "MBA throttle is a percentage in [1, 100]");
+  if (!(background_load_gbps >= 0.0))
+    bad("background_load_gbps", "background traffic cannot be negative");
+
+  // Over-capacity bind: the cached-block budget this deployment implies
+  // (run_workload deploys SparkConf's default heap and storage fraction)
+  // must fit the cache tier's backing node, or the bind could never be
+  // honored on the real machine.
+  if (executors >= 1 && socket >= 0 && socket < topo.sockets) {
+    const spark::SparkConf defaults;
+    const double storage_budget_b = defaults.executor_memory.b() *
+                                    defaults.storage_fraction *
+                                    static_cast<double>(executors);
+    const mem::TierId cache_bind = placement().tier_for(
+        spark::StreamClass::kCache);
+    const mem::TierSpec spec = mem::resolve_tier(topo, socket, cache_bind);
+    const double capacity_b = topo.node(spec.node).capacity.b();
+    if (storage_budget_b > capacity_b)
+      bad("cache_tier",
+          strfmt("cached-block budget %.1f GiB (executors x heap x storage "
+                 "fraction) exceeds the %.1f GiB capacity of node %s",
+                 storage_budget_b / (1024.0 * 1024.0 * 1024.0),
+                 capacity_b / (1024.0 * 1024.0 * 1024.0),
+                 topo.node(spec.node).name.c_str()));
+  }
+
+  // The tiering knobs only steer a run under a dynamic policy; a static
+  // config carries them inert.
+  if (tiering.policy != tiering::PolicyKind::kStatic) {
+    for (const Diagnostic& d : tiering.validate())
+      issues.push_back({"tiering." + d.field, d.message});
+    if (fault.enabled && fault.offline_tier == 0)
+      bad("fault.offline_tier",
+          "dynamic tiering promotes into tier 0, which this fault plan "
+          "takes offline; degrade the capacity tier instead or run the "
+          "static policy");
+  }
+  if (fault.enabled) {
+    for (const Diagnostic& d : fault.validate())
+      issues.push_back({"fault." + d.field, d.message});
+  }
+  return issues;
+}
+
+void validate_or_throw(const RunConfig& config) {
+  if (const auto issues = config.validate(); !issues.empty())
+    throw diagnostics_error("invalid RunConfig (" + config.describe() + ")",
+                            issues);
+}
+
 Energy RunResult::bound_node_energy_per_dimm() const {
   const auto idx = static_cast<std::size_t>(bound_node);
   return idx < energy.size() ? energy[idx].report.per_dimm : Energy::zero();
@@ -167,6 +251,7 @@ RunResult failed_result(const RunConfig& config, const std::string& error) {
 }
 
 RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
+  validate_or_throw(config);
   g_runs_executed.fetch_add(1, std::memory_order_relaxed);
   sim::Simulator simulator;
   if (wall_budget_seconds > 0.0)
@@ -181,9 +266,7 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
   conf.executor_instances = config.executors;
   conf.cores_per_executor = config.cores_per_executor;
   conf.cpu_node_bind = config.socket;
-  conf.mem_bind = config.tier;
-  conf.shuffle_bind = config.shuffle_tier;
-  conf.cache_bind = config.cache_tier;
+  conf.set_placement(config.placement());
   conf.zero_copy_shuffle = config.zero_copy_shuffle;
 
   // TSX_TASK_THREADS enables the intra-run parallel data plane (DESIGN.md

@@ -21,6 +21,7 @@
 #include "mem/wear.hpp"
 #include "metrics/nvdimm.hpp"
 #include "metrics/system_events.hpp"
+#include "spark/placement.hpp"
 #include "tiering/options.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/scales.hpp"
@@ -51,6 +52,21 @@ struct RunConfig {
   std::optional<mem::TierId> cache_tier;
   /// Zero-copy shuffle over unified memory (Sec. IV-G's shuffle-avoidance).
   bool zero_copy_shuffle = false;
+
+  /// The three placement knobs (tier / shuffle_tier / cache_tier) as one
+  /// spark::PlacementSpec value; `config_fields` consumes this spec
+  /// canonically, so the spec is the single source of placement identity.
+  spark::PlacementSpec placement() const;
+  RunConfig& set_placement(const spark::PlacementSpec& spec);
+
+  /// Structured diagnostics over every knob: deployment sanity (executor
+  /// and core counts, socket range, MBA window), over-capacity binds (the
+  /// cached-block budget the deployment implies against the cache tier's
+  /// node capacity), the tiering section (when a dynamic policy is active),
+  /// the fault section (when enabled), and cross-subsystem conflicts.
+  /// Empty means the config is runnable. `run_workload` and service
+  /// admission both enforce this, replacing scattered ad-hoc checks.
+  std::vector<Diagnostic> validate() const;
 
   /// Noisy-neighbor pressure: a background tenant streaming this many GB/s
   /// through the bound tier's channel for the whole run (0 = quiet).
@@ -140,7 +156,12 @@ struct RunResult {
   mem::NodeId bound_node = 0;
 };
 
+/// Throws tsx::Error itemizing every `validate()` diagnostic; no-op on a
+/// valid config.
+void validate_or_throw(const RunConfig& config);
+
 /// Executes one configuration start-to-finish in an isolated simulation.
+/// Invalid configs (see RunConfig::validate) throw tsx::Error up front.
 /// `wall_budget_seconds` > 0 arms a cooperative real-time budget on the
 /// run's simulator: a run exceeding it throws tsx::Error (callers that
 /// sandbox runs turn that into a failed RunResult).
