@@ -17,6 +17,12 @@
 // none); the gate above is what guarantees they are free of simulation
 // drift.
 //
+// Part 3 compares the columnar engine against the row path for the ported
+// workloads (sort, pagerank) on the large scale: per-stage execute
+// wall-clock (RunResult::host_execute_seconds — host seconds inside stage
+// task execution, so scheduler/report overhead is excluded), best-of-N,
+// recorded as a "columnar" column group in the same history entry.
+//
 //   TSX_PERF_SCALE=tiny|small|large   timing scale (default small)
 //   TSX_PERF_REPEATS=<n>              timing repeats per cell (default 3)
 //   TSX_PERF_SKIP_GATE=1              timing only (for quick local runs)
@@ -169,8 +175,43 @@ int main() {
         to_string(app).c_str(), serial, parallel[0], parallel[1], parallel[2],
         speedup8);
   }
-  entry += "\n      ]\n    }";
+  entry += "\n      ]";
   table.print(std::cout);
+
+  // --- Part 3: columnar vs row per-stage execute wall-clock --------------
+  const auto best_execute = [repeats](const RunConfig& cfg) {
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      const double secs = run_workload(cfg).host_execute_seconds;
+      if (r == 0 || secs < best) best = secs;
+    }
+    return best;
+  };
+  set_task_threads(1);
+  TablePrinter ctable(
+      {"app (large)", "row (s)", "columnar (s)", "columnar speedup"});
+  entry += ",\n      \"columnar\": [\n";
+  bool first_col = true;
+  for (const App app : {App::kSort, App::kPagerank}) {
+    RunConfig cfg;
+    cfg.app = app;
+    cfg.scale = ScaleId::kLarge;
+    const double row_s = best_execute(cfg);
+    cfg.columnar.enabled = true;
+    const double col_s = best_execute(cfg);
+    const double speedup = col_s > 0.0 ? row_s / col_s : 0.0;
+    ctable.add_row({to_string(app), TablePrinter::num(row_s, 4),
+                    TablePrinter::num(col_s, 4),
+                    TablePrinter::num(speedup, 2) + "x"});
+    if (!first_col) entry += ",\n";
+    first_col = false;
+    entry += strfmt(
+        "        {\"app\": \"%s\", \"row_s\": %.6f, \"columnar_s\": %.6f, "
+        "\"columnar_speedup\": %.4f}",
+        to_string(app).c_str(), row_s, col_s, speedup);
+  }
+  entry += "\n      ]\n    }";
+  ctable.print(std::cout);
 
   const std::string prior = prior_history_entries("BENCH_perf.json");
   std::string json = "{\n  \"bench\": \"perf\",\n  \"history\": [\n";

@@ -1,0 +1,187 @@
+#include "columnar/batch.hpp"
+
+#include "core/error.hpp"
+
+namespace tsx::columnar {
+
+std::string to_string(ColType type) {
+  switch (type) {
+    case ColType::kI64: return "i64";
+    case ColType::kF64: return "f64";
+    case ColType::kStr: return "str";
+    case ColType::kDict: return "dict";
+  }
+  return "?";
+}
+
+std::size_t Column::rows() const {
+  switch (type) {
+    case ColType::kI64: return i64.size();
+    case ColType::kF64: return f64.size();
+    case ColType::kStr: return codes.empty() ? 0 : codes.size() - 1;
+    case ColType::kDict: return codes.size();
+  }
+  return 0;
+}
+
+void Column::ensure_validity(std::size_t n) {
+  if (!validity.empty()) return;
+  validity.assign((n + 63) / 64, ~std::uint64_t{0});
+  // Mask the tail so popcounts over the words stay exact.
+  if (const std::size_t tail = n & 63; tail != 0 && !validity.empty())
+    validity.back() = (std::uint64_t{1} << tail) - 1;
+}
+
+void Column::set_null(std::size_t row) {
+  ensure_validity(rows());
+  validity[row >> 6] &= ~(std::uint64_t{1} << (row & 63));
+}
+
+std::string_view Column::str(std::size_t row) const {
+  if (type == ColType::kDict) return dict_entry(codes[row]);
+  const std::uint32_t begin = codes[row];
+  return std::string_view(bytes).substr(begin, codes[row + 1] - begin);
+}
+
+std::string_view Column::dict_entry(std::uint32_t code) const {
+  const std::uint32_t begin = dict_offsets[code];
+  return std::string_view(bytes).substr(begin,
+                                        dict_offsets[code + 1] - begin);
+}
+
+double Column::byte_size() const {
+  double total = static_cast<double>(validity.size()) * 8.0;
+  switch (type) {
+    case ColType::kI64:
+      total += static_cast<double>(i64.size()) * 8.0;
+      break;
+    case ColType::kF64:
+      total += static_cast<double>(f64.size()) * 8.0;
+      break;
+    case ColType::kStr:
+    case ColType::kDict:
+      total += static_cast<double>(codes.size()) * 4.0 +
+               static_cast<double>(bytes.size()) +
+               static_cast<double>(dict_offsets.size()) * 4.0;
+      break;
+  }
+  return total;
+}
+
+Column Column::make_i64(std::vector<std::int64_t> values) {
+  Column col;
+  col.type = ColType::kI64;
+  col.i64 = std::move(values);
+  return col;
+}
+
+Column Column::make_f64(std::vector<double> values) {
+  Column col;
+  col.type = ColType::kF64;
+  col.f64 = std::move(values);
+  return col;
+}
+
+Bytes Chunk::byte_size() const {
+  double total = 0.0;
+  for (const Column& col : cols) total += col.byte_size();
+  return Bytes::of(total);
+}
+
+void StrBuilder::reserve(std::size_t rows, std::size_t payload_bytes) {
+  offsets_.reserve(rows + 1);
+  bytes_.reserve(payload_bytes);
+}
+
+void StrBuilder::append(std::string_view text) {
+  bytes_.append(text);
+  offsets_.push_back(static_cast<std::uint32_t>(bytes_.size()));
+  if (any_null_) {
+    const std::size_t row = offsets_.size() - 2;
+    if (validity_.size() * 64 <= row) validity_.push_back(~std::uint64_t{0});
+  }
+}
+
+void StrBuilder::append_null() {
+  // Materialize validity lazily on the first null.
+  const std::size_t row = offsets_.size() - 1;
+  if (!any_null_) {
+    any_null_ = true;
+    validity_.assign((row + 1 + 63) / 64, ~std::uint64_t{0});
+  } else if (validity_.size() * 64 <= row) {
+    validity_.push_back(~std::uint64_t{0});
+  }
+  validity_[row >> 6] &= ~(std::uint64_t{1} << (row & 63));
+  offsets_.push_back(static_cast<std::uint32_t>(bytes_.size()));
+}
+
+Column StrBuilder::seal() {
+  Column col;
+  col.type = ColType::kStr;
+  const std::size_t n = rows();
+  col.codes = std::move(offsets_);
+  col.bytes = std::move(bytes_);
+  if (any_null_) {
+    validity_.resize((n + 63) / 64, ~std::uint64_t{0});
+    if (const std::size_t tail = n & 63; tail != 0 && !validity_.empty())
+      validity_.back() &= (std::uint64_t{1} << tail) - 1;
+    col.validity = std::move(validity_);
+  }
+  offsets_ = {0};
+  bytes_.clear();
+  validity_.clear();
+  any_null_ = false;
+  return col;
+}
+
+bool DictBuilder::append(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  std::uint32_t code;
+  if (it != index_.end()) {
+    code = it->second;
+  } else {
+    if (distinct() >= capacity_) return false;  // overflow: caller falls back
+    code = static_cast<std::uint32_t>(distinct());
+    dict_bytes_.append(text);
+    dict_offsets_.push_back(static_cast<std::uint32_t>(dict_bytes_.size()));
+    index_.emplace(std::string(text), code);
+  }
+  codes_.push_back(code);
+  return true;
+}
+
+void DictBuilder::append_null() {
+  const std::size_t row = codes_.size();
+  if (!any_null_) {
+    any_null_ = true;
+    validity_.assign((row + 1 + 63) / 64, ~std::uint64_t{0});
+  } else if (validity_.size() * 64 <= row) {
+    validity_.push_back(~std::uint64_t{0});
+  }
+  validity_[row >> 6] &= ~(std::uint64_t{1} << (row & 63));
+  codes_.push_back(0);
+}
+
+Column DictBuilder::seal() {
+  Column col;
+  col.type = ColType::kDict;
+  const std::size_t n = codes_.size();
+  col.codes = std::move(codes_);
+  col.bytes = std::move(dict_bytes_);
+  col.dict_offsets = std::move(dict_offsets_);
+  if (any_null_) {
+    validity_.resize((n + 63) / 64, ~std::uint64_t{0});
+    if (const std::size_t tail = n & 63; tail != 0 && !validity_.empty())
+      validity_.back() &= (std::uint64_t{1} << tail) - 1;
+    col.validity = std::move(validity_);
+  }
+  codes_.clear();
+  dict_offsets_ = {0};
+  dict_bytes_.clear();
+  index_.clear();
+  validity_.clear();
+  any_null_ = false;
+  return col;
+}
+
+}  // namespace tsx::columnar

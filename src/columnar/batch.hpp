@@ -1,0 +1,124 @@
+// Columnar batch representation.
+//
+// A Chunk is one batch of rows in columnar (structure-of-arrays) layout:
+// typed column vectors with optional validity bitmaps. Chunks are plain
+// value types — they cross task and shuffle boundaries by move, so the
+// engine's exchange machinery (ShuffleStore buckets, TaskEffects deferral,
+// the block/region planes) handles them like any other payload. The
+// per-row layouts:
+//
+//   kI64   int64 values, one per row
+//   kF64   double values, one per row
+//   kStr   flat byte payload + (rows+1) offsets — Arrow-style varchar
+//   kDict  u32 codes per row into a shared dictionary (offsets + blob);
+//          the encoding path reports overflow past a configured capacity
+//          so callers can fall back to plain kStr columns
+//
+// Validity is a bit-per-row uint64 word vector; an empty vector means
+// "all valid" and costs nothing, which is the common case for generated
+// workload data. Kernel scratch (selection vectors, hash tables, sort
+// index arrays) lives in a core::Arena — see kernels.hpp — so steady-state
+// batch processing performs no per-row heap allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace tsx::columnar {
+
+enum class ColType : int { kI64 = 0, kF64 = 1, kStr = 2, kDict = 3 };
+
+std::string to_string(ColType type);
+
+struct Column {
+  ColType type = ColType::kI64;
+
+  std::vector<std::int64_t> i64;           ///< kI64 values
+  std::vector<double> f64;                 ///< kF64 values
+  std::vector<std::uint32_t> codes;        ///< kStr: rows+1 offsets; kDict: codes
+  std::string bytes;                       ///< kStr payload; kDict dictionary blob
+  std::vector<std::uint32_t> dict_offsets; ///< kDict: entries+1 offsets into bytes
+
+  /// Empty = every row valid. Otherwise one bit per row, LSB-first within
+  /// each uint64 word; bit set = valid.
+  std::vector<std::uint64_t> validity;
+
+  std::size_t rows() const;
+  bool is_valid(std::size_t row) const {
+    return validity.empty() ||
+           (validity[row >> 6] >> (row & 63) & 1) != 0;
+  }
+  /// Materializes an all-valid bitmap sized for `n` rows (call before
+  /// set_null; cheap no-op when already sized).
+  void ensure_validity(std::size_t n);
+  void set_null(std::size_t row);
+
+  /// kStr / kDict row text. Undefined for numeric columns.
+  std::string_view str(std::size_t row) const;
+  /// kDict dictionary entry text.
+  std::string_view dict_entry(std::uint32_t code) const;
+  std::size_t dict_size() const {
+    return dict_offsets.empty() ? 0 : dict_offsets.size() - 1;
+  }
+
+  /// Payload bytes of this column including validity words.
+  double byte_size() const;
+
+  static Column make_i64(std::vector<std::int64_t> values);
+  static Column make_f64(std::vector<double> values);
+};
+
+struct Chunk {
+  std::size_t rows = 0;
+  std::vector<Column> cols;
+
+  Bytes byte_size() const;
+};
+
+/// Incremental kStr column builder: append row text, seal into a Column.
+class StrBuilder {
+ public:
+  StrBuilder() { offsets_.push_back(0); }
+  void reserve(std::size_t rows, std::size_t payload_bytes);
+  void append(std::string_view text);
+  void append_null();
+  std::size_t rows() const { return offsets_.size() - 1; }
+  Column seal();
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::string bytes_;
+  std::vector<std::uint64_t> validity_;
+  bool any_null_ = false;
+};
+
+/// Incremental kDict column builder. Interns row values up to `capacity`
+/// distinct entries; appending a fresh value beyond that fails (the caller
+/// falls back to a plain kStr column).
+class DictBuilder {
+ public:
+  explicit DictBuilder(std::size_t capacity) : capacity_(capacity) {}
+  /// False = dictionary overflow: the value is new and the dictionary is
+  /// full. The column is unchanged in that case.
+  [[nodiscard]] bool append(std::string_view text);
+  void append_null();
+  std::size_t rows() const { return codes_.size(); }
+  std::size_t distinct() const { return dict_offsets_.size() - 1; }
+  Column seal();
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint32_t> dict_offsets_ = {0};
+  std::string dict_bytes_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<std::uint64_t> validity_;
+  bool any_null_ = false;
+};
+
+}  // namespace tsx::columnar

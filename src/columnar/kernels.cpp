@@ -1,0 +1,395 @@
+#include "columnar/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"  // splitmix64: the kernels' hash mix
+
+namespace tsx::columnar {
+
+namespace {
+
+template <typename T, typename Cmp>
+SelVec filter_impl(core::Arena& arena, const T* values, std::size_t rows,
+                   const std::uint64_t* validity, Cmp cmp, const SelVec* in) {
+  const std::size_t limit = in != nullptr ? in->size : rows;
+  auto* out = arena.alloc_array<std::uint32_t>(limit);
+  std::size_t n = 0;
+  if (in != nullptr) {
+    for (std::size_t s = 0; s < in->size; ++s) {
+      const std::uint32_t row = in->idx[s];
+      const bool valid =
+          validity == nullptr || (validity[row >> 6] >> (row & 63) & 1) != 0;
+      if (valid && cmp(values[row])) out[n++] = row;
+    }
+  } else if (validity == nullptr) {
+    for (std::size_t row = 0; row < rows; ++row)
+      if (cmp(values[row])) out[n++] = static_cast<std::uint32_t>(row);
+  } else {
+    for (std::size_t row = 0; row < rows; ++row) {
+      const bool valid = (validity[row >> 6] >> (row & 63) & 1) != 0;
+      if (valid && cmp(values[row])) out[n++] = static_cast<std::uint32_t>(row);
+    }
+  }
+  return SelVec{out, n};
+}
+
+template <typename T>
+SelVec filter_dispatch(core::Arena& arena, const T* values, std::size_t rows,
+                       const std::uint64_t* validity, CmpOp op, T bound,
+                       const SelVec* in) {
+  switch (op) {
+    case CmpOp::kLt:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v < bound; }, in);
+    case CmpOp::kLe:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v <= bound; }, in);
+    case CmpOp::kGt:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v > bound; }, in);
+    case CmpOp::kGe:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v >= bound; }, in);
+    case CmpOp::kEq:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v == bound; }, in);
+    case CmpOp::kNe:
+      return filter_impl(arena, values, rows, validity,
+                         [bound](T v) { return v != bound; }, in);
+  }
+  return SelVec{};
+}
+
+std::uint64_t hash_key(std::int64_t key) {
+  std::uint64_t state = static_cast<std::uint64_t>(key);
+  return splitmix64(state);
+}
+
+std::size_t table_capacity(std::size_t n) {
+  std::size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+SelVec filter_i64(core::Arena& arena, const Column& col, CmpOp op,
+                  std::int64_t bound, const SelVec* in) {
+  TSX_CHECK(col.type == ColType::kI64, "filter_i64 on non-i64 column");
+  return filter_dispatch(arena, col.i64.data(), col.i64.size(),
+                         col.validity.empty() ? nullptr : col.validity.data(),
+                         op, bound, in);
+}
+
+SelVec filter_f64(core::Arena& arena, const Column& col, CmpOp op,
+                  double bound, const SelVec* in) {
+  TSX_CHECK(col.type == ColType::kF64, "filter_f64 on non-f64 column");
+  return filter_dispatch(arena, col.f64.data(), col.f64.size(),
+                         col.validity.empty() ? nullptr : col.validity.data(),
+                         op, bound, in);
+}
+
+Column gather(const Column& col, const SelVec& sel) {
+  Column out;
+  out.type = col.type;
+  const bool has_validity = !col.validity.empty();
+  if (has_validity) {
+    out.validity.assign((sel.size + 63) / 64, ~std::uint64_t{0});
+    if (const std::size_t tail = sel.size & 63;
+        tail != 0 && !out.validity.empty())
+      out.validity.back() = (std::uint64_t{1} << tail) - 1;
+  }
+  const auto copy_validity = [&](std::size_t to, std::uint32_t from) {
+    if (has_validity && !col.is_valid(from))
+      out.validity[to >> 6] &= ~(std::uint64_t{1} << (to & 63));
+  };
+  switch (col.type) {
+    case ColType::kI64: {
+      out.i64.resize(sel.size);
+      for (std::size_t s = 0; s < sel.size; ++s) {
+        out.i64[s] = col.i64[sel.idx[s]];
+        copy_validity(s, sel.idx[s]);
+      }
+      break;
+    }
+    case ColType::kF64: {
+      out.f64.resize(sel.size);
+      for (std::size_t s = 0; s < sel.size; ++s) {
+        out.f64[s] = col.f64[sel.idx[s]];
+        copy_validity(s, sel.idx[s]);
+      }
+      break;
+    }
+    case ColType::kStr: {
+      std::size_t payload = 0;
+      for (std::size_t s = 0; s < sel.size; ++s) {
+        const std::uint32_t row = sel.idx[s];
+        payload += col.codes[row + 1] - col.codes[row];
+      }
+      out.codes.reserve(sel.size + 1);
+      out.codes.push_back(0);
+      out.bytes.reserve(payload);
+      for (std::size_t s = 0; s < sel.size; ++s) {
+        const std::uint32_t row = sel.idx[s];
+        out.bytes.append(col.bytes, col.codes[row],
+                         col.codes[row + 1] - col.codes[row]);
+        out.codes.push_back(static_cast<std::uint32_t>(out.bytes.size()));
+        copy_validity(s, row);
+      }
+      break;
+    }
+    case ColType::kDict: {
+      out.codes.resize(sel.size);
+      for (std::size_t s = 0; s < sel.size; ++s) {
+        out.codes[s] = col.codes[sel.idx[s]];
+        copy_validity(s, sel.idx[s]);
+      }
+      out.bytes = col.bytes;
+      out.dict_offsets = col.dict_offsets;
+      break;
+    }
+  }
+  return out;
+}
+
+Column project_scale_f64(const Column& col, double mul, double add,
+                         const SelVec* sel) {
+  TSX_CHECK(col.type == ColType::kF64, "project_scale_f64 on non-f64 column");
+  if (sel == nullptr) {
+    Column out;
+    out.type = ColType::kF64;
+    out.f64.resize(col.f64.size());
+    const double* in = col.f64.data();
+    double* dst = out.f64.data();
+    for (std::size_t row = 0; row < col.f64.size(); ++row)
+      dst[row] = in[row] * mul + add;
+    out.validity = col.validity;
+    return out;
+  }
+  Column gathered = gather(col, *sel);
+  return project_scale_f64(gathered, mul, add, nullptr);
+}
+
+Column project_bin_f64(const Column& a, const Column& b, BinOp op,
+                       const SelVec* sel) {
+  TSX_CHECK(a.type == ColType::kF64 && b.type == ColType::kF64,
+            "project_bin_f64 on non-f64 columns");
+  if (sel != nullptr) {
+    Column ga = gather(a, *sel);
+    Column gb = gather(b, *sel);
+    return project_bin_f64(ga, gb, op, nullptr);
+  }
+  TSX_CHECK(a.f64.size() == b.f64.size(), "project_bin_f64 row mismatch");
+  const std::size_t n = a.f64.size();
+  Column out;
+  out.type = ColType::kF64;
+  out.f64.resize(n);
+  const double* pa = a.f64.data();
+  const double* pb = b.f64.data();
+  double* dst = out.f64.data();
+  switch (op) {
+    case BinOp::kAdd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = pa[i] + pb[i];
+      break;
+    case BinOp::kSub:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = pa[i] - pb[i];
+      break;
+    case BinOp::kMul:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = pa[i] * pb[i];
+      break;
+    case BinOp::kDiv:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = pa[i] / pb[i];
+      break;
+  }
+  if (!a.validity.empty() || !b.validity.empty()) {
+    out.validity.assign((n + 63) / 64, ~std::uint64_t{0});
+    if (const std::size_t tail = n & 63; tail != 0 && !out.validity.empty())
+      out.validity.back() = (std::uint64_t{1} << tail) - 1;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!a.is_valid(i) || !b.is_valid(i))
+        out.validity[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  return out;
+}
+
+AggResult agg_sum(core::Arena& arena, const std::int64_t* keys,
+                  const double* vals, std::size_t n,
+                  const std::uint64_t* key_validity,
+                  const std::uint64_t* val_validity, bool emit_sorted) {
+  AggResult result;
+  if (n == 0) return result;
+
+  // Open-addressing table in the arena: parallel key/sum/used arrays,
+  // linear probing. Accumulation order per key == record order, the same
+  // floating-point reduction the row engine's hash combine performs.
+  const std::size_t cap = table_capacity(n);
+  const std::size_t mask = cap - 1;
+  auto* slot_key = arena.alloc_array<std::int64_t>(cap);
+  auto* slot_sum = arena.alloc_array<double>(cap);
+  auto* slot_used = arena.alloc_array<std::uint8_t>(cap);
+  std::memset(slot_used, 0, cap);
+
+  std::size_t groups = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    if (key_validity != nullptr &&
+        (key_validity[row >> 6] >> (row & 63) & 1) == 0)
+      continue;
+    if (val_validity != nullptr &&
+        (val_validity[row >> 6] >> (row & 63) & 1) == 0)
+      continue;
+    const std::int64_t key = keys[row];
+    std::size_t slot = hash_key(key) & mask;
+    while (slot_used[slot] != 0 && slot_key[slot] != key)
+      slot = (slot + 1) & mask;
+    if (slot_used[slot] == 0) {
+      slot_used[slot] = 1;
+      slot_key[slot] = key;
+      slot_sum[slot] = vals[row];
+      ++groups;
+    } else {
+      slot_sum[slot] += vals[row];
+    }
+  }
+
+  result.keys.reserve(groups);
+  result.sums.reserve(groups);
+  if (!emit_sorted) {
+    for (std::size_t slot = 0; slot < cap; ++slot) {
+      if (slot_used[slot] == 0) continue;
+      result.keys.push_back(slot_key[slot]);
+      result.sums.push_back(slot_sum[slot]);
+    }
+    return result;
+  }
+  for (std::size_t slot = 0; slot < cap; ++slot)
+    if (slot_used[slot] != 0) result.keys.push_back(slot_key[slot]);
+  std::sort(result.keys.begin(), result.keys.end());
+  for (const std::int64_t key : result.keys) {
+    std::size_t slot = hash_key(key) & mask;
+    while (slot_key[slot] != key || slot_used[slot] == 0)
+      slot = (slot + 1) & mask;
+    result.sums.push_back(slot_sum[slot]);
+  }
+  return result;
+}
+
+JoinResult hash_join(core::Arena& arena, const std::int64_t* build,
+                     std::size_t build_n, const std::int64_t* probe,
+                     std::size_t probe_n) {
+  JoinResult result;
+  if (build_n == 0 || probe_n == 0) return result;
+
+  // Pass 1: map each distinct build key to a group, counting group sizes.
+  const std::size_t cap = table_capacity(build_n);
+  const std::size_t mask = cap - 1;
+  auto* slot_key = arena.alloc_array<std::int64_t>(cap);
+  auto* slot_group = arena.alloc_array<std::uint32_t>(cap);
+  auto* slot_used = arena.alloc_array<std::uint8_t>(cap);
+  std::memset(slot_used, 0, cap);
+
+  auto* group_of = arena.alloc_array<std::uint32_t>(build_n);
+  auto* group_count = arena.alloc_array<std::uint32_t>(build_n);
+  std::uint32_t groups = 0;
+  for (std::size_t row = 0; row < build_n; ++row) {
+    const std::int64_t key = build[row];
+    std::size_t slot = hash_key(key) & mask;
+    while (slot_used[slot] != 0 && slot_key[slot] != key)
+      slot = (slot + 1) & mask;
+    if (slot_used[slot] == 0) {
+      slot_used[slot] = 1;
+      slot_key[slot] = key;
+      slot_group[slot] = groups;
+      group_count[groups] = 0;
+      ++groups;
+    }
+    group_of[row] = slot_group[slot];
+    ++group_count[slot_group[slot]];
+  }
+
+  // Pass 2: bucket build rows per group, preserving build order.
+  auto* group_start = arena.alloc_array<std::uint32_t>(groups + 1);
+  group_start[0] = 0;
+  for (std::uint32_t g = 0; g < groups; ++g)
+    group_start[g + 1] = group_start[g] + group_count[g];
+  auto* group_rows = arena.alloc_array<std::uint32_t>(build_n);
+  auto* fill = arena.alloc_array<std::uint32_t>(groups);
+  std::memcpy(fill, group_start, groups * sizeof(std::uint32_t));
+  for (std::size_t row = 0; row < build_n; ++row)
+    group_rows[fill[group_of[row]]++] = static_cast<std::uint32_t>(row);
+
+  // Probe: size the output, then fill it in probe order.
+  std::size_t matches = 0;
+  auto* probe_group = arena.alloc_array<std::uint32_t>(probe_n);
+  constexpr std::uint32_t kMiss = ~std::uint32_t{0};
+  for (std::size_t row = 0; row < probe_n; ++row) {
+    const std::int64_t key = probe[row];
+    std::size_t slot = hash_key(key) & mask;
+    while (slot_used[slot] != 0 && slot_key[slot] != key)
+      slot = (slot + 1) & mask;
+    if (slot_used[slot] == 0) {
+      probe_group[row] = kMiss;
+    } else {
+      probe_group[row] = slot_group[slot];
+      matches += group_count[slot_group[slot]];
+    }
+  }
+  auto* left = arena.alloc_array<std::uint32_t>(matches);
+  auto* right = arena.alloc_array<std::uint32_t>(matches);
+  std::size_t at = 0;
+  for (std::size_t row = 0; row < probe_n; ++row) {
+    const std::uint32_t g = probe_group[row];
+    if (g == kMiss) continue;
+    for (std::uint32_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+      left[at] = group_rows[i];
+      right[at] = static_cast<std::uint32_t>(row);
+      ++at;
+    }
+  }
+  result.build_rows = left;
+  result.probe_rows = right;
+  result.size = matches;
+  return result;
+}
+
+const std::uint32_t* sort_indices_by_bytes(core::Arena& arena,
+                                           const char* bytes,
+                                           const std::uint32_t* offsets,
+                                           std::size_t n,
+                                           std::size_t key_width) {
+  auto* idx = arena.alloc_array<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    idx[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(idx, idx + n, [&](std::uint32_t a, std::uint32_t b) {
+    const std::size_t la =
+        std::min<std::size_t>(key_width, offsets[a + 1] - offsets[a]);
+    const std::size_t lb =
+        std::min<std::size_t>(key_width, offsets[b + 1] - offsets[b]);
+    const int cmp = std::memcmp(bytes + offsets[a], bytes + offsets[b],
+                                std::min(la, lb));
+    if (cmp != 0) return cmp < 0;
+    return la < lb;
+  });
+  return idx;
+}
+
+Scatter scatter_by_partition(core::Arena& arena,
+                             const std::uint32_t* part_ids, std::size_t n,
+                             std::size_t parts) {
+  auto* counts = arena.alloc_array<std::uint32_t>(parts);
+  std::memset(counts, 0, parts * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < n; ++i) ++counts[part_ids[i]];
+  auto* offsets = arena.alloc_array<std::uint32_t>(parts + 1);
+  offsets[0] = 0;
+  for (std::size_t p = 0; p < parts; ++p)
+    offsets[p + 1] = offsets[p] + counts[p];
+  auto* rows = arena.alloc_array<std::uint32_t>(n);
+  auto* fill = arena.alloc_array<std::uint32_t>(parts);
+  std::memcpy(fill, offsets, parts * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < n; ++i)
+    rows[fill[part_ids[i]]++] = static_cast<std::uint32_t>(i);
+  return Scatter{rows, offsets, parts};
+}
+
+}  // namespace tsx::columnar

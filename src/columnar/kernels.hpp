@@ -1,0 +1,112 @@
+// Vectorized kernels over columnar batches.
+//
+// Every kernel is a free function over contiguous column storage: tight
+// loops, no per-row virtual dispatch, no per-row heap allocation. Scratch
+// (selection vectors, hash tables, sort index arrays, scatter buffers)
+// comes from a core::Arena the caller owns and resets per batch, so the
+// steady state touches only column payloads — which is what makes the
+// per-kernel byte accounting in the run report meaningful.
+//
+// Kernels are pure: they neither charge simulation cost nor record stats.
+// The query layer's operators wrap them with KernelCharge (runtime.hpp),
+// keeping the compute/accounting split explicit.
+//
+// Determinism contracts (relied on by the row-vs-columnar equality gates):
+//  - filter emits ascending row indices; chaining preserves that order.
+//  - agg_sum accumulates each key's sum in record order and emits groups
+//    sorted by key — the same floating-point reduction order as the row
+//    engine's record-order hash combine followed by its key-sorted output.
+//  - scatter preserves row order within each partition, matching the row
+//    engine's bucket record order.
+//  - sort_indices_by_bytes is stable: equal keys keep arrival order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/batch.hpp"
+#include "core/arena.hpp"
+
+namespace tsx::columnar {
+
+/// Arena-backed ascending row-index list (the classic selection vector).
+struct SelVec {
+  const std::uint32_t* idx = nullptr;
+  std::size_t size = 0;
+};
+
+enum class CmpOp : int { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Rows of `col` satisfying `value <op> bound`, intersected with the input
+/// selection when given (selection-vector chaining). Null rows never pass.
+SelVec filter_i64(core::Arena& arena, const Column& col, CmpOp op,
+                  std::int64_t bound, const SelVec* in = nullptr);
+SelVec filter_f64(core::Arena& arena, const Column& col, CmpOp op,
+                  double bound, const SelVec* in = nullptr);
+
+/// Materializes the selected rows of `col` into a new owned column of the
+/// same type (dictionary columns keep their dictionary).
+Column gather(const Column& col, const SelVec& sel);
+
+/// value * mul + add over an f64 column (optionally only selected rows —
+/// output then has sel->size rows). Nulls propagate.
+Column project_scale_f64(const Column& col, double mul, double add,
+                         const SelVec* sel = nullptr);
+
+enum class BinOp : int { kAdd, kSub, kMul, kDiv };
+
+/// Elementwise a <op> b over two f64 columns of equal row count. A null on
+/// either side yields a null row.
+Column project_bin_f64(const Column& a, const Column& b, BinOp op,
+                       const SelVec* sel = nullptr);
+
+/// Sum of `vals` grouped by `keys`, emitted sorted by key. Each group's sum
+/// accumulates in record order. Rows with an invalid key or value (bit
+/// clear in the respective validity word array, when non-null) are skipped.
+/// With `emit_sorted == false` the sort (and its per-group re-probe) is
+/// skipped and groups come out in deterministic table-scan order — enough
+/// for map-side partials that a downstream aggregate re-sorts anyway.
+struct AggResult {
+  std::vector<std::int64_t> keys;
+  std::vector<double> sums;
+};
+AggResult agg_sum(core::Arena& arena, const std::int64_t* keys,
+                  const double* vals, std::size_t n,
+                  const std::uint64_t* key_validity = nullptr,
+                  const std::uint64_t* val_validity = nullptr,
+                  bool emit_sorted = true);
+
+/// Equi-join of two i64 key arrays: for each probe row in order, emits one
+/// (build_row, probe_row) pair per matching build row, matches in build
+/// order. Returned index arrays are arena-backed.
+struct JoinResult {
+  const std::uint32_t* build_rows = nullptr;
+  const std::uint32_t* probe_rows = nullptr;
+  std::size_t size = 0;
+};
+JoinResult hash_join(core::Arena& arena, const std::int64_t* build,
+                     std::size_t build_n, const std::int64_t* probe,
+                     std::size_t probe_n);
+
+/// Stable sort of rows by the first `key_width` bytes of each row's text
+/// (rows shorter than key_width compare by their full length). Returns an
+/// arena-backed index array of length n.
+const std::uint32_t* sort_indices_by_bytes(core::Arena& arena,
+                                           const char* bytes,
+                                           const std::uint32_t* offsets,
+                                           std::size_t n,
+                                           std::size_t key_width);
+
+/// Groups row indices by partition id, preserving row order within each
+/// partition: rows[offsets[p] .. offsets[p+1]) are partition p's rows.
+/// Both arrays are arena-backed; offsets has parts+1 entries.
+struct Scatter {
+  const std::uint32_t* rows = nullptr;
+  const std::uint32_t* offsets = nullptr;
+  std::size_t parts = 0;
+};
+Scatter scatter_by_partition(core::Arena& arena,
+                             const std::uint32_t* part_ids, std::size_t n,
+                             std::size_t parts);
+
+}  // namespace tsx::columnar

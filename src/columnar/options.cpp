@@ -1,0 +1,70 @@
+#include "columnar/options.hpp"
+
+namespace tsx::columnar {
+
+std::string to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScan: return "scan";
+    case KernelKind::kFilter: return "filter";
+    case KernelKind::kProject: return "project";
+    case KernelKind::kSort: return "sort";
+    case KernelKind::kPartition: return "partition";
+    case KernelKind::kAggregate: return "aggregate";
+    case KernelKind::kJoin: return "join";
+    case KernelKind::kCacheRead: return "cache-read";
+    case KernelKind::kSink: return "sink";
+  }
+  return "?";
+}
+
+std::string kernel_stream_label(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScan:
+    case KernelKind::kFilter:
+    case KernelKind::kProject:
+    case KernelKind::kSink:
+      return "heap";
+    case KernelKind::kSort:
+    case KernelKind::kPartition:
+    case KernelKind::kAggregate:
+    case KernelKind::kJoin:
+      return "shuffle";
+    case KernelKind::kCacheRead:
+      return "cache";
+  }
+  return "?";
+}
+
+std::vector<Diagnostic> ColumnarConfig::validate() const {
+  std::vector<Diagnostic> out;
+  const auto bad = [&out](const std::string& field, const std::string& msg) {
+    out.push_back({field, msg});
+  };
+  if (batch_rows < 64 || batch_rows > (1 << 20))
+    bad("batch_rows", "must be in [64, 1048576]");
+  if (arena_chunk_kib < 1.0 || arena_chunk_kib > 65536.0)
+    bad("arena_chunk_kib", "must be in [1, 65536]");
+  if (dict_capacity < 16 || dict_capacity > (1 << 24))
+    bad("dict_capacity", "must be in [16, 16777216]");
+  return out;
+}
+
+void ColumnarStats::merge(const ColumnarStats& delta) {
+  for (int k = 0; k < kNumKernelKinds; ++k) {
+    kernels[k].invocations += delta.kernels[k].invocations;
+    kernels[k].rows_in += delta.kernels[k].rows_in;
+    kernels[k].rows_out += delta.kernels[k].rows_out;
+    kernels[k].bytes_read += delta.kernels[k].bytes_read;
+    kernels[k].bytes_written += delta.kernels[k].bytes_written;
+  }
+  queries += delta.queries;
+  stages_planned += delta.stages_planned;
+  batches += delta.batches;
+  regions += delta.regions;
+  region_bytes += delta.region_bytes;
+  arena_leases += delta.arena_leases;
+  if (delta.arena_high_water > arena_high_water)
+    arena_high_water = delta.arena_high_water;
+}
+
+}  // namespace tsx::columnar

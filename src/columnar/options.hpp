@@ -1,0 +1,101 @@
+// Configuration and result summary of the columnar execution subsystem.
+//
+// ColumnarConfig is embedded in workloads::RunConfig, so every knob here is
+// part of a run's identity: it appears in the stable hash and the persisted
+// cache key. The default (`enabled = false`) runs the exact row-at-a-time
+// code path — the columnar runtime is never even constructed and runs are
+// bit-identical to the pre-columnar engine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace tsx::columnar {
+
+/// The vectorized kernel families whose traffic the run report itemizes.
+/// Each kind maps to one engine stream class (see kernel_stream_label), so
+/// per-kernel bytes decompose the run's tier traffic at operator
+/// granularity — the finer view the paper's Fig. 2 analysis wants.
+enum class KernelKind : int {
+  kScan = 0,        ///< chunk materialization from a generator or input
+  kFilter = 1,      ///< predicate evaluation into a selection vector
+  kProject = 2,     ///< column-wise expression evaluation
+  kSort = 3,        ///< index sort over fetched shuffle output
+  kPartition = 4,   ///< scatter of rows into shuffle buckets
+  kAggregate = 5,   ///< hash aggregate (map-side combine and reduce merge)
+  kJoin = 6,        ///< hash join build + probe
+  kCacheRead = 7,   ///< re-read of a cached columnar batch store
+  kSink = 8,        ///< result materialization out of the columnar domain
+};
+inline constexpr int kNumKernelKinds = 9;
+
+std::string to_string(KernelKind kind);
+/// The stream class a kernel's traffic rides ("heap" / "shuffle" /
+/// "cache"), which is what binds it to a tier under the run's placement.
+std::string kernel_stream_label(KernelKind kind);
+
+struct ColumnarConfig {
+  /// Off by default: the row path runs byte for byte as before.
+  bool enabled = false;
+
+  /// Rows per batch the scan and exchange operators aim for. Bounds the
+  /// arena working set of one operator invocation.
+  int batch_rows = 4096;
+
+  /// First-chunk size of each task arena, in KiB.
+  double arena_chunk_kib = 256.0;
+
+  /// Max distinct values a string dictionary may intern before the encoder
+  /// reports overflow and the caller falls back to plain string columns.
+  int dict_capacity = 65536;
+
+  /// Structured range checks over every knob. Empty means valid.
+  /// Aggregated by RunConfig::validate with a "columnar." field prefix.
+  std::vector<Diagnostic> validate() const;
+
+  friend bool operator==(const ColumnarConfig&,
+                         const ColumnarConfig&) = default;
+};
+
+/// Ledger of one kernel family over a run. Counters only — all integral or
+/// exact sums accumulated in commit order, so serialized stats stay
+/// bit-identical across task-thread counts.
+struct KernelStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  Bytes bytes_read;
+  Bytes bytes_written;
+};
+
+/// What the columnar runtime did over one run (all-zero when disabled).
+struct ColumnarStats {
+  std::array<KernelStats, kNumKernelKinds> kernels{};
+
+  std::uint64_t queries = 0;         ///< Query::execute calls
+  std::uint64_t stages_planned = 0;  ///< stages the planner lowered
+  std::uint64_t batches = 0;         ///< chunks materialized
+  std::uint64_t regions = 0;         ///< kind-3 regions registered
+  Bytes region_bytes;                ///< bytes put into those regions
+
+  std::uint64_t arena_leases = 0;    ///< task arena checkouts (one reset each)
+  Bytes arena_high_water;            ///< max live arena bytes over any lease
+
+  KernelStats& kernel(KernelKind kind) {
+    return kernels[static_cast<int>(kind)];
+  }
+  const KernelStats& kernel(KernelKind kind) const {
+    return kernels[static_cast<int>(kind)];
+  }
+
+  /// Merges a per-task delta. Called in task commit order (serial order of
+  /// the stage), which keeps the Bytes sums deterministic.
+  void merge(const ColumnarStats& delta);
+};
+
+}  // namespace tsx::columnar

@@ -1,0 +1,160 @@
+// Declarative columnar query plans.
+//
+// A Query is a linear pipeline description — scan, then a sequence of
+// vectorized operators, optionally closed by a sink:
+//
+//   auto q = Query::scan(spec)
+//                .filter_i64(0, CmpOp::kGe, 100)
+//                .project_scale(1, 0.85, 0.15)
+//                .aggregate_sum(0, 1, parts);
+//   QueryResult r = execute(rt, q, "ranks");
+//
+// execute() lowers the plan onto spark::DAGScheduler stages: maximal runs
+// of narrow operators fuse into one ChunkRdd whose compute applies them
+// per batch with selection-vector chaining; each exchange operator
+// (repartition / aggregate / sort) becomes a shuffle dependency that
+// scatters batches through the engine's ShuffleStore with the same cost
+// accounting as the row-path shuffles. The planner emits one `query.plan`
+// trace record per stage before running and one `query.exec` record after,
+// through the Runtime's dedicated sink.
+//
+// Determinism: every operator's output order is a pure function of the
+// plan and the input (see kernels.hpp contracts), so results are
+// bit-identical at any task-thread count — the property the row-vs-columnar
+// equality gates lean on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "columnar/batch.hpp"
+#include "columnar/kernels.hpp"
+#include "columnar/runtime.hpp"
+#include "core/rng.hpp"
+#include "spark/scheduler.hpp"
+
+namespace tsx::columnar {
+
+/// Source description for Query::scan — a deterministic generator in the
+/// mould of generate_rdd: per partition, a seeded Rng and a batch producer.
+/// When charge_input_io is set the scan bills DFS read costs exactly like
+/// the row path's input stage (seek + disk read + per-byte deserialize +
+/// per-row object touch); otherwise it bills plain map cpu.
+struct ScanSpec {
+  std::string label;
+  std::size_t partitions = 1;
+  std::function<std::vector<Chunk>(std::size_t part, Rng& rng)> generate;
+  bool charge_input_io = true;
+};
+
+/// Whole-batch escape hatch: consumes the partition's chunks, returns the
+/// replacement. The function bills its own work through the KernelCtx.
+using TransformFn = std::function<std::vector<Chunk>(
+    std::size_t part, std::vector<Chunk> chunks, KernelCtx& kc)>;
+
+/// Terminal per-partition consumer, run inside the result task.
+using SinkFn = std::function<void(std::size_t part,
+                                  const std::vector<Chunk>& chunks,
+                                  KernelCtx& kc)>;
+
+/// Maps an i64 key to a partition bucket; the planner reduces the returned
+/// value modulo the exchange's partition count. Defaults to the key's
+/// unsigned value (which matches TsxHash for integer keys).
+using KeyPartitionFn = std::function<std::uint64_t(std::int64_t key)>;
+
+class Query {
+ public:
+  struct Op {
+    enum class Kind : int {
+      kScan,         ///< generator source
+      kScanStore,    ///< Runtime batch-store source
+      kFilterI64,    ///< selection-vector filter, i64 column
+      kFilterF64,    ///< selection-vector filter, f64 column
+      kProjectScale, ///< f64 column * mul + add
+      kTransform,    ///< whole-batch user operator
+      kJoinStore,    ///< hash join against a batch store partition
+      kRepartition,  ///< exchange: hash or custom partitioning
+      kAggregateSum, ///< exchange: map-side combine + merge, sum by key
+      kSortBytes,    ///< exchange: range partition + per-partition sort
+      kSink,         ///< terminal per-partition consumer
+    };
+
+    Kind kind = Kind::kScan;
+    std::string label;
+
+    ScanSpec scan;                ///< kScan
+    int store = -1;               ///< kScanStore / kJoinStore
+
+    int col = 0;                  ///< filter/project/join-probe/sort column
+    CmpOp cmp = CmpOp::kLt;       ///< kFilter*
+    std::int64_t i64_bound = 0;   ///< kFilterI64
+    double f64_bound = 0.0;       ///< kFilterF64
+    double mul = 1.0;             ///< kProjectScale
+    double add = 0.0;             ///< kProjectScale
+
+    TransformFn fn;               ///< kTransform
+    SinkFn sink_fn;               ///< kSink
+
+    int build_col = 0;            ///< kJoinStore: key column on the store side
+
+    std::size_t partitions = 0;   ///< exchanges: 0 = effective_shuffle_partitions
+    int key_col = 0;              ///< kRepartition / kAggregateSum
+    int val_col = 1;              ///< kAggregateSum
+    KeyPartitionFn part_fn;       ///< kRepartition / kAggregateSum
+    bool sort_output = false;     ///< kRepartition: sort reduce output by key
+    std::size_t key_width = 10;   ///< kSortBytes: comparison prefix bytes
+
+    bool is_exchange() const {
+      return kind == Kind::kRepartition || kind == Kind::kAggregateSum ||
+             kind == Kind::kSortBytes;
+    }
+  };
+
+  static Query scan(ScanSpec spec);
+  /// Scans an existing Runtime batch store (one task per partition).
+  static Query scan_store(int store, std::size_t partitions,
+                          std::string label);
+
+  Query& filter_i64(int col, CmpOp op, std::int64_t bound);
+  Query& filter_f64(int col, CmpOp op, double bound);
+  Query& project_scale(int col, double mul, double add);
+  Query& transform(std::string label, TransformFn fn);
+  /// Joins each partition's batches (probe side, key in `probe_col`)
+  /// against the same partition of `store` (build side, key in
+  /// `build_col`). Output: probe columns first, then build columns.
+  Query& join_store(int store, int probe_col, int build_col,
+                    std::string label);
+  Query& repartition_by_key(int key_col, std::size_t partitions = 0,
+                            KeyPartitionFn fn = {}, bool sort_by_key = false);
+  Query& aggregate_sum(int key_col, int val_col, std::size_t partitions = 0,
+                       KeyPartitionFn fn = {});
+  /// Total order by the first key_width bytes of string column `col`:
+  /// range-partitions on sampled bounds, then sorts each partition.
+  Query& sort_by_bytes(int col, std::size_t key_width,
+                       std::size_t partitions = 0);
+  Query& sink(std::string label, SinkFn fn);
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+struct QueryResult {
+  /// Final-stage output, one chunk list per partition.
+  std::vector<std::vector<Chunk>> partitions;
+  /// One entry per scheduler job the plan ran (sampling job included).
+  std::vector<spark::JobMetrics> jobs;
+  /// The rendered plan, one line per stage.
+  std::string plan;
+};
+
+/// Renders the stage plan without executing (one line per stage).
+std::string explain(const Query& query);
+
+/// Lowers the plan onto DAGScheduler stages and runs it.
+QueryResult execute(Runtime& rt, const Query& query, const std::string& name);
+
+}  // namespace tsx::columnar

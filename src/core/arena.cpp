@@ -1,0 +1,71 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+
+namespace tsx::core {
+
+Arena::Arena(std::size_t chunk_bytes)
+    : first_chunk_bytes_(std::max<std::size_t>(chunk_bytes, 256)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  if (bytes == 0) bytes = align;  // distinct non-null pointer per request
+  if (chunks_.empty()) ensure_chunk(bytes + align);
+
+  // Align the absolute address, not the offset: chunk storage itself only
+  // carries operator new[]'s (16-byte) guarantee.
+  const auto align_at = [&](const Chunk& c) {
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    return static_cast<std::size_t>(
+        ((base + offset_ + (align - 1)) & ~(std::uintptr_t{align} - 1)) -
+        base);
+  };
+  Chunk* chunk = &chunks_[next_chunk_];
+  std::size_t aligned = align_at(*chunk);
+  if (aligned + bytes > chunk->size) {
+    ensure_chunk(bytes + align);
+    chunk = &chunks_[next_chunk_];
+    aligned = align_at(*chunk);
+  }
+  offset_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  high_water_ = std::max(high_water_, bytes_allocated_);
+  return chunk->data.get() + aligned;
+}
+
+void Arena::ensure_chunk(std::size_t need) {
+  // Advance through retained chunks first; they are reset()-recycled.
+  while (next_chunk_ + 1 < chunks_.size()) {
+    ++next_chunk_;
+    offset_ = 0;
+    if (chunks_[next_chunk_].size >= need) return;
+  }
+  std::size_t grow = chunks_.empty()
+                         ? first_chunk_bytes_
+                         : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+  grow = std::max(grow, need);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(grow);
+  chunk.size = grow;
+  capacity_ += grow;
+  chunks_.push_back(std::move(chunk));
+  next_chunk_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::reset() {
+  next_chunk_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+  ++resets_;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  next_chunk_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+  capacity_ = 0;
+}
+
+}  // namespace tsx::core

@@ -1,0 +1,81 @@
+// Chunked bump allocator for batch-at-a-time columnar execution.
+//
+// A columnar operator allocates many short-lived, similarly sized buffers
+// (column vectors, validity words, selection vectors) per batch and frees
+// them all at once when the batch is consumed. A general-purpose heap pays
+// per-buffer metadata and lock traffic for that pattern; the Arena instead
+// hands out aligned slices of geometrically growing chunks and recycles
+// every chunk on reset(), so steady-state batch processing allocates
+// nothing from the system at all. Resets keep the high-water chunk set
+// alive — the reuse-across-batches contract DESIGN.md §13 relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tsx::core {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the size of the first chunk; later chunks double
+  /// until kMaxChunkBytes (oversized requests get a dedicated chunk).
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// An aligned slice of `bytes` bytes, valid until the next reset().
+  /// `align` must be a power of two. Zero-byte requests return a distinct
+  /// non-null pointer (so empty columns still have stable identities).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `n` default-constructible elements (no initialization;
+  /// callers overwrite every slot). Alignment follows T.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Retires every allocation but keeps the chunks for the next batch.
+  /// Pointers from before the reset are invalidated (their storage will be
+  /// handed out again), which is the point: one reset per batch boundary.
+  void reset();
+
+  /// Releases every chunk back to the system (used by pool trimming).
+  void release();
+
+  /// Bytes handed out since the last reset.
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Max bytes_allocated() observed over any reset cycle.
+  std::size_t high_water_bytes() const { return high_water_; }
+  /// Total bytes of chunk storage currently retained.
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::uint64_t resets() const { return resets_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Makes chunk `next_chunk_` usable with at least `need` free bytes,
+  /// growing the chunk list if every retained chunk is exhausted or small.
+  void ensure_chunk(std::size_t need);
+
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_ = 0;   ///< index of the chunk currently bumped
+  std::size_t offset_ = 0;       ///< bump offset within that chunk
+  std::size_t first_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace tsx::core

@@ -33,7 +33,9 @@ class ResultCache {
   /// stats object, so pre-tiering stores must not satisfy tiering lookups.
   /// v3: the fault section (RunConfig.fault knobs, RunResult.fault stats,
   /// failed/error flags) joined the schema and the cache key.
-  static constexpr int kStoreVersion = 3;
+  /// v4: the columnar section (RunConfig.columnar knobs, RunResult.columnar
+  /// per-kernel stats) joined the schema and the cache key.
+  static constexpr int kStoreVersion = 4;
 
   /// The memoized result for `config`, if present. Thread-safe.
   std::optional<workloads::RunResult> find(

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "columnar/options.hpp"
 #include "core/error.hpp"
 #include "core/strings.hpp"
 #include "tiering/options.hpp"
@@ -320,6 +321,10 @@ RunConfig config_from(const Value& v) {
       v.at("fault_speculation_multiplier").as_double();
   c.fault.speculation_min_fraction =
       v.at("fault_speculation_min_fraction").as_double();
+  c.columnar.enabled = v.at("columnar_enabled").as_bool();
+  c.columnar.batch_rows = v.at("columnar_batch_rows").as_int();
+  c.columnar.arena_chunk_kib = v.at("columnar_arena_chunk_kib").as_double();
+  c.columnar.dict_capacity = v.at("columnar_dict_capacity").as_int();
   return c;
 }
 
@@ -413,6 +418,32 @@ std::string to_json(const RunResult& result) {
   fa.field("rerouted_bytes", num(result.fault.rerouted_bytes.b()));
   fa.field("backoff_wait_seconds", num(result.fault.backoff_wait_seconds));
   w.field("fault", fa.close());
+  ObjectWriter co;
+  std::string kernels = "[";
+  for (int i = 0; i < columnar::kNumKernelKinds; ++i) {
+    const auto& k = result.columnar.kernels[static_cast<std::size_t>(i)];
+    if (i) kernels += ',';
+    ObjectWriter kw;
+    kw.field("kind", quote(columnar::to_string(
+                         static_cast<columnar::KernelKind>(i))));
+    kw.field("stream", quote(columnar::kernel_stream_label(
+                           static_cast<columnar::KernelKind>(i))));
+    kw.field("invocations", std::to_string(k.invocations));
+    kw.field("rows_in", std::to_string(k.rows_in));
+    kw.field("rows_out", std::to_string(k.rows_out));
+    kw.field("bytes_read", num(k.bytes_read.b()));
+    kw.field("bytes_written", num(k.bytes_written.b()));
+    kernels += kw.close();
+  }
+  co.field("kernels", kernels + "]");
+  co.field("queries", std::to_string(result.columnar.queries));
+  co.field("stages_planned", std::to_string(result.columnar.stages_planned));
+  co.field("batches", std::to_string(result.columnar.batches));
+  co.field("regions", std::to_string(result.columnar.regions));
+  co.field("region_bytes", num(result.columnar.region_bytes.b()));
+  co.field("arena_leases", std::to_string(result.columnar.arena_leases));
+  co.field("arena_high_water", num(result.columnar.arena_high_water.b()));
+  w.field("columnar", co.close());
   w.field("valid", result.valid ? "true" : "false");
   w.field("validation", quote(result.validation));
   w.field("failed", result.failed ? "true" : "false");
@@ -505,6 +536,28 @@ bool result_from_json(const std::string& json, RunResult* out) {
     r.fault.rerouted_requests = fa.at("rerouted_requests").as_u64();
     r.fault.rerouted_bytes = Bytes::of(fa.at("rerouted_bytes").as_double());
     r.fault.backoff_wait_seconds = fa.at("backoff_wait_seconds").as_double();
+    const Value& co = v.at("columnar");
+    const Value& kernels = co.at("kernels");
+    TSX_CHECK(kernels.array.size() ==
+                  static_cast<std::size_t>(columnar::kNumKernelKinds),
+              "kernel kind count mismatch");
+    for (std::size_t i = 0; i < kernels.array.size(); ++i) {
+      const Value& kw = kernels.array[i];
+      columnar::KernelStats& k = r.columnar.kernels[i];
+      k.invocations = kw.at("invocations").as_u64();
+      k.rows_in = kw.at("rows_in").as_u64();
+      k.rows_out = kw.at("rows_out").as_u64();
+      k.bytes_read = Bytes::of(kw.at("bytes_read").as_double());
+      k.bytes_written = Bytes::of(kw.at("bytes_written").as_double());
+    }
+    r.columnar.queries = co.at("queries").as_u64();
+    r.columnar.stages_planned = co.at("stages_planned").as_u64();
+    r.columnar.batches = co.at("batches").as_u64();
+    r.columnar.regions = co.at("regions").as_u64();
+    r.columnar.region_bytes = Bytes::of(co.at("region_bytes").as_double());
+    r.columnar.arena_leases = co.at("arena_leases").as_u64();
+    r.columnar.arena_high_water =
+        Bytes::of(co.at("arena_high_water").as_double());
     r.valid = v.at("valid").as_bool();
     r.validation = v.at("validation").text;
     r.failed = v.at("failed").as_bool();

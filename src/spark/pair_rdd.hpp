@@ -145,6 +145,8 @@ class PlainShuffleDep final : public ShuffleDependencyBase {
   void run_map_task(std::size_t map_part, TaskContext& ctx) const override {
     std::vector<Record> in = typed_parent_->compute(map_part, ctx);
     std::vector<std::vector<Record>> buckets(reduce_partitions_);
+    for (auto& bucket : buckets)
+      bucket.reserve(in.size() / reduce_partitions_ + 1);
     double bytes = 0.0;
     for (Record& r : in) {
       bytes += est_bytes(r);
@@ -278,6 +280,8 @@ class CombineShuffleDep final : public ShuffleDependencyBase {
 
     // Partition and write buckets.
     std::vector<std::vector<OutRecord>> buckets(reduce_partitions_);
+    for (auto& bucket : buckets)
+      bucket.reserve(combined.size() / reduce_partitions_ + 1);
     double bytes = 0.0;
     for (auto& [k, v] : combined) {
       const std::size_t r = partition_fn_(k) % reduce_partitions_;

@@ -226,6 +226,7 @@ class FlatMapRDD final : public RDD<U> {
   std::vector<U> compute(std::size_t part, TaskContext& ctx) const override {
     const std::vector<T> in = parent_->compute(part, ctx);
     std::vector<U> out;
+    out.reserve(in.size());  // each input yields at least ~one record
     for (const T& x : in) {
       std::vector<U> piece = fn_(x);
       std::move(piece.begin(), piece.end(), std::back_inserter(out));

@@ -1,6 +1,7 @@
 #include "spark/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -12,6 +13,15 @@
 #include "spark/task_effects.hpp"
 
 namespace tsx::spark {
+
+namespace {
+/// Wall-clock seconds elapsed since `start` (host execute accounting).
+double elapsed_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
 
 void DAGScheduler::collect_shuffles(
     const RddBase& rdd,
@@ -70,14 +80,18 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
       Executor& executor = *executors[task_counter_++ % executors.size()];
       const int stage_id = record.stage_id;
       executor.submit(Executor::Work{
-          [this, stage_id, p, &task]() -> TaskCost {
+          [this, stage_id, p, &task, &record]() -> TaskCost {
             // Per-task rng stream: deterministic in (job seed, stage, task).
             std::uint64_t mix = sc_.job_seed() ^
                                 (static_cast<std::uint64_t>(stage_id) << 32) ^
                                 static_cast<std::uint64_t>(p);
             TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
                             Rng(splitmix64(mix)));
+            const auto host_start = std::chrono::steady_clock::now();
             task(p, ctx);
+            const double secs = elapsed_since(host_start);
+            record.host_seconds += secs;
+            host_seconds_ += secs;
             return ctx.cost();
           },
           [this, remaining, &metrics](const TaskCost& cost) {
@@ -119,7 +133,7 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   return record;
 }
 
-void DAGScheduler::run_tasks_parallel(const StageRecord& record,
+void DAGScheduler::run_tasks_parallel(StageRecord& record,
                                       std::size_t num_tasks,
                                       const TaskFn& task,
                                       JobMetrics& metrics) {
@@ -136,6 +150,7 @@ void DAGScheduler::run_tasks_parallel(const StageRecord& record,
   // ever read state they wrote themselves or state committed before the
   // previous stage barrier.
   std::vector<TaskCost> costs(num_tasks);
+  std::vector<double> host_times(num_tasks, 0.0);
   auto effects = std::make_shared<std::vector<TaskEffects>>(num_tasks);
   sc_.task_pool()->run_batch(num_tasks, [&](std::size_t p) {
     TaskEffects::Scope scope(&(*effects)[p]);
@@ -144,9 +159,15 @@ void DAGScheduler::run_tasks_parallel(const StageRecord& record,
                         static_cast<std::uint64_t>(p);
     TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
                     Rng(splitmix64(mix)));
+    const auto host_start = std::chrono::steady_clock::now();
     task(p, ctx);
+    host_times[p] = elapsed_since(host_start);
     costs[p] = ctx.cost();
   });
+  for (const double secs : host_times) {
+    record.host_seconds += secs;
+    host_seconds_ += secs;
+  }
 
   // Phase 2 — commit. Submissions replay the serial path exactly: same
   // partition order, same round-robin executor assignment, same dispatch
@@ -180,7 +201,7 @@ void DAGScheduler::run_tasks_parallel(const StageRecord& record,
   }
 }
 
-void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
+void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
                                            std::size_t num_tasks,
                                            const TaskFn& task,
                                            JobMetrics& metrics,
@@ -211,7 +232,7 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
   auto launch = std::make_shared<std::function<void(std::size_t)>>();
 
   *launch = [this, states, remaining, durations, launch, stage_id, rng_stage,
-             num_tasks, opts, &task, &metrics](std::size_t i) {
+             num_tasks, opts, &task, &metrics, &record](std::size_t i) {
     sim::Simulator& sim = sc_.machine().simulator();
     auto& executors = sc_.executors();
 
@@ -241,8 +262,8 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
     work.partition = p;
     work.attempt = attempt;
     const int executor_id = chosen->spec().id;
-    work.host = [this, states, i, p, rng_stage, executor_id,
-                 &task]() -> TaskCost {
+    work.host = [this, states, i, p, rng_stage, executor_id, &task,
+                 &record]() -> TaskCost {
       if ((*states)[i].done) return TaskCost{};  // losing duplicate: no-op
       // Retries and duplicates replay the *same* rng stream as the first
       // attempt — a task is a pure function of (job seed, stage, partition),
@@ -252,7 +273,11 @@ void DAGScheduler::run_tasks_with_recovery(const StageRecord& record,
                           static_cast<std::uint64_t>(p);
       TaskContext ctx(rng_stage, p, sc_.costs(), sc_.cost_multiplier(),
                       Rng(splitmix64(mix)), executor_id);
+      const auto host_start = std::chrono::steady_clock::now();
       task(p, ctx);
+      const double secs = elapsed_since(host_start);
+      record.host_seconds += secs;
+      host_seconds_ += secs;
       return ctx.cost();
     };
     work.done = [this, states, remaining, durations, launch, i, attempt,

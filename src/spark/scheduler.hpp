@@ -38,6 +38,13 @@ struct StageRecord {
   Bandwidth peak_channel_bandwidth;
   /// Name of that channel.
   std::string peak_channel;
+
+  /// Real (wall-clock) seconds spent evaluating this stage's task host
+  /// functions, summed over tasks. This measures the engine's own execute
+  /// cost — what the columnar path optimizes — and is deliberately kept
+  /// out of RunResult serialization: wall time is hardware noise, and the
+  /// bit-identity gates compare serialized results across thread counts.
+  double host_seconds = 0.0;
 };
 
 struct JobMetrics {
@@ -87,6 +94,11 @@ class DAGScheduler {
   std::size_t jobs_run() const { return jobs_run_; }
   std::size_t tasks_run() const { return tasks_run_; }
 
+  /// Real seconds spent in task host functions across all jobs (the sum of
+  /// StageRecord::host_seconds). Feeds bench_perf's columnar-vs-row
+  /// comparison; never serialized.
+  double host_execute_seconds() const { return host_seconds_; }
+
  private:
   using TaskFn = std::function<void(std::size_t, TaskContext&)>;
 
@@ -107,7 +119,7 @@ class DAGScheduler {
   /// Fault-mode task loop: per-task retries with capped exponential
   /// backoff, speculative duplicates for stragglers, live-executor
   /// placement. Fills in the submission/barrier part of run_stage.
-  void run_tasks_with_recovery(const StageRecord& record,
+  void run_tasks_with_recovery(StageRecord& record,
                                std::size_t num_tasks, const TaskFn& task,
                                JobMetrics& metrics, const StageOptions& opts);
 
@@ -117,7 +129,7 @@ class DAGScheduler {
   /// pre-computed TaskCosts into the simulator — through the exact
   /// submission sequence the serial path uses. Fault-free stages only;
   /// bit-identical to the serial branch of run_stage.
-  void run_tasks_parallel(const StageRecord& record, std::size_t num_tasks,
+  void run_tasks_parallel(StageRecord& record, std::size_t num_tasks,
                           const TaskFn& task, JobMetrics& metrics);
 
   /// Advances virtual time by `d` (framework overhead with no resource use).
@@ -125,6 +137,7 @@ class DAGScheduler {
 
   SparkContext& sc_;
   TaskCost lifetime_cost_;
+  double host_seconds_ = 0.0;
   std::size_t jobs_run_ = 0;
   std::size_t tasks_run_ = 0;
   int next_stage_id_ = 0;

@@ -13,13 +13,14 @@ constexpr std::size_t kKeyAlphabetSize = sizeof(kKeyAlphabet) - 1;
 
 std::string random_line(Rng& rng, std::size_t key_width, std::size_t width) {
   TSX_CHECK(width >= key_width + 1, "line width too small for key");
-  std::string line;
-  line.reserve(width);
+  // Size once and write in place: same characters from the same rng draws
+  // as the append loop, without a capacity check per character.
+  std::string line(width, '\0');
   for (std::size_t i = 0; i < key_width; ++i)
-    line += kKeyAlphabet[rng.uniform_u64(kKeyAlphabetSize)];
-  line += ' ';
-  while (line.size() < width)
-    line += static_cast<char>('a' + rng.uniform_u64(26));
+    line[i] = kKeyAlphabet[rng.uniform_u64(kKeyAlphabetSize)];
+  line[key_width] = ' ';
+  for (std::size_t i = key_width + 1; i < width; ++i)
+    line[i] = static_cast<char>('a' + rng.uniform_u64(26));
   return line;
 }
 
@@ -106,21 +107,25 @@ std::vector<AdjacencyRow> random_graph_rows(Rng& rng, std::uint32_t first_page,
   TSX_CHECK(total_pages > 0, "graph needs pages");
   std::vector<AdjacencyRow> out;
   out.reserve(count);
+  // Sample into reused scratch so each row's final vector is allocated
+  // exactly once at its deduplicated size. Same draws, same rows.
+  std::vector<std::uint32_t> scratch;
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t page = first_page + i;
     const std::uint64_t degree = 1 + rng.poisson(
         static_cast<double>(mean_degree) - 1.0);
-    std::vector<std::uint32_t> links;
-    links.reserve(degree);
+    scratch.clear();
+    scratch.reserve(degree);
     for (std::uint64_t d = 0; d < degree; ++d) {
       auto target = static_cast<std::uint32_t>(target_sampler(rng) %
                                                total_pages);
       if (target == page) target = (target + 1) % total_pages;
-      links.push_back(target);
+      scratch.push_back(target);
     }
-    std::sort(links.begin(), links.end());
-    links.erase(std::unique(links.begin(), links.end()), links.end());
-    out.emplace_back(page, std::move(links));
+    std::sort(scratch.begin(), scratch.end());
+    const auto end = std::unique(scratch.begin(), scratch.end());
+    out.emplace_back(page,
+                     std::vector<std::uint32_t>(scratch.begin(), end));
   }
   return out;
 }

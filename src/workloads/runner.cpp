@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "columnar/runtime.hpp"
 #include "core/error.hpp"
 #include "core/thread_budget.hpp"
 #include "core/strings.hpp"
@@ -118,6 +119,12 @@ std::vector<std::pair<std::string, std::string>> config_fields(
        strfmt("%.17g", config.fault.speculation_multiplier)},
       {"fault_speculation_min_fraction",
        strfmt("%.17g", config.fault.speculation_min_fraction)},
+      {"columnar_enabled", config.columnar.enabled ? "1" : "0"},
+      {"columnar_batch_rows", std::to_string(config.columnar.batch_rows)},
+      {"columnar_arena_chunk_kib",
+       strfmt("%.17g", config.columnar.arena_chunk_kib)},
+      {"columnar_dict_capacity",
+       std::to_string(config.columnar.dict_capacity)},
   };
 }
 
@@ -218,6 +225,14 @@ std::vector<Diagnostic> RunConfig::validate() const {
     for (const Diagnostic& d : fault.validate())
       issues.push_back({"fault." + d.field, d.message});
   }
+  if (columnar.enabled) {
+    for (const Diagnostic& d : columnar.validate())
+      issues.push_back({"columnar." + d.field, d.message});
+    if (fault.enabled)
+      bad("columnar.enabled",
+          "columnar execution does not participate in lineage recovery yet; "
+          "run the row path under fault injection");
+  }
   return issues;
 }
 
@@ -299,6 +314,13 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
     faults->start();
   }
 
+  // And for the columnar runtime: constructed only when enabled, so a
+  // row-path run never even registers the SparkContext in the columnar
+  // registry (Runtime::of returns nullptr and apps take the row branch).
+  std::unique_ptr<columnar::Runtime> col;
+  if (config.columnar.enabled)
+    col = std::make_unique<columnar::Runtime>(sc, config.columnar);
+
   mem::MbaController mba(machine);
   if (config.mba_percent != 100)
     mba.set_throttle_percent(config.mba_percent);
@@ -356,6 +378,11 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
 
   if (engine) result.tiering = engine->stats();
   if (faults) result.fault = faults->stats();
+  if (col) {
+    col->finish();
+    result.columnar = col->stats();
+  }
+  result.host_execute_seconds = sc.scheduler().host_execute_seconds();
 
   result.events = metrics::synthesize_events(
       result.total_cost, result.exec_time, result.tasks,

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "columnar/options.hpp"
 #include "fault/options.hpp"
 #include "mem/energy.hpp"
 #include "mem/tier.hpp"
@@ -83,6 +84,12 @@ struct RunConfig {
   /// exact pre-fault code path — the controller is not even constructed.
   fault::FaultConfig fault;
 
+  /// Vectorized columnar execution. The default (`enabled = false`) runs
+  /// the exact row-at-a-time code path — the columnar runtime is not even
+  /// constructed. When enabled, workloads with a columnar port (sort,
+  /// pagerank) execute through the query layer instead.
+  columnar::ColumnarConfig columnar;
+
   std::string describe() const;
 
   /// Two configs are equal iff every knob matches — the identity the result
@@ -140,6 +147,14 @@ struct RunResult {
   /// What the fault plane injected and what recovery cost (all-zero when
   /// faults are disabled).
   fault::FaultStats fault;
+  /// What the columnar runtime did (all-zero when columnar is off).
+  columnar::ColumnarStats columnar;
+
+  /// Host (real) seconds spent inside stage task execution, summed over the
+  /// run's stages. Deliberately kept out of serialization — wall-clock is
+  /// machine-dependent and must not perturb the bit-identity gates; the
+  /// perf bench reads it to compare row vs columnar execution speed.
+  double host_execute_seconds = 0.0;
 
   bool valid = false;
   std::string validation;

@@ -2,10 +2,22 @@
 // 320 MB / 3.2 GB of ~100-byte lines). The job is the classic TeraSort
 // shape — read from DFS, sortByKey with a sampled range partitioner (one
 // sampling job + one full shuffle), write back to DFS.
+//
+// Two execution paths share the shape: the row path (RDD of std::string,
+// sort_by_key over a 10-byte prefix) and, when the run enables columnar
+// execution, a vectorized port that scans the identical generated lines
+// into string-column chunks and total-orders them through the query
+// layer's range-partitioned sort exchange. Both end in the same DFS file
+// and the same self-check.
+#include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
-#include "spark/pair_rdd.hpp"
+#include "columnar/query.hpp"
+#include "columnar/runtime.hpp"
 #include "core/strings.hpp"
+#include "spark/pair_rdd.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/datagen.hpp"
 
@@ -14,6 +26,7 @@ namespace tsx::workloads {
 namespace {
 
 constexpr std::size_t kLineWidth = 100;
+constexpr std::size_t kSortKeyWidth = 10;
 constexpr std::uint64_t kSampleCapBytes = 2 * 1024 * 1024;
 
 std::uint64_t nominal_bytes(ScaleId scale) {
@@ -24,6 +37,92 @@ std::uint64_t nominal_bytes(ScaleId scale) {
                                  200ULL * 1024 * 1024;          // 3.2 GB
   }
   return 0;
+}
+
+// Self-check shared by both paths: output must be globally ordered by the
+// key prefix and complete.
+void check_sort_output(spark::SparkContext& sc, std::size_t sample_lines,
+                       AppOutcome& outcome) {
+  const std::vector<std::string> out = sc.dfs().read_text("/out/sort");
+  bool ordered = true;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i - 1].substr(0, kSortKeyWidth) > out[i].substr(0, kSortKeyWidth))
+      ordered = false;
+  const bool complete = out.size() >= sample_lines;
+  outcome.valid = ordered && complete;
+  outcome.validation = strfmt("%zu lines, ordered=%d complete=%d", out.size(),
+                              ordered ? 1 : 0, complete ? 1 : 0);
+}
+
+AppOutcome run_sort_columnar(columnar::Runtime& rt, spark::SparkContext& sc,
+                             std::size_t sample_lines,
+                             std::size_t input_parts) {
+  columnar::ScanSpec spec;
+  spec.label = "sortInput";
+  spec.partitions = input_parts;
+  spec.charge_input_io = true;
+  const auto batch_rows = static_cast<std::size_t>(rt.config().batch_rows);
+  spec.generate = [sample_lines, input_parts, batch_rows](std::size_t p,
+                                                          Rng& rng) {
+    const std::size_t lo = p * sample_lines / input_parts;
+    const std::size_t hi = (p + 1) * sample_lines / input_parts;
+    // Identical line data to the row path's generate_rdd: same rng stream,
+    // same per-partition slice.
+    const std::vector<std::string> raw =
+        random_lines(rng, hi - lo, kLineWidth);
+    std::vector<columnar::Chunk> chunks;
+    chunks.reserve(raw.size() / batch_rows + 1);
+    for (std::size_t at = 0; at < raw.size(); at += batch_rows) {
+      const std::size_t n = std::min(batch_rows, raw.size() - at);
+      columnar::StrBuilder lines;
+      lines.reserve(n, n * kLineWidth);
+      for (std::size_t i = 0; i < n; ++i) lines.append(raw[at + i]);
+      columnar::Chunk chunk;
+      chunk.rows = n;
+      chunk.cols.push_back(lines.seal());
+      chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+  };
+
+  auto query =
+      columnar::Query::scan(std::move(spec))
+          .sort_by_bytes(0, kSortKeyWidth)
+          .sink("saveText",
+                [&sc](std::size_t, const std::vector<columnar::Chunk>& chunks,
+                      columnar::KernelCtx& kc) {
+                  // The row path's save_as_text_file task bill: serialize
+                  // the lines (one newline each), stream them off the heap,
+                  // one seek plus a sequential write.
+                  double text = 0.0;
+                  for (const columnar::Chunk& c : chunks)
+                    if (!c.cols.empty())
+                      text += static_cast<double>(c.cols[0].bytes.size()) +
+                              static_cast<double>(c.rows);
+                  const Bytes bytes = Bytes::of(text);
+                  kc.task.charge_cpu_ns(
+                      text * kc.task.costs().serialize_cpu_ns_per_byte);
+                  kc.task.charge_stream_read(bytes);
+                  kc.task.charge_io(sc.dfs().write_seek_overhead(bytes));
+                  kc.task.charge_disk_write(bytes);
+                });
+
+  columnar::QueryResult qr = columnar::execute(rt, query, "sort");
+
+  // Driver-side fold, like save_as_text_file: partitions arrive in order,
+  // rows within a partition are already sorted.
+  std::vector<std::string> all;
+  all.reserve(sample_lines);
+  for (const std::vector<columnar::Chunk>& part : qr.partitions)
+    for (const columnar::Chunk& c : part)
+      for (std::size_t r = 0; r < c.rows; ++r)
+        all.emplace_back(c.cols[0].str(r));
+  sc.dfs().write_text("/out/sort", std::move(all));
+
+  AppOutcome outcome;
+  outcome.jobs.push_back(qr.jobs.back());
+  check_sort_output(sc, sample_lines, outcome);
+  return outcome;
 }
 
 }  // namespace
@@ -41,6 +140,9 @@ AppOutcome run_sort(spark::SparkContext& sc, ScaleId scale) {
   const auto input_parts = std::max<std::size_t>(
       1, std::min<std::size_t>(
              64, plan.nominal / (128ULL * 1024 * 1024) + 1));
+
+  if (columnar::Runtime* rt = columnar::Runtime::of(sc))
+    return run_sort_columnar(*rt, sc, sample_lines, input_parts);
 
   auto lines = generate_rdd<std::string>(
       sc, "sortInput", input_parts,
@@ -69,15 +171,7 @@ AppOutcome run_sort(spark::SparkContext& sc, ScaleId scale) {
       &save_metrics);
   outcome.jobs.push_back(save_metrics);
 
-  // Self-check: output must be globally ordered and complete.
-  const std::vector<std::string> out = sc.dfs().read_text("/out/sort");
-  bool ordered = true;
-  for (std::size_t i = 1; i < out.size(); ++i)
-    if (out[i - 1].substr(0, 10) > out[i].substr(0, 10)) ordered = false;
-  const bool complete = out.size() >= sample_lines;
-  outcome.valid = ordered && complete;
-  outcome.validation = strfmt("%zu lines, ordered=%d complete=%d", out.size(),
-                              ordered ? 1 : 0, complete ? 1 : 0);
+  check_sort_output(sc, sample_lines, outcome);
   return outcome;
 }
 
