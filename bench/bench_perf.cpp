@@ -23,6 +23,12 @@
 // task execution, so scheduler/report overhead is excluded), best-of-N,
 // recorded as a "columnar" column group in the same history entry.
 //
+// Part 4 turns the observability plane on for pagerank on DRAM and on NVM
+// and records the run span's per-phase tier-time attribution (all nine
+// buckets, in simulated seconds) as an "attribution" group in the same
+// history entry — the paper's where-does-the-time-go breakdown, tracked
+// over the repo's life alongside the wall-clock numbers.
+//
 //   TSX_PERF_SCALE=tiny|small|large   timing scale (default small)
 //   TSX_PERF_REPEATS=<n>              timing repeats per cell (default 3)
 //   TSX_PERF_SKIP_GATE=1              timing only (for quick local runs)
@@ -34,6 +40,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mem/tier.hpp"
+#include "obs/span.hpp"
 #include "runner/serialize.hpp"
 #include "workloads/scales.hpp"
 
@@ -210,8 +218,48 @@ int main() {
         "\"columnar_speedup\": %.4f}",
         to_string(app).c_str(), row_s, col_s, speedup);
   }
-  entry += "\n      ]\n    }";
+  entry += "\n      ]";
   ctable.print(std::cout);
+
+  // --- Part 4: per-phase tier-time attribution (pagerank, DRAM vs NVM) ---
+  TablePrinter atable({"pagerank on", "run (s)", "queue_wait", "compute",
+                       "dram", "nvm", "migration", "other"});
+  entry += ",\n      \"attribution\": [\n";
+  bool first_attr = true;
+  for (const mem::TierId tier : {mem::TierId::kTier0, mem::TierId::kTier2}) {
+    RunConfig cfg;
+    cfg.app = App::kPagerank;
+    cfg.scale = scale;
+    cfg.tier = tier;
+    cfg.obs.enabled = true;
+    const RunResult result = run_workload(cfg);
+    const obs::Span* run_span = nullptr;
+    for (const obs::Span& s : result.trace->spans())
+      if (s.kind == obs::SpanKind::kRun) run_span = &s;
+    if (run_span == nullptr) continue;  // cannot happen when obs is on
+    const obs::TimeAttribution& attr = run_span->attr;
+    const std::string label = tier == mem::TierId::kTier0 ? "dram" : "nvm";
+    atable.add_row(
+        {label, TablePrinter::num(run_span->duration().sec(), 3),
+         TablePrinter::num(attr[obs::Bucket::kQueueWait], 3),
+         TablePrinter::num(attr[obs::Bucket::kCompute], 3),
+         TablePrinter::num(attr[obs::Bucket::kDramService], 3),
+         TablePrinter::num(attr[obs::Bucket::kNvmService], 3),
+         TablePrinter::num(attr[obs::Bucket::kMigrationStall], 3),
+         TablePrinter::num(attr[obs::Bucket::kOther], 3)});
+    if (!first_attr) entry += ",\n";
+    first_attr = false;
+    entry += strfmt("        {\"tier\": \"%s\", \"run_s\": %.6f",
+                    label.c_str(), run_span->duration().sec());
+    for (int b = 0; b < obs::kNumBuckets; ++b) {
+      const obs::Bucket bucket = static_cast<obs::Bucket>(b);
+      entry += strfmt(", \"%s_s\": %.6f", obs::to_string(bucket),
+                      attr[bucket]);
+    }
+    entry += "}";
+  }
+  entry += "\n      ]\n    }";
+  atable.print(std::cout);
 
   const std::string prior = prior_history_entries("BENCH_perf.json");
   std::string json = "{\n  \"bench\": \"perf\",\n  \"history\": [\n";

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Gate a tsx::obs Chrome trace against ci/trace_schema.json.
+
+Stdlib only (CI images carry no jsonschema package): implements the small
+schema subset the checked-in schema uses — type, required, enum,
+properties, items, minimum, minLength, minItems — plus the cross-field
+rules a generic schema cannot express:
+
+  * "X" (complete) events carry ts and dur;
+  * "i" (instant) events carry ts;
+  * an event's args.attr bucket map sums to its dur (microseconds) within
+    float-rounding slack — the exporter-level echo of the recorder's
+    exact-sum invariant.
+
+Usage: validate_trace.py TRACE.json [SCHEMA.json]
+Exit code 0 = valid; 1 = violations (listed on stderr); 2 = bad usage.
+"""
+import json
+import os
+import sys
+
+MAX_ERRORS = 50
+
+
+def check(value, schema, path, errors):
+    if len(errors) >= MAX_ERRORS:
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected object, got {type(value).__name__}")
+            return
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required field '{req}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    elif t == "array":
+        if not isinstance(value, list):
+            errors.append(f"{path}: expected array, got {type(value).__name__}")
+            return
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                check(item, items, f"{path}[{i}]", errors)
+    elif t == "string":
+        if not isinstance(value, str):
+            errors.append(f"{path}: expected string, got {type(value).__name__}")
+        elif len(value) < schema.get("minLength", 0):
+            errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    elif t == "number":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"{path}: expected number, got {type(value).__name__}")
+        elif "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    elif t == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            errors.append(f"{path}: expected integer, got {type(value).__name__}")
+        elif "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+
+def cross_field(events, errors):
+    for i, ev in enumerate(events):
+        if len(errors) >= MAX_ERRORS:
+            return
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        path = f"$.traceEvents[{i}]"
+        if ph == "X":
+            if "ts" not in ev or "dur" not in ev:
+                errors.append(f"{path}: 'X' event needs ts and dur")
+                continue
+        elif ph == "i":
+            if "ts" not in ev:
+                errors.append(f"{path}: 'i' event needs ts")
+        attr = ev.get("args", {}).get("attr") if isinstance(ev.get("args"), dict) else None
+        if ph == "X" and isinstance(attr, dict):
+            total_us = sum(v for v in attr.values() if isinstance(v, (int, float))) * 1e6
+            dur = ev.get("dur", 0.0)
+            slack = 1e-3 * max(1.0, dur)  # float noise on a us scale
+            if abs(total_us - dur) > slack:
+                errors.append(
+                    f"{path}: attr sums to {total_us:.6f}us but dur is "
+                    f"{dur:.6f}us ('{ev.get('name')}')")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "trace_schema.json")
+    try:
+        with open(trace_path, "rb") as f:
+            trace = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot parse {trace_path}: {e}", file=sys.stderr)
+        return 1
+    with open(schema_path, "rb") as f:
+        schema = json.load(f)
+
+    errors = []
+    check(trace, schema, "$", errors)
+    events = trace.get("traceEvents", [])
+    if isinstance(events, list):
+        cross_field(events, errors)
+
+    if errors:
+        print(f"{trace_path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    n = len(events) if isinstance(events, list) else 0
+    print(f"{trace_path}: OK ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -380,7 +380,7 @@ class ChunkRdd final : public spark::RDD<Chunk> {
   std::vector<Chunk> compute(std::size_t part,
                              spark::TaskContext& ctx) const override {
     Runtime::ArenaLease lease = rt_->lease_arena();
-    KernelCtx kc(ctx, *lease, rt_->config());
+    KernelCtx kc(ctx, *lease, rt_->config(), rt_->context().obs() != nullptr);
     std::vector<Chunk> chunks;
     std::size_t start = 0;
     if (parent_ == nullptr) {
@@ -414,7 +414,7 @@ class ChunkRdd final : public spark::RDD<Chunk> {
       chunks = parent_->compute(part, ctx);
     }
     apply_narrow(part, chunks, ops_, start, kc, *rt_);
-    rt_->commit_delta(kc.delta);
+    rt_->commit_task(kc);
     return chunks;
   }
 
@@ -447,7 +447,7 @@ class ChunkShuffleDep final : public spark::ShuffleDependencyBase {
                     spark::TaskContext& ctx) const override {
     std::vector<Chunk> chunks = typed_parent_->compute(map_part, ctx);
     Runtime::ArenaLease lease = rt_->lease_arena();
-    KernelCtx kc(ctx, *lease, rt_->config());
+    KernelCtx kc(ctx, *lease, rt_->config(), rt_->context().obs() != nullptr);
     const spark::CostModel& c = ctx.costs();
     const bool zero_copy = typed_parent_->context()->conf().zero_copy_shuffle;
     spark::ShuffleStore& store = typed_parent_->context()->shuffle_store();
@@ -555,7 +555,7 @@ class ChunkShuffleDep final : public spark::ShuffleDependencyBase {
                        std::any(std::move(buckets[r])), size,
                        ctx.executor_id());
     }
-    rt_->commit_delta(kc.delta);
+    rt_->commit_task(kc);
   }
 
   const Op& op() const { return op_; }
@@ -608,7 +608,7 @@ class ShuffledChunkRdd final : public spark::RDD<Chunk> {
     if (got.empty()) return {};
 
     Runtime::ArenaLease lease = rt_->lease_arena();
-    KernelCtx kc(ctx, *lease, rt_->config());
+    KernelCtx kc(ctx, *lease, rt_->config(), rt_->context().obs() != nullptr);
     const spark::CostModel& c = ctx.costs();
     std::vector<Chunk> out;
 
@@ -672,7 +672,7 @@ class ShuffledChunkRdd final : public spark::RDD<Chunk> {
                   chunk_bytes(sorted));
       out.push_back(std::move(sorted));
     }
-    rt_->commit_delta(kc.delta);
+    rt_->commit_task(kc);
     return out;
   }
 
@@ -924,7 +924,8 @@ QueryResult execute(Runtime& rt, const Query& query, const std::string& name) {
                                         spark::TaskContext& ctx) {
         std::vector<Chunk> chunks = final_rdd->compute(p, ctx);
         Runtime::ArenaLease lease = rtp->lease_arena();
-        KernelCtx kc(ctx, *lease, rtp->config());
+        KernelCtx kc(ctx, *lease, rtp->config(),
+                     rtp->context().obs() != nullptr);
         const double rows = chunks_rows(chunks);
         const double bytes = chunks_bytes(chunks);
         if (sink_ops->empty()) {
@@ -933,7 +934,7 @@ QueryResult execute(Runtime& rt, const Query& query, const std::string& name) {
         }
         note_kernel(kc, KernelKind::kSink, rows, rows, bytes, 0.0);
         for (const Op& s : *sink_ops) s.sink_fn(p, chunks, kc);
-        rtp->commit_delta(kc.delta);
+        rtp->commit_task(kc);
         (*slots)[p] = std::move(chunks);
       },
       parts, "query:" + name));

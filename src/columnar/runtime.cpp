@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "obs/recorder.hpp"
 #include "spark/context.hpp"
 #include "spark/task_effects.hpp"
 #include "spark/tiering_hooks.hpp"
@@ -169,6 +170,41 @@ void Runtime::commit_delta(const ColumnarStats& delta) {
   stats_.merge(delta);
 }
 
+void Runtime::commit_task(KernelCtx& kc) {
+  if (kc.log_kernels) {
+    std::vector<obs::Recorder::KernelHit> hits;
+    for (int k = 0; k < kNumKernelKinds; ++k) {
+      const KernelKind kind = static_cast<KernelKind>(k);
+      const KernelStats& ks = kc.delta.kernel(kind);
+      if (ks.invocations == 0) continue;
+      obs::Recorder::KernelHit hit;
+      hit.name = to_string(kind);
+      hit.stream = kernel_stream_label(kind);
+      hit.cpu_ns = kc.kernel_cpu_ns[static_cast<std::size_t>(k)];
+      hit.invocations = ks.invocations;
+      hit.rows_in = ks.rows_in;
+      hit.rows_out = ks.rows_out;
+      hit.bytes_read = ks.bytes_read.b();
+      hit.bytes_written = ks.bytes_written.b();
+      hits.push_back(std::move(hit));
+    }
+    if (!hits.empty()) {
+      // Under the parallel plane the emit lands during the task's commit
+      // replay — inside the recorder's begin_host/end_host window, so the
+      // kernels attach to the right task span in serial submit order.
+      const auto emit = [this, hits = std::move(hits)] {
+        if (obs::Recorder* rec = sc_.obs())
+          rec->emit_kernels(hits, sc_.cost_multiplier(), sc_.now());
+      };
+      if (spark::TaskEffects* fx = spark::TaskEffects::current())
+        fx->defer(emit);
+      else
+        emit();
+    }
+  }
+  commit_delta(kc.delta);
+}
+
 void Runtime::finish() {
   if (finished_) return;
   finished_ = true;
@@ -197,6 +233,7 @@ void KernelCtx::charge(KernelKind kind, double rows_in, double rows_out,
   if (cpu_ns > 0.0) task.charge_cpu_ns(cpu_ns);
   if (read.b() > 0.0) task.charge_stream_read(read, cls);
   if (written.b() > 0.0) task.charge_stream_write(written, cls);
+  if (log_kernels) kernel_cpu_ns[static_cast<std::size_t>(kind)] += cpu_ns;
   KernelStats& ledger = delta.kernel(kind);
   ++ledger.invocations;
   ledger.rows_in += static_cast<std::uint64_t>(rows_in);

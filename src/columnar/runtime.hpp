@@ -24,6 +24,7 @@
 // surface changes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -130,6 +131,12 @@ class Runtime {
   /// in serial task order; on the driver it applies immediately.
   void commit_delta(const ColumnarStats& delta);
 
+  /// Task-end commit: emits the context's per-kernel CPU log as obs kernel
+  /// spans (when a recorder is attached) and merges the stats delta. Same
+  /// defer-through-TaskEffects contract as commit_delta, so the kernel
+  /// spans open in serial task order at any thread count.
+  void commit_task(struct KernelCtx& kc);
+
   /// Direct driver-side merge (planner bookkeeping between jobs).
   ColumnarStats& driver_stats() { return stats_; }
 
@@ -179,8 +186,15 @@ struct KernelCtx {
   const ColumnarConfig& config;
   ColumnarStats delta;
 
-  KernelCtx(spark::TaskContext& t, core::Arena& a, const ColumnarConfig& c)
-      : task(t), arena(a), config(c) {}
+  /// Kernel-span logging for the obs plane: off by default so row-only and
+  /// obs-off runs never pay the per-charge accumulate.
+  bool log_kernels = false;
+  /// Host-sample CPU nanoseconds per kernel family (only when logging).
+  std::array<double, kNumKernelKinds> kernel_cpu_ns{};
+
+  KernelCtx(spark::TaskContext& t, core::Arena& a, const ColumnarConfig& c,
+            bool log = false)
+      : task(t), arena(a), config(c), log_kernels(log) {}
 
   /// Bills one kernel invocation: `cpu_ns` of compute, `read`/`written`
   /// bytes on the kernel's stream class, and a ledger entry under `kind`.

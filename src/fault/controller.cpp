@@ -41,6 +41,18 @@ Controller::~Controller() {
   if (started_ && sc_.fault() == this) sc_.set_fault(nullptr);
 }
 
+void Controller::note(const char* category,
+                      const std::function<std::string()>& message) {
+  if (obs_ != nullptr)
+    obs_->metrics().counter_add("fault_events", {{"category", category}});
+  const bool want_trace = trace_.wants(category);
+  const bool want_obs = obs_ != nullptr && obs_->wants(category);
+  if (!want_trace && !want_obs) return;
+  const std::string text = message();
+  if (want_trace) trace_.emit(sc_.now(), category, text);
+  if (want_obs) obs_->instant(text, category, sc_.now());
+}
+
 void Controller::start() {
   TSX_CHECK(!started_, "fault controller started twice");
   started_ = true;
@@ -104,50 +116,56 @@ double Controller::straggle_factor(int stage_id, std::size_t partition,
   Rng rng(splitmix64(mix));
   if (!rng.bernoulli(config_.straggler_prob)) return 1.0;
   ++stats_.stragglers;
-  trace_.emit(sc_.now(), "fault.inject",
-              strfmt("straggler stage=%d part=%zu x%.1f", stage_id, partition,
-                     config_.straggler_factor));
+  note("fault.inject", [&] {
+    return strfmt("straggler stage=%d part=%zu x%.1f", stage_id, partition,
+                  config_.straggler_factor);
+  });
   return config_.straggler_factor;
 }
 
 void Controller::on_task_failure(int stage_id, std::size_t partition,
                                  int attempt) {
   ++stats_.task_failures;
-  trace_.emit(sc_.now(), "fault.recover",
-              strfmt("task-failed stage=%d part=%zu attempt=%d", stage_id,
-                     partition, attempt));
+  note("fault.recover", [&] {
+    return strfmt("task-failed stage=%d part=%zu attempt=%d", stage_id,
+                  partition, attempt);
+  });
 }
 
 void Controller::on_retry(int stage_id, std::size_t partition,
                           Duration backoff) {
   ++stats_.retries;
   stats_.backoff_wait_seconds += backoff.sec();
-  trace_.emit(sc_.now(), "fault.recover",
-              strfmt("retry stage=%d part=%zu backoff=%s", stage_id, partition,
-                     tsx::to_string(backoff).c_str()));
+  note("fault.recover", [&] {
+    return strfmt("retry stage=%d part=%zu backoff=%s", stage_id, partition,
+                  tsx::to_string(backoff).c_str());
+  });
 }
 
 void Controller::on_speculative_launch(int stage_id, std::size_t partition,
                                        int attempt) {
   ++stats_.speculative_launches;
-  trace_.emit(sc_.now(), "fault.recover",
-              strfmt("speculate stage=%d part=%zu attempt=%d", stage_id,
-                     partition, attempt));
+  note("fault.recover", [&] {
+    return strfmt("speculate stage=%d part=%zu attempt=%d", stage_id,
+                  partition, attempt);
+  });
 }
 
 void Controller::on_speculative_win(int stage_id, std::size_t partition,
                                     int attempt) {
   ++stats_.speculative_wins;
-  trace_.emit(sc_.now(), "fault.recover",
-              strfmt("speculation-won stage=%d part=%zu attempt=%d", stage_id,
-                     partition, attempt));
+  note("fault.recover", [&] {
+    return strfmt("speculation-won stage=%d part=%zu attempt=%d", stage_id,
+                  partition, attempt);
+  });
 }
 
 void Controller::on_recomputed_map_task(int shuffle_id,
                                         std::size_t map_part) {
   ++stats_.recomputed_map_tasks;
-  trace_.emit(sc_.now(), "fault.recover",
-              strfmt("recompute shuffle=%d map=%zu", shuffle_id, map_part));
+  note("fault.recover", [&] {
+    return strfmt("recompute shuffle=%d map=%zu", shuffle_id, map_part);
+  });
 }
 
 void Controller::inject_crash(int executor) {
@@ -155,9 +173,10 @@ void Controller::inject_crash(int executor) {
   spark::Executor& victim =
       *executors[static_cast<std::size_t>(executor) % executors.size()];
   ++stats_.crashes;
-  trace_.emit(sc_.now(), "fault.inject",
-              strfmt("crash executor=%d restart=%.1fs", victim.spec().id,
-                     config_.restart_delay_s));
+  note("fault.inject", [&] {
+    return strfmt("crash executor=%d restart=%.1fs", victim.spec().id,
+                  config_.restart_delay_s);
+  });
   // The process dies: every cached block and shuffle map output it produced
   // is gone. Invalidate *before* failing the in-flight tasks so retries
   // observe the loss.
@@ -168,8 +187,9 @@ void Controller::inject_crash(int executor) {
   stats_.lost_cache_blocks += blocks;
   stats_.lost_shuffle_outputs += outputs;
   if (blocks > 0 || outputs > 0)
-    trace_.emit(sc_.now(), "fault.recover",
-                strfmt("lost blocks=%zu map-outputs=%zu", blocks, outputs));
+    note("fault.recover", [&] {
+      return strfmt("lost blocks=%zu map-outputs=%zu", blocks, outputs);
+    });
   victim.crash(Duration::seconds(config_.restart_delay_s));
 }
 
@@ -181,10 +201,11 @@ void Controller::take_tier_offline(mem::TierId tier) {
   const mem::TierSpec dead =
       sc_.machine().tier(sc_.conf().cpu_node_bind, tier);
   const mem::TierId fb = fallback_for(tier);
-  trace_.emit(sc_.now(), "fault.inject",
-              strfmt("tier-offline %s (node %d) -> fallback %s",
-                     mem::to_string(tier).c_str(), dead.node,
-                     mem::to_string(fb).c_str()));
+  note("fault.inject", [&] {
+    return strfmt("tier-offline %s (node %d) -> fallback %s",
+                  mem::to_string(tier).c_str(), dead.node,
+                  mem::to_string(fb).c_str());
+  });
   // Blocks cached on the dead node are gone; the block manager rebinds to
   // the fallback node and the lineage recomputes partitions on next use.
   spark::BlockManager& bm = sc_.block_manager();
@@ -194,9 +215,10 @@ void Controller::take_tier_offline(mem::TierId tier) {
     bm.set_node(sc_.machine().tier(sc_.conf().cpu_node_bind, fb).node);
     stats_.lost_cache_blocks += lost;
     if (lost > 0)
-      trace_.emit(sc_.now(), "fault.recover",
-                  strfmt("dropped %zu cached blocks from node %d", lost,
-                         dead.node));
+      note("fault.recover", [&] {
+        return strfmt("dropped %zu cached blocks from node %d", lost,
+                      dead.node);
+      });
   }
 }
 
@@ -210,16 +232,18 @@ void Controller::collapse_bandwidth() {
   const Bandwidth saved = channel.capacity();
   channel.set_capacity(saved * config_.bw_collapse_factor);
   ++stats_.bw_collapses;
-  trace_.emit(sc_.now(), "fault.inject",
-              strfmt("bw-collapse %s x%.2f for %.1fs",
-                     channel.name().c_str(), config_.bw_collapse_factor,
-                     config_.bw_collapse_duration_s));
+  note("fault.inject", [&] {
+    return strfmt("bw-collapse %s x%.2f for %.1fs", channel.name().c_str(),
+                  config_.bw_collapse_factor,
+                  config_.bw_collapse_duration_s);
+  });
   sim::FluidChannel* restore = &channel;
   clock_.arm(sc_.now() + Duration::seconds(config_.bw_collapse_duration_s),
              [this, restore, saved] {
                restore->set_capacity(saved);
-               trace_.emit(sc_.now(), "fault.inject",
-                           strfmt("bw-restore %s", restore->name().c_str()));
+               note("fault.inject", [&] {
+                 return strfmt("bw-restore %s", restore->name().c_str());
+               });
              });
 }
 
@@ -231,16 +255,19 @@ bool Controller::poll_uce() {
          churn_gib >= plan_.uce_thresholds_gib[next_uce_]) {
     ++next_uce_;
     ++stats_.uce_events;
-    trace_.emit(sc_.now(), "fault.inject",
-                strfmt("uce node=%d churn=%.3fGiB", uce_node_, churn_gib));
+    note("fault.inject", [&] {
+      return strfmt("uce node=%d churn=%.3fGiB", uce_node_, churn_gib);
+    });
     // The error lands on a hot page: poison the least recently used cached
     // block if the cache lives on this node (otherwise it hit free or heap
     // memory and only the event is recorded).
     spark::BlockManager& bm = sc_.block_manager();
     if (bm.node() == uce_node_ && bm.drop_lru()) {
       ++stats_.lost_cache_blocks;
-      trace_.emit(sc_.now(), "fault.recover",
-                  "uce poisoned a cached block; lineage recomputes it");
+      note("fault.recover", [] {
+        return std::string(
+            "uce poisoned a cached block; lineage recomputes it");
+      });
     }
   }
   return next_uce_ < plan_.uce_thresholds_gib.size();

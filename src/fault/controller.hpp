@@ -18,9 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "fault/options.hpp"
 #include "fault/plan.hpp"
+#include "obs/recorder.hpp"
 #include "sim/trace.hpp"
 #include "spark/context.hpp"
 #include "spark/fault_hooks.hpp"
@@ -67,7 +70,16 @@ class Controller final : public spark::FaultHooks {
   sim::TraceSink& trace() { return trace_; }
   const sim::TraceSink& trace() const { return trace_; }
 
+  /// Attaches the observability recorder: injections and recovery actions
+  /// become trace instants. Null (the default) changes nothing.
+  void set_obs(obs::Recorder* recorder) { obs_ = recorder; }
+
  private:
+  /// Emits one fault event into both planes: the legacy TraceSink record
+  /// (when its filter wants the category) and an obs instant. `message` is
+  /// only rendered when some consumer is attached.
+  void note(const char* category, const std::function<std::string()>& message);
+
   void inject_crash(int executor);
   void take_tier_offline(mem::TierId tier);
   void collapse_bandwidth();
@@ -88,6 +100,7 @@ class Controller final : public spark::FaultHooks {
   std::size_t next_uce_ = 0;       ///< cursor into plan_.uce_thresholds_gib
   mem::NodeId uce_node_ = -1;      ///< churn-watched node (-1: poll off)
   bool started_ = false;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace tsx::fault

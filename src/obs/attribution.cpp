@@ -1,0 +1,55 @@
+#include "obs/attribution.hpp"
+
+namespace tsx::obs {
+
+const char* to_string(Bucket bucket) {
+  switch (bucket) {
+    case Bucket::kQueueWait: return "queue_wait";
+    case Bucket::kCompute: return "compute";
+    case Bucket::kDisk: return "disk";
+    case Bucket::kDramService: return "dram";
+    case Bucket::kNvmService: return "nvm";
+    case Bucket::kShuffleService: return "shuffle";
+    case Bucket::kMigrationStall: return "migration_stall";
+    case Bucket::kRecovery: return "recovery";
+    case Bucket::kOther: return "other";
+  }
+  return "?";
+}
+
+Bucket TimeAttribution::largest() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < seconds.size(); ++i)
+    if (seconds[i] > seconds[best]) best = i;
+  return static_cast<Bucket>(best);
+}
+
+TimeAttribution& TimeAttribution::operator+=(const TimeAttribution& other) {
+  for (std::size_t i = 0; i < seconds.size(); ++i)
+    seconds[i] += other.seconds[i];
+  return *this;
+}
+
+TimeAttribution TimeAttribution::scaled(double f) const {
+  TimeAttribution out;
+  for (std::size_t i = 0; i < seconds.size(); ++i)
+    out.seconds[i] = seconds[i] * f;
+  return out;
+}
+
+bool reconcile(TimeAttribution& a, double target, Bucket into) {
+  // Fold the residual into `into` and re-check; double rounding means one
+  // pass is not always enough, but the fixpoint is reached within a few
+  // iterations for any realistic span (residuals are ulp-scale).
+  for (int iter = 0; iter < 64; ++iter) {
+    const double residual = target - a.sum();
+    if (residual == 0.0) return true;
+    a[into] += residual;
+  }
+  // Unreachable in practice; guarantee the postcondition anyway.
+  for (double& s : a.seconds) s = 0.0;
+  a[into] = target;
+  return a.sum() == target;
+}
+
+}  // namespace tsx::obs

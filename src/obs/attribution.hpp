@@ -1,0 +1,82 @@
+// Tier-time attribution: an itemized breakdown of a span's simulated time.
+//
+// Every stage/task span carries one TimeAttribution whose buckets sum
+// EXACTLY (bit for bit, in the fixed bucket order) to the span's duration.
+// The paper's argument is an attribution argument — where does a Spark
+// job's time go when memory is tiered? — so the buckets mirror its
+// narrative: DRAM service vs NVM service vs migration stalls vs shuffle
+// vs recovery vs queueing, with compute/disk/other covering the rest of
+// the timeline so the identity closes.
+//
+// Floating-point discipline: buckets are measured as contiguous virtual-
+// time interval differences, so each is exact on its own; the residual
+// introduced by summation rounding is folded into a designated bucket by
+// `reconcile`, which iterates until the fixed-order sum equals the target
+// exactly. All downstream consumers (rollups, exporters, the invariant
+// check in Recorder) recompute the same fixed-order sum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace tsx::obs {
+
+/// Where a slice of simulated time went. Order is frozen: it defines the
+/// fixed summation order of the exact-sum invariant and the export layout.
+enum class Bucket {
+  kQueueWait,       ///< submit -> task start (dispatch + core/slot wait)
+  kCompute,         ///< host cpu + fixed io burn (healthy share)
+  kDisk,            ///< storage-channel flows (HDFS read/write)
+  kDramService,     ///< memory transfers served by a DRAM tier
+  kNvmService,      ///< memory transfers served by an NVM tier
+  kShuffleService,  ///< shuffle-class memory transfers (either tech)
+  kMigrationStall,  ///< transfer slowdown overlapping an in-flight migration
+  kRecovery,        ///< straggler stretch, failed launches, recovery stages
+  kOther,           ///< framework overheads + summation residual
+};
+
+inline constexpr int kNumBuckets = 9;
+
+/// Stable short label ("queue_wait", "dram", ...), used in exports and
+/// metric labels.
+const char* to_string(Bucket bucket);
+
+struct TimeAttribution {
+  std::array<double, kNumBuckets> seconds{};
+
+  double& operator[](Bucket b) {
+    return seconds[static_cast<std::size_t>(b)];
+  }
+  double operator[](Bucket b) const {
+    return seconds[static_cast<std::size_t>(b)];
+  }
+
+  void add(Bucket b, double s) { (*this)[b] += s; }
+
+  /// The invariant sum: buckets accumulated left to right in enum order.
+  /// Exactly the expression `reconcile` drives to the target, and exactly
+  /// what verifiers must recompute.
+  double sum() const {
+    double total = 0.0;
+    for (const double s : seconds) total += s;
+    return total;
+  }
+
+  /// Largest bucket (ties: first in enum order). Rollups fold rounding
+  /// residue into it so no bucket is ever pushed negative by fixup.
+  Bucket largest() const;
+
+  TimeAttribution& operator+=(const TimeAttribution& other);
+  /// Every bucket scaled by `f` (stage rollup over overlapping tasks).
+  TimeAttribution scaled(double f) const;
+};
+
+/// Adjusts `into` until `a.sum() == target` exactly. Converges in a few
+/// iterations for any realistic magnitudes; as a last resort the other
+/// buckets are zeroed and `into` set to the target (trivially exact), so
+/// the postcondition holds unconditionally. Returns false only if that
+/// fallback fired (callers may count it; the invariant still holds).
+bool reconcile(TimeAttribution& a, double target, Bucket into);
+
+}  // namespace tsx::obs

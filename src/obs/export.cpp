@@ -1,0 +1,461 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace tsx::obs {
+
+namespace {
+
+std::string num(double v) { return strfmt("%.17g", v); }
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string args_json(const Span& span) {
+  std::string out = "{";
+  out += "\"span_id\":" + std::to_string(span.id);
+  if (span.parent != 0)
+    out += ",\"parent\":" + std::to_string(span.parent);
+  for (const auto& [k, v] : span.args)
+    out += ',' + quote(k) + ':' + quote(v);
+  if (span.attr.sum() != 0.0) {
+    out += ",\"attr\":{";
+    bool first = true;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const double s = span.attr.seconds[static_cast<std::size_t>(b)];
+      if (s == 0.0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += quote(to_string(static_cast<Bucket>(b)));
+      out += ':';
+      out += num(s);
+    }
+    out += '}';
+  }
+  return out + "}";
+}
+
+void append_run_events(std::string& out, const Recorder& recorder, int pid,
+                       const std::string& process_name, bool& any) {
+  const auto emit = [&](const std::string& event) {
+    if (any) out += ",\n";
+    any = true;
+    out += event;
+  };
+  emit(strfmt("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,"
+              "\"args\":{\"name\":%s}}",
+              pid, quote(process_name).c_str()));
+  // Name every track that appears; track 0 is the driver, 1+N executor N.
+  std::vector<std::int64_t> tracks;
+  for (const Span& span : recorder.spans()) {
+    if (!span.visible) continue;
+    if (std::find(tracks.begin(), tracks.end(), span.track) == tracks.end())
+      tracks.push_back(span.track);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  for (const std::int64_t t : tracks) {
+    const std::string name =
+        t == 0 ? "driver" : strfmt("executor %lld", static_cast<long long>(t - 1));
+    emit(strfmt("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                "\"tid\":%lld,\"args\":{\"name\":%s}}",
+                pid, static_cast<long long>(t), quote(name).c_str()));
+  }
+  for (const Span& span : recorder.spans()) {
+    if (!span.visible || span.open) continue;
+    if (span.kind == SpanKind::kInstant) {
+      emit(strfmt("{\"ph\":\"i\",\"s\":\"t\",\"name\":%s,\"cat\":%s,"
+                  "\"ts\":%s,\"pid\":%d,\"tid\":%lld,\"args\":%s}",
+                  quote(span.name).c_str(), quote(span.category).c_str(),
+                  num(span.start.us()).c_str(), pid,
+                  static_cast<long long>(span.track),
+                  args_json(span).c_str()));
+      continue;
+    }
+    emit(strfmt("{\"ph\":\"X\",\"name\":%s,\"cat\":%s,\"ts\":%s,\"dur\":%s,"
+                "\"pid\":%d,\"tid\":%lld,\"args\":%s}",
+                quote(span.name).c_str(), quote(span.category).c_str(),
+                num(span.start.us()).c_str(),
+                num(span.duration().us()).c_str(), pid,
+                static_cast<long long>(span.track), args_json(span).c_str()));
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Recorder& recorder,
+                              const std::string& process_name) {
+  return chrome_trace_json({SweepRun{process_name, &recorder}});
+}
+
+std::string chrome_trace_json(const std::vector<SweepRun>& runs) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool any = false;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].recorder == nullptr) continue;
+    append_run_events(out, *runs[i].recorder, static_cast<int>(i) + 1,
+                      runs[i].label, any);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string metrics_jsonl(const MetricsRegistry& metrics) {
+  std::string out;
+  for (const MetricsRegistry::Row& row : metrics.snapshot()) {
+    std::string labels = "{";
+    LabelSet sorted = row.labels;
+    std::sort(sorted.kv.begin(), sorted.kv.end());
+    for (std::size_t i = 0; i < sorted.kv.size(); ++i) {
+      if (i) labels += ',';
+      labels += quote(sorted.kv[i].first) + ':' + quote(sorted.kv[i].second);
+    }
+    labels += '}';
+    out += "{\"name\":" + quote(row.name);
+    out += ",\"kind\":" + quote(to_string(row.kind));
+    out += ",\"labels\":" + labels;
+    if (row.kind == MetricKind::kHistogram) {
+      const HistogramCell& c = *row.cell;
+      out += ",\"count\":" + std::to_string(c.count);
+      out += ",\"sum\":" + num(c.sum);
+      out += ",\"min\":" + num(c.min);
+      out += ",\"max\":" + num(c.max);
+      out += ",\"p50\":" + num(c.p50());
+      out += ",\"p95\":" + num(c.p95());
+      out += ",\"p99\":" + num(c.p99());
+    } else {
+      out += ",\"value\":" + num(row.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string stage_attribution_table(const Recorder& recorder) {
+  static const char* kHeads[] = {"queue", "compute", "disk",  "dram", "nvm",
+                                 "shuffle", "migr",  "recov", "other"};
+  std::ostringstream os;
+  os << pad_right("stage", 28) << pad_left("dur_s", 10);
+  for (const char* h : kHeads) os << pad_left(h, 9);
+  os << '\n';
+  const auto row = [&](const std::string& name, const Span& span) {
+    os << pad_right(name.substr(0, 28), 28)
+       << pad_left(strfmt("%.3f", span.duration().sec()), 10);
+    for (int b = 0; b < kNumBuckets; ++b)
+      os << pad_left(
+          strfmt("%.3f", span.attr.seconds[static_cast<std::size_t>(b)]), 9);
+    os << '\n';
+  };
+  for (const Span& span : recorder.spans()) {
+    if (span.kind != SpanKind::kStage || span.open) continue;
+    row(span.name, span);
+  }
+  for (const Span& span : recorder.spans()) {
+    if (span.kind != SpanKind::kJob || span.open) continue;
+    row("[" + span.name + "]", span);
+  }
+  if (const Span* run = recorder.find(recorder.run_span());
+      run != nullptr && !run->open)
+    row("[run]", *run);
+  return os.str();
+}
+
+std::string hottest_spans_table(const Recorder& recorder, std::size_t n) {
+  std::vector<const Span*> picks;
+  for (const Span& span : recorder.spans()) {
+    if (span.open || span.kind == SpanKind::kRun ||
+        span.kind == SpanKind::kSweep || span.kind == SpanKind::kInstant)
+      continue;
+    picks.push_back(&span);
+  }
+  std::sort(picks.begin(), picks.end(), [](const Span* a, const Span* b) {
+    if (a->duration().sec() != b->duration().sec())
+      return a->duration().sec() > b->duration().sec();
+    return a->id < b->id;
+  });
+  if (picks.size() > n) picks.resize(n);
+  std::ostringstream os;
+  os << pad_left("#", 4) << pad_right("  kind", 12) << pad_right("name", 34)
+     << pad_left("start_s", 12) << pad_left("dur_s", 10)
+     << pad_right("  top bucket", 14) << '\n';
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const Span& s = *picks[i];
+    os << pad_left(std::to_string(i + 1), 4)
+       << pad_right(std::string("  ") + to_string(s.kind), 12)
+       << pad_right(s.name.substr(0, 33), 34)
+       << pad_left(strfmt("%.3f", s.start.sec()), 12)
+       << pad_left(strfmt("%.3f", s.duration().sec()), 10)
+       << pad_right(std::string("  ") + to_string(s.attr.largest()), 14)
+       << '\n';
+  }
+  return os.str();
+}
+
+// ---- validation ------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON value/parser for the validator (throws tsx::Error on
+/// malformed input). Mirrors the runner's cache parser but stays local so
+/// tsx_obs does not depend on tsx_runner.
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kLiteral } kind =
+      Kind::kLiteral;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string text;
+  double number = 0.0;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = parse_value();
+    skip_ws();
+    TSX_CHECK(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    TSX_CHECK(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    TSX_CHECK(peek() == c, strfmt("expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      default: return parse_primitive();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(key.text, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: TSX_FAIL(strfmt("bad escape '\\%c'", esc));
+        }
+      }
+      v.text += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue parse_primitive() {
+    JsonValue v;
+    const auto is_primitive_char = [](char c) {
+      return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+             (c >= 'A' && c <= 'Z') || c == '+' || c == '-' || c == '.';
+    };
+    TSX_CHECK(is_primitive_char(peek()), "expected a JSON value");
+    while (pos_ < text_.size() && is_primitive_char(text_[pos_]))
+      v.text += text_[pos_++];
+    if (v.text == "true" || v.text == "false" || v.text == "null") {
+      v.kind = JsonValue::Kind::kLiteral;
+    } else {
+      v.kind = JsonValue::Kind::kNumber;
+      char* end = nullptr;
+      v.number = std::strtod(v.text.c_str(), &end);
+      TSX_CHECK(end != nullptr && *end == '\0',
+                "bad numeric token: " + v.text);
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const std::string& json) {
+  TraceValidation out;
+  const auto fail = [&](std::string message) {
+    out.ok = false;
+    if (out.errors.size() < 32) out.errors.push_back(std::move(message));
+  };
+  JsonValue doc;
+  try {
+    doc = JsonParser(json).parse();
+  } catch (const Error& e) {
+    fail(std::string("parse error: ") + e.what());
+    return out;
+  }
+  if (doc.kind != JsonValue::Kind::kObject) {
+    fail("top level is not an object");
+    return out;
+  }
+  const JsonValue* events = doc.get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    fail("missing traceEvents array");
+    return out;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string where = strfmt("event %zu", i);
+    if (e.kind != JsonValue::Kind::kObject) {
+      fail(where + ": not an object");
+      continue;
+    }
+    ++out.events;
+    const JsonValue* ph = e.get("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      fail(where + ": missing ph");
+      continue;
+    }
+    if (ph->text != "X" && ph->text != "i" && ph->text != "M") {
+      fail(where + ": unknown phase '" + ph->text + "'");
+      continue;
+    }
+    const JsonValue* name = e.get("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->text.empty())
+      fail(where + ": missing name");
+    for (const char* key : {"pid", "tid"}) {
+      const JsonValue* f = e.get(key);
+      if (f == nullptr || f->kind != JsonValue::Kind::kNumber)
+        fail(where + strfmt(": missing numeric %s", key));
+    }
+    if (ph->text == "M") continue;  // metadata has no timestamps
+    const JsonValue* ts = e.get("ts");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber ||
+        ts->number < 0.0) {
+      fail(where + ": missing non-negative ts");
+      continue;
+    }
+    if (ph->text != "X") continue;
+    const JsonValue* dur = e.get("dur");
+    if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber ||
+        dur->number < 0.0) {
+      fail(where + ": X event missing non-negative dur");
+      continue;
+    }
+    const JsonValue* args = e.get("args");
+    const JsonValue* attr =
+        args != nullptr && args->kind == JsonValue::Kind::kObject
+            ? args->get("attr")
+            : nullptr;
+    if (attr != nullptr) {
+      if (attr->kind != JsonValue::Kind::kObject) {
+        fail(where + ": attr is not an object");
+        continue;
+      }
+      double sum = 0.0;
+      for (const auto& [bucket, value] : attr->object) {
+        if (value.kind != JsonValue::Kind::kNumber) {
+          fail(where + ": attr." + bucket + " is not a number");
+          continue;
+        }
+        sum += value.number;
+      }
+      const double dur_s = dur->number * 1e-6;
+      // The recorder's invariant is exact in fixed bucket order; the map
+      // iteration here re-orders the sum, so allow rounding slack.
+      const double slack = 1e-9 * std::max(1.0, dur_s);
+      if (sum - dur_s > slack || dur_s - sum > slack)
+        fail(where + strfmt(": attr sums to %.12g, dur is %.12g s", sum,
+                            dur_s));
+    }
+  }
+  if (out.events == 0) fail("trace has no events");
+  return out;
+}
+
+}  // namespace tsx::obs

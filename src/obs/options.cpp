@@ -1,0 +1,22 @@
+#include "obs/options.hpp"
+
+namespace tsx::obs {
+
+std::vector<Diagnostic> ObsConfig::validate() const {
+  std::vector<Diagnostic> out;
+  // The filter spec is persisted verbatim inside the serialized config
+  // JSON and the canonical config key, so the characters those formats
+  // use as structure are off limits.
+  for (const char c : trace_filter) {
+    if (c == '"' || c == '\\' || c == ';' || c == '\n' || c == '\t' ||
+        c == '\r' || c == ' ') {
+      out.push_back({"trace_filter",
+                     "may not contain quotes, backslashes, semicolons or "
+                     "whitespace"});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsx::obs

@@ -1,0 +1,37 @@
+// Configuration of the observability plane.
+//
+// ObsConfig is embedded in workloads::RunConfig, so both knobs are part of
+// a run's identity: they appear in the stable hash and the persisted cache
+// key. The default (`enabled = false`) constructs no Recorder at all and
+// every engine emit site short-circuits on a null pointer — bit-identical
+// to the pre-obs engine. The trace *filter* only changes which spans are
+// visible to exporters (attribution stays complete either way), but it is
+// hashed anyway: a run's artifacts include its exports, and two runs that
+// export different traces are different runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tsx::obs {
+
+struct ObsConfig {
+  /// Off by default: no Recorder, no spans, no metrics; the engine runs
+  /// byte for byte as before.
+  bool enabled = false;
+
+  /// Category filter spec for span/instant visibility, the RunConfig twin
+  /// of the TSX_TRACE environment variable ("tiering.*,fault.*"; empty =
+  /// everything). When set it wins over the environment.
+  std::string trace_filter;
+
+  /// Structured range checks. Empty means valid. Aggregated by
+  /// RunConfig::validate with an "obs." field prefix.
+  std::vector<Diagnostic> validate() const;
+
+  friend bool operator==(const ObsConfig&, const ObsConfig&) = default;
+};
+
+}  // namespace tsx::obs

@@ -35,7 +35,9 @@ class ResultCache {
   /// failed/error flags) joined the schema and the cache key.
   /// v4: the columnar section (RunConfig.columnar knobs, RunResult.columnar
   /// per-kernel stats) joined the schema and the cache key.
-  static constexpr int kStoreVersion = 4;
+  /// v5: the observability knobs (RunConfig.obs.enabled / trace_filter)
+  /// joined the config identity and the serialized config object.
+  static constexpr int kStoreVersion = 5;
 
   /// The memoized result for `config`, if present. Thread-safe.
   std::optional<workloads::RunResult> find(

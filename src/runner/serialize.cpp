@@ -67,8 +67,17 @@ std::string config_json(const RunConfig& config) {
   // persisted key and the in-memory key can never disagree.
   ObjectWriter w;
   for (const auto& [name, value] : workloads::config_fields(config)) {
-    // Integers and "none" are emitted bare; "none" maps to null.
-    w.field(name, value == "none" ? "null" : value);
+    // Numeric tokens are emitted bare and "none" maps to null (the frozen
+    // pre-obs byte layout); anything else — the string-valued knobs like
+    // obs_trace_filter — is emitted as a JSON string.
+    if (value == "none") {
+      w.field(name, "null");
+      continue;
+    }
+    const bool bare =
+        !value.empty() &&
+        value.find_first_not_of("0123456789+-.eE") == std::string::npos;
+    w.field(name, bare ? value : quote(value));
   }
   return w.close();
 }
@@ -325,6 +334,8 @@ RunConfig config_from(const Value& v) {
   c.columnar.batch_rows = v.at("columnar_batch_rows").as_int();
   c.columnar.arena_chunk_kib = v.at("columnar_arena_chunk_kib").as_double();
   c.columnar.dict_capacity = v.at("columnar_dict_capacity").as_int();
+  c.obs.enabled = v.at("obs_enabled").as_bool();
+  c.obs.trace_filter = v.at("obs_trace_filter").text;
   return c;
 }
 

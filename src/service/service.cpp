@@ -334,6 +334,14 @@ void Service::preempt(std::size_t running_index, double now) {
   ++job.out.preemptions;
   job.out.wasted_s += elapsed;
   job.enqueued_s = now;
+  if (obs::Recorder* rec = config_.recorder) {
+    rec->instant(strfmt("preempt job=%llu tenant=%s",
+                        static_cast<unsigned long long>(job.id),
+                        job.tenant.c_str()),
+                 "service.preempt", Duration::seconds(now));
+    rec->metrics().counter_add("service_preemptions",
+                               {{"tenant", job.tenant}});
+  }
   running_.erase(running_.begin() +
                  static_cast<std::ptrdiff_t>(running_index));
   // Requeue at the arrival-order position its original submit time earns.
@@ -453,6 +461,32 @@ void Service::complete(std::size_t running_index) {
     ++u.jobs_failed;
   } else {
     ++u.jobs_completed;
+  }
+  if (obs::Recorder* rec = config_.recorder) {
+    // One span per completed job, on the drain's own virtual timeline:
+    // submitted -> finished, with the service-level buckets itemized.
+    const obs::SpanId span = rec->open(
+        obs::SpanKind::kService,
+        strfmt("job:%llu:%s", static_cast<unsigned long long>(job.id),
+               workloads::to_string(job.spec.config.app).c_str()),
+        "service.job", Duration::seconds(job.out.submitted_s));
+    if (span != 0) {
+      rec->set_arg(span, "tenant", job.tenant);
+      rec->set_arg(span, "preemptions",
+                   strfmt("%d", job.out.preemptions));
+      if (job.out.shaped) rec->set_arg(span, "shaped", "true");
+      obs::TimeAttribution attr;
+      attr.add(obs::Bucket::kQueueWait, job.out.queue_wait_s);
+      attr.add(obs::Bucket::kCompute, elapsed);
+      attr.add(obs::Bucket::kRecovery, job.out.wasted_s);
+      rec->close_with_attribution(span, Duration::seconds(r.finish_s), attr,
+                                  obs::Bucket::kOther);
+    }
+    rec->metrics().counter_add(
+        result.failed ? "service_jobs_failed" : "service_jobs_completed",
+        {{"tenant", job.tenant}});
+    rec->metrics().observe("service_queue_wait_s", {{"tenant", job.tenant}},
+                           job.out.queue_wait_s, 0.0, 600.0, 120);
   }
   running_.erase(running_.begin() +
                  static_cast<std::ptrdiff_t>(running_index));

@@ -35,6 +35,7 @@
 
 #include "core/error.hpp"
 #include "mem/tier.hpp"
+#include "obs/recorder.hpp"
 #include "runner/result_cache.hpp"
 #include "service/fair_share.hpp"
 #include "workloads/runner.hpp"
@@ -84,6 +85,11 @@ struct ServiceConfig {
   /// Optional memoization: identical shaped configs (including replays and
   /// preempted-then-rerun jobs) skip the simulation.
   runner::ResultCache* cache = nullptr;
+  /// Optional observability recorder. When attached, every completed job
+  /// becomes a service span on the drain timeline (queue wait, execution,
+  /// preemption waste itemized) and preemptions become instants; tenant-
+  /// labeled counters land in its metrics registry. Null changes nothing.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One submitted application run.

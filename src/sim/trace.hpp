@@ -20,6 +20,33 @@ struct TraceRecord {
   std::string message;
 };
 
+/// Category selector for trace streams: a comma-separated pattern list
+/// ("tiering.*,fault.recover"). A trailing ".*" (or a bare trailing "*")
+/// makes the pattern a prefix match; anything else matches exactly. The
+/// empty filter — and any list containing a lone "*" — matches everything.
+/// Parsed once, matched per emit (no allocation on the match path).
+class CategoryFilter {
+ public:
+  CategoryFilter() = default;
+
+  static CategoryFilter parse(const std::string& spec);
+
+  bool matches(const std::string& category) const;
+  bool match_all() const { return patterns_.empty(); }
+
+  /// The canonical comma-joined spec the filter was parsed from ("" for
+  /// match-all) — what RunConfig hashes.
+  const std::string& spec() const { return spec_; }
+
+ private:
+  struct Pattern {
+    std::string text;  ///< exact category, or prefix when `prefix`
+    bool prefix = false;
+  };
+  std::vector<Pattern> patterns_;  ///< empty = match everything
+  std::string spec_;
+};
+
 class TraceSink {
  public:
   /// An inactive sink drops records.
@@ -30,6 +57,21 @@ class TraceSink {
   bool enabled() const { return enabled_; }
 
   void emit(Duration at, std::string category, std::string message);
+
+  /// True when an emit of `category` would be recorded right now. Hot call
+  /// sites guard with this so a disabled or filtered sink never pays for
+  /// constructing the message string.
+  bool wants(const std::string& category) const {
+    return enabled_ && filter_.matches(category);
+  }
+
+  /// Restricts the sink to categories the filter accepts; rejected emits
+  /// count into filtered() instead of the ring. Default: accept all.
+  void set_filter(CategoryFilter filter) { filter_ = std::move(filter); }
+  const CategoryFilter& filter() const { return filter_; }
+
+  /// Records rejected by the category filter (not by ring capacity).
+  std::size_t filtered() const { return filtered_; }
 
   /// Bounds the sink to the most recent `capacity` records (ring-buffer
   /// semantics: the oldest record is dropped to admit a new one). 0 — the
@@ -51,7 +93,13 @@ class TraceSink {
   }
 
   const std::vector<TraceRecord>& records() const { return records_; }
+  /// Clears the records only; the drop/filter ledgers keep accumulating
+  /// (historical behaviour — callers sampling a window rely on it).
   void clear() { records_.clear(); }
+  /// Clears the records AND every ledger (dropped_, the per-category drop
+  /// map, filtered_), returning the sink to a just-constructed state apart
+  /// from enablement, capacity and filter.
+  void reset();
 
   /// Records whose category matches exactly.
   std::vector<TraceRecord> by_category(const std::string& category) const;
@@ -66,6 +114,8 @@ class TraceSink {
   bool enabled_ = false;
   std::size_t capacity_ = 0;  ///< 0 = unbounded
   std::size_t dropped_ = 0;
+  std::size_t filtered_ = 0;
+  CategoryFilter filter_;
   std::map<std::string, std::size_t> dropped_by_category_;
   std::vector<TraceRecord> records_;
 };

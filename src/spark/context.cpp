@@ -84,6 +84,11 @@ void SparkContext::set_fault(FaultHooks* hooks) {
   install(bundle);
 }
 
+void SparkContext::set_obs(obs::Recorder* recorder) {
+  obs_ = recorder;
+  for (auto& executor : executors_) executor->set_obs(recorder);
+}
+
 void SparkContext::set_cost_multiplier(double m) {
   TSX_CHECK(m >= 1.0, "cost multiplier must be >= 1");
   cost_multiplier_ = m;

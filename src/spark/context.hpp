@@ -79,6 +79,12 @@ class SparkContext {
   void set_fault(FaultHooks* hooks);
   FaultHooks* fault() const { return hooks_.fault; }
 
+  /// Attaches the observability recorder to the scheduler and every
+  /// executor. Null (the default) is observability off: no spans open and
+  /// the engine runs the pre-obs path bit for bit.
+  void set_obs(obs::Recorder* recorder);
+  obs::Recorder* obs() const { return obs_; }
+
   /// The memory tier executors are bound to, resolved from the canonical
   /// compute socket.
   mem::TierSpec bound_tier() const {
@@ -96,6 +102,7 @@ class SparkContext {
   double cost_multiplier_ = 1.0;
   int next_rdd_id_ = 0;
   RuntimeHooks hooks_;
+  obs::Recorder* obs_ = nullptr;
 
   mem::TieredAllocator allocator_;
   ShuffleStore shuffle_store_;

@@ -65,8 +65,16 @@ void Executor::submit(Work work) {
           return;
         }
         // Task starts: run the host computation now, then replay its cost.
+        const obs::SpanId span = obs_ != nullptr ? shared->obs_span : 0;
+        if (span != 0) {
+          // Everything between submit and this instant was queue wait
+          // (dispatch serialization + slot/core contention).
+          obs_->task_started(span, machine_.simulator().now());
+          obs_->begin_host(span);
+        }
         auto cost = std::make_shared<TaskCost>(shared->host());
-        run_phases(cost, stretch, [this, shared, flight, cost] {
+        if (span != 0) obs_->end_host();
+        run_phases(cost, stretch, span, [this, shared, flight, cost] {
           machine_.socket_cores(spec_.socket).release();
           pool_.release();
           // A zombie of a crashed incarnation: resources return to the OS
@@ -104,14 +112,26 @@ void Executor::forget(const std::shared_ptr<Flight>& flight) {
 }
 
 void Executor::run_phases(std::shared_ptr<TaskCost> cost, double stretch,
-                          std::function<void()> finish) {
+                          obs::SpanId span, std::function<void()> finish) {
   sim::Simulator& sim = machine_.simulator();
+  obs::Recorder* const rec = span != 0 ? obs_ : nullptr;
 
   // Build the memory phase list: dependent reads on the heap tier, then
   // per-class streaming reads, per-class streaming writes, and finally
   // dependent writes. Classes route to their bound tiers, so e.g. shuffle
   // buffers can live on a different tier than the heap (SparkConf).
   auto requests = std::make_shared<std::vector<mem::TransferRequest>>();
+  // Attribution bucket per request (same indexing), filled only when a
+  // recorder is watching: shuffle-class traffic is shuffle service, the
+  // rest splits by the destination tier's media technology.
+  auto buckets = std::make_shared<std::vector<obs::Bucket>>();
+  const auto classify = [this](StreamClass cls, mem::TierId tier) {
+    if (cls == StreamClass::kShuffle) return obs::Bucket::kShuffleService;
+    return machine_.tier(spec_.socket, tier).tech->kind ==
+                   mem::TechKind::kNvm
+               ? obs::Bucket::kNvmService
+               : obs::Bucket::kDramService;
+  };
   // With a fault observer attached, traffic bound for an offline tier is
   // redirected to the observer's surviving fallback tier.
   const auto route = [this](mem::TierId tier, Bytes volume) {
@@ -131,12 +151,16 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost, double stretch,
           if (part.b() <= 0.0) continue;
           requests->push_back(mem::TransferRequest{
               spec_.socket, route(share.tier, part), kind, part, mlp});
+          if (rec != nullptr)
+            buckets->push_back(classify(cls, requests->back().tier));
         }
         return;
       }
     }
     requests->push_back(mem::TransferRequest{
         spec_.socket, route(conf_.tier_for(cls), volume), kind, volume, mlp});
+    if (rec != nullptr)
+      buckets->push_back(classify(cls, requests->back().tier));
   };
   add(mem::AccessKind::kRead, Bytes::of(cost->dep_reads * kCacheline),
       costs_.dep_mlp, StreamClass::kHeap);
@@ -154,34 +178,89 @@ void Executor::run_phases(std::shared_ptr<TaskCost> cost, double stretch,
       costs_.dep_mlp, StreamClass::kHeap);
 
   // Disk phases (shared storage channel), then the memory chain, executed
-  // sequentially through a self-advancing continuation.
+  // sequentially through a self-advancing continuation. Each phase is a
+  // contiguous virtual-time interval, so the segments the recorder sees
+  // are exact differences of event timestamps.
   auto state = std::make_shared<std::function<void(std::size_t)>>();
   auto fin = std::make_shared<std::function<void()>>(std::move(finish));
-  *state = [this, requests, state, fin](std::size_t next) {
+  *state = [this, requests, buckets, state, fin, rec,
+            span](std::size_t next) {
     if (next >= requests->size()) {
       (*fin)();
       return;
     }
-    machine_.submit_transfer((*requests)[next],
-                             [state, next] { (*state)(next + 1); });
+    if (rec == nullptr) {
+      machine_.submit_transfer((*requests)[next],
+                               [state, next] { (*state)(next + 1); });
+      return;
+    }
+    // Measure the transfer and estimate its migration-stall share: the
+    // slowdown versus an idle machine, capped by how long a tiering
+    // migration was actually in flight during the transfer. The stall is
+    // carved out of the service bucket, never added on top, so the task's
+    // segment sum stays an exact interval sum.
+    const Duration t0 = machine_.simulator().now();
+    const double mig0 =
+        tiering_ != nullptr ? tiering_->migration_busy_seconds() : 0.0;
+    machine_.submit_transfer(
+        (*requests)[next],
+        [this, state, next, requests, buckets, rec, span, t0, mig0] {
+          const double actual = (machine_.simulator().now() - t0).sec();
+          const double idle =
+              machine_.idle_transfer_time((*requests)[next]).sec();
+          const double busy =
+              tiering_ != nullptr
+                  ? tiering_->migration_busy_seconds() - mig0
+                  : 0.0;
+          const double stall = std::min(std::max(actual - idle, 0.0),
+                                        std::max(busy, 0.0));
+          rec->add_segment(span, (*buckets)[next], actual - stall);
+          rec->add_segment(span, obs::Bucket::kMigrationStall, stall);
+          (*state)(next + 1);
+        });
   };
 
-  auto disk_write = [this, cost, state] {
+  auto disk_write = [this, cost, state, rec, span] {
+    const Duration t0 = machine_.simulator().now();
     machine_.storage_channel().start_flow(
         cost->disk_write, machine_.storage_channel().capacity(),
-        [state] { (*state)(0); });
+        [this, state, rec, span, t0] {
+          if (rec != nullptr)
+            rec->add_segment(span, obs::Bucket::kDisk,
+                             (machine_.simulator().now() - t0).sec());
+          (*state)(0);
+        });
   };
-  auto disk_read = [this, cost, disk_write] {
+  auto disk_read = [this, cost, disk_write, rec, span] {
+    const Duration t0 = machine_.simulator().now();
     machine_.storage_channel().start_flow(
-        cost->disk_read, machine_.storage_channel().capacity(), disk_write);
+        cost->disk_read, machine_.storage_channel().capacity(),
+        [this, disk_write, rec, span, t0] {
+          if (rec != nullptr)
+            rec->add_segment(span, obs::Bucket::kDisk,
+                             (machine_.simulator().now() - t0).sec());
+          disk_write();
+        });
   };
   // Phase 0: fixed I/O latency + cpu burn, then disk, then memory chain.
   // A straggling dispatch (stretch > 1) drags this host-side phase out —
   // a GC storm or a descheduled JVM; the factor is exactly 1.0 when
   // healthy, so the multiplication is bit-exact on the fault-free path.
+  const Duration burn_start = sim.now();
+  auto after_burn = [this, disk_read, rec, span, stretch, burn_start] {
+    if (rec != nullptr) {
+      // The measured burn interval splits into its healthy share (compute)
+      // and the straggle stretch-out (recovery time the schedule lost).
+      const double burn = (machine_.simulator().now() - burn_start).sec();
+      const double healthy = stretch > 1.0 ? burn / stretch : burn;
+      rec->add_segment(span, obs::Bucket::kCompute, healthy);
+      rec->add_segment(span, obs::Bucket::kRecovery, burn - healthy);
+    }
+    disk_read();
+  };
   sim.schedule_in(
       Duration::seconds((cost->io_seconds + cost->cpu_seconds) * stretch),
-      disk_read);
+      after_burn);
 }
 
 }  // namespace tsx::spark

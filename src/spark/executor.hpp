@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/machine.hpp"
+#include "obs/recorder.hpp"
 #include "spark/conf.hpp"
 #include "spark/cost_model.hpp"
 #include "spark/fault_hooks.hpp"
@@ -60,6 +61,11 @@ class Executor {
     int stage_id = -1;
     std::size_t partition = 0;
     int attempt = 0;
+
+    /// Observability span of this launch (0 = obs off). The executor fills
+    /// the span's time buckets as the simulated phases complete; the
+    /// scheduler owns open/close.
+    obs::SpanId obs_span = 0;
   };
 
   /// Queues one task. Dispatch is serialized per executor; execution
@@ -80,6 +86,11 @@ class Executor {
   /// fail them, dispatch consults straggle_factor, and memory traffic is
   /// rerouted around offline tiers. Null keeps the pre-fault path.
   void set_fault(FaultHooks* hooks) { fault_ = hooks; }
+
+  /// Attaches the observability recorder. Null (the default) keeps every
+  /// phase at its single `obs_span != 0` guard — the pre-obs path bit for
+  /// bit. The recorder is strictly observational.
+  void set_obs(obs::Recorder* recorder) { obs_ = recorder; }
 
   /// Kills this executor process: every queued or running task fails now
   /// (its `failed` callback fires; `done` is suppressed), and a replacement
@@ -103,8 +114,9 @@ class Executor {
   };
 
   /// Chains the simulated phases for an already-computed cost profile.
+  /// `span` (0 = obs off) receives one measured segment per phase.
   void run_phases(std::shared_ptr<TaskCost> cost, double stretch,
-                  std::function<void()> finish);
+                  obs::SpanId span, std::function<void()> finish);
 
   void forget(const std::shared_ptr<Flight>& flight);
 
@@ -117,6 +129,7 @@ class Executor {
   std::uint64_t tasks_completed_ = 0;
   const TieringHooks* tiering_ = nullptr;
   FaultHooks* fault_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
   Duration available_from_ = Duration::zero();
   std::uint64_t crashes_ = 0;
   std::vector<std::shared_ptr<Flight>> inflight_;  ///< fault mode only

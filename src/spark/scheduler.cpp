@@ -9,6 +9,7 @@
 #include "core/error.hpp"
 #include "core/log.hpp"
 #include "core/running_median.hpp"
+#include "core/strings.hpp"
 #include "spark/context.hpp"
 #include "spark/task_effects.hpp"
 
@@ -63,6 +64,15 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   record.tasks = num_tasks;
   record.start = sc_.now();
 
+  // Recovery stages are tagged by category so the job rollup folds their
+  // whole window into the recovery bucket.
+  obs::Recorder* const rec = sc_.obs();
+  const obs::SpanId stage_span =
+      rec != nullptr ? rec->open_stage(record.stage_id, label,
+                                       starts_with(label, "recover:"),
+                                       record.start)
+                     : 0;
+
   // Snapshot per-channel drained volume to derive stage-average bandwidth.
   const auto channels = sc_.machine().all_memory_channels();
   std::vector<double> drained_before;
@@ -70,35 +80,45 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   for (const auto* ch : channels) drained_before.push_back(ch->drained_total().b());
 
   if (sc_.fault() != nullptr) {
-    run_tasks_with_recovery(record, num_tasks, task, metrics, opts);
+    run_tasks_with_recovery(record, stage_span, num_tasks, task, metrics,
+                            opts);
   } else if (sc_.task_pool() != nullptr && num_tasks > 1) {
-    run_tasks_parallel(record, num_tasks, task, metrics);
+    run_tasks_parallel(record, stage_span, num_tasks, task, metrics);
   } else {
     auto& executors = sc_.executors();
     auto remaining = std::make_shared<std::size_t>(num_tasks);
     for (std::size_t p = 0; p < num_tasks; ++p) {
       Executor& executor = *executors[task_counter_++ % executors.size()];
       const int stage_id = record.stage_id;
-      executor.submit(Executor::Work{
-          [this, stage_id, p, &task, &record]() -> TaskCost {
-            // Per-task rng stream: deterministic in (job seed, stage, task).
-            std::uint64_t mix = sc_.job_seed() ^
-                                (static_cast<std::uint64_t>(stage_id) << 32) ^
-                                static_cast<std::uint64_t>(p);
-            TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
-                            Rng(splitmix64(mix)));
-            const auto host_start = std::chrono::steady_clock::now();
-            task(p, ctx);
-            const double secs = elapsed_since(host_start);
-            record.host_seconds += secs;
-            host_seconds_ += secs;
-            return ctx.cost();
-          },
-          [this, remaining, &metrics](const TaskCost& cost) {
-            metrics.total_cost += cost;
-            lifetime_cost_ += cost;
-            --*remaining;
-          }});
+      Executor::Work work;
+      work.stage_id = stage_id;
+      work.partition = p;
+      if (rec != nullptr)
+        work.obs_span = rec->open_task(stage_span, stage_id, p, 0,
+                                       executor.spec().id, sc_.now());
+      const obs::SpanId tspan = work.obs_span;
+      work.host = [this, stage_id, p, &task, &record]() -> TaskCost {
+        // Per-task rng stream: deterministic in (job seed, stage, task).
+        std::uint64_t mix = sc_.job_seed() ^
+                            (static_cast<std::uint64_t>(stage_id) << 32) ^
+                            static_cast<std::uint64_t>(p);
+        TaskContext ctx(stage_id, p, sc_.costs(), sc_.cost_multiplier(),
+                        Rng(splitmix64(mix)));
+        const auto host_start = std::chrono::steady_clock::now();
+        task(p, ctx);
+        const double secs = elapsed_since(host_start);
+        record.host_seconds += secs;
+        host_seconds_ += secs;
+        return ctx.cost();
+      };
+      work.done = [this, remaining, rec, tspan,
+                   &metrics](const TaskCost& cost) {
+        if (rec != nullptr) rec->close_task(tspan, sc_.now());
+        metrics.total_cost += cost;
+        lifetime_cost_ += cost;
+        --*remaining;
+      };
+      executor.submit(std::move(work));
     }
 
     // The stage barrier: step the simulator until the last task (and its
@@ -113,6 +133,7 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
   }
 
   record.end = sc_.now();
+  if (rec != nullptr) rec->close_stage(stage_span, record.end);
   if (record.duration().sec() > 0.0) {
     for (std::size_t c = 0; c < channels.size(); ++c) {
       const Bandwidth avg{
@@ -134,10 +155,12 @@ StageRecord DAGScheduler::run_stage(const std::string& label,
 }
 
 void DAGScheduler::run_tasks_parallel(StageRecord& record,
+                                      obs::SpanId stage_span,
                                       std::size_t num_tasks,
                                       const TaskFn& task,
                                       JobMetrics& metrics) {
   const int stage_id = record.stage_id;
+  obs::Recorder* const rec = sc_.obs();
 
   // Phase 1 — evaluate. Every host function runs concurrently on the
   // context's pool. A task is a pure function of (job seed, stage,
@@ -181,16 +204,27 @@ void DAGScheduler::run_tasks_parallel(StageRecord& record,
   auto shared_costs = std::make_shared<std::vector<TaskCost>>(std::move(costs));
   for (std::size_t p = 0; p < num_tasks; ++p) {
     Executor& executor = *executors[task_counter_++ % executors.size()];
-    executor.submit(Executor::Work{
-        [effects, shared_costs, p]() -> TaskCost {
-          (*effects)[p].commit();
-          return (*shared_costs)[p];
-        },
-        [this, remaining, &metrics](const TaskCost& cost) {
-          metrics.total_cost += cost;
-          lifetime_cost_ += cost;
-          --*remaining;
-        }});
+    Executor::Work work;
+    work.stage_id = stage_id;
+    work.partition = p;
+    // Task spans open here, in the same submit order as the serial branch,
+    // so the span tree (ids included) is identical at any thread count.
+    if (rec != nullptr)
+      work.obs_span = rec->open_task(stage_span, stage_id, p, 0,
+                                     executor.spec().id, sc_.now());
+    const obs::SpanId tspan = work.obs_span;
+    work.host = [effects, shared_costs, p]() -> TaskCost {
+      (*effects)[p].commit();
+      return (*shared_costs)[p];
+    };
+    work.done = [this, remaining, rec, tspan,
+                 &metrics](const TaskCost& cost) {
+      if (rec != nullptr) rec->close_task(tspan, sc_.now());
+      metrics.total_cost += cost;
+      lifetime_cost_ += cost;
+      --*remaining;
+    };
+    executor.submit(std::move(work));
   }
 
   sim::Simulator& sim = sc_.machine().simulator();
@@ -202,6 +236,7 @@ void DAGScheduler::run_tasks_parallel(StageRecord& record,
 }
 
 void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
+                                           obs::SpanId stage_span,
                                            std::size_t num_tasks,
                                            const TaskFn& task,
                                            JobMetrics& metrics,
@@ -231,8 +266,10 @@ void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
   auto durations = std::make_shared<RunningMedian>();
   auto launch = std::make_shared<std::function<void(std::size_t)>>();
 
+  obs::Recorder* const rec = sc_.obs();
   *launch = [this, states, remaining, durations, launch, stage_id, rng_stage,
-             num_tasks, opts, &task, &metrics, &record](std::size_t i) {
+             num_tasks, opts, rec, stage_span, &task, &metrics,
+             &record](std::size_t i) {
     sim::Simulator& sim = sc_.machine().simulator();
     auto& executors = sc_.executors();
 
@@ -262,6 +299,12 @@ void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
     work.partition = p;
     work.attempt = attempt;
     const int executor_id = chosen->spec().id;
+    // Every launch — original, retry, speculative duplicate — is its own
+    // span; the attempt number disambiguates them in the trace.
+    if (rec != nullptr)
+      work.obs_span = rec->open_task(stage_span, stage_id, p, attempt,
+                                     executor_id, sim.now());
+    const obs::SpanId tspan = work.obs_span;
     work.host = [this, states, i, p, rng_stage, executor_id, &task,
                  &record]() -> TaskCost {
       if ((*states)[i].done) return TaskCost{};  // losing duplicate: no-op
@@ -281,8 +324,15 @@ void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
       return ctx.cost();
     };
     work.done = [this, states, remaining, durations, launch, i, attempt,
-                 stage_id, num_tasks, opts, &metrics](const TaskCost& cost) {
+                 stage_id, num_tasks, opts, rec, tspan,
+                 &metrics](const TaskCost& cost) {
       TaskState& st = (*states)[i];
+      // Close the launch span whether it won or lost the race: a losing
+      // duplicate's whole residual is wasted (recovery) time.
+      if (rec != nullptr)
+        rec->close_task(tspan, sc_.machine().simulator().now(),
+                        st.done ? obs::Bucket::kRecovery
+                                : obs::Bucket::kOther);
       if (st.done) return;  // a duplicate already delivered this partition
       st.done = true;
       --st.live;
@@ -321,9 +371,14 @@ void DAGScheduler::run_tasks_with_recovery(StageRecord& record,
         (*launch)(j);
       }
     };
-    work.failed = [this, states, launch, i, attempt, stage_id,
-                   opts]() {
+    work.failed = [this, states, launch, i, attempt, stage_id, opts, rec,
+                   tspan]() {
       TaskState& st = (*states)[i];
+      // The launch died with the executor; everything it consumed is
+      // recovery time from the job's perspective.
+      if (rec != nullptr)
+        rec->close_task(tspan, sc_.machine().simulator().now(),
+                        obs::Bucket::kRecovery);
       if (st.done) return;  // zombie of an already-delivered partition
       --st.live;
       FaultHooks& fault = *sc_.fault();
@@ -380,6 +435,10 @@ JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
   metrics.job = name;
   metrics.start = sc_.now();
 
+  obs::Recorder* const rec = sc_.obs();
+  const obs::SpanId job_span =
+      rec != nullptr ? rec->open_job(name, metrics.start) : 0;
+
   std::vector<std::shared_ptr<ShuffleDependencyBase>> shuffle_order;
   std::unordered_set<int> seen_rdds;
   std::unordered_set<int> seen_shuffles;
@@ -422,6 +481,7 @@ JobMetrics DAGScheduler::run_job(const std::shared_ptr<RddBase>& final_rdd,
                 metrics));
 
   metrics.end = sc_.now();
+  if (rec != nullptr) rec->close_job(job_span, metrics.end);
   ++jobs_run_;
   return metrics;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "obs/span.hpp"
 #include "spark/rdd_base.hpp"
 #include "spark/task.hpp"
 
@@ -119,7 +120,7 @@ class DAGScheduler {
   /// Fault-mode task loop: per-task retries with capped exponential
   /// backoff, speculative duplicates for stragglers, live-executor
   /// placement. Fills in the submission/barrier part of run_stage.
-  void run_tasks_with_recovery(StageRecord& record,
+  void run_tasks_with_recovery(StageRecord& record, obs::SpanId stage_span,
                                std::size_t num_tasks, const TaskFn& task,
                                JobMetrics& metrics, const StageOptions& opts);
 
@@ -129,8 +130,9 @@ class DAGScheduler {
   /// pre-computed TaskCosts into the simulator — through the exact
   /// submission sequence the serial path uses. Fault-free stages only;
   /// bit-identical to the serial branch of run_stage.
-  void run_tasks_parallel(StageRecord& record, std::size_t num_tasks,
-                          const TaskFn& task, JobMetrics& metrics);
+  void run_tasks_parallel(StageRecord& record, obs::SpanId stage_span,
+                          std::size_t num_tasks, const TaskFn& task,
+                          JobMetrics& metrics);
 
   /// Advances virtual time by `d` (framework overhead with no resource use).
   void advance(Duration d);

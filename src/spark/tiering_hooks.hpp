@@ -70,6 +70,13 @@ class TieringHooks {
   /// Empty means "no opinion": the caller falls back to the statically
   /// bound tier (SparkConf::tier_for), which is the exact pre-tiering path.
   virtual std::vector<TierShare> traffic_split(StreamClass cls) const = 0;
+
+  /// Integrated virtual seconds during which at least one page migration
+  /// was in flight, up to now. The observability plane differences this
+  /// across a transfer to bound how much of the transfer's slowdown can be
+  /// attributed to migration contention. Purely observational; the default
+  /// keeps policies that predate the obs plane working unchanged.
+  virtual double migration_busy_seconds() const { return 0.0; }
 };
 
 }  // namespace tsx::spark

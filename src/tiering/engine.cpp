@@ -150,12 +150,15 @@ void Engine::launch_move(const Move& move) {
   stats_.nvm_bytes_written += estimate.nvm_bytes_written;
   stats_.nvm_write_energy += estimate.nvm_write_energy;
 
-  trace_.emit(sc_.now(), promote ? "tiering.promote" : "tiering.demote",
-              strfmt("region=%016llx %s -> %s %s",
-                     static_cast<unsigned long long>(move.region),
-                     mem::to_string(move.from).c_str(),
-                     mem::to_string(move.to).c_str(),
-                     to_string(move.bytes).c_str()));
+  const char* const category =
+      promote ? "tiering.promote" : "tiering.demote";
+  if (trace_.wants(category))
+    trace_.emit(sc_.now(), category,
+                strfmt("region=%016llx %s -> %s %s",
+                       static_cast<unsigned long long>(move.region),
+                       mem::to_string(move.from).c_str(),
+                       mem::to_string(move.to).c_str(),
+                       to_string(move.bytes).c_str()));
 
   // Flip placement at launch: new traffic targets the destination right
   // away while the copy drains in the background.
@@ -164,10 +167,35 @@ void Engine::launch_move(const Move& move) {
 
   const sim::TimePoint started = sc_.now();
   const spark::RegionId id = move.region;
-  cost_model_.execute(move.from, move.to, move.bytes, [this, id, started] {
+  obs::SpanId span = 0;
+  if (obs_ != nullptr) {
+    span = obs_->open_migration(
+        strfmt("%s:%016llx", promote ? "promote" : "demote",
+               static_cast<unsigned long long>(move.region)),
+        category, started);
+    obs_->set_arg(span, "from", mem::to_string(move.from));
+    obs_->set_arg(span, "to", mem::to_string(move.to));
+    obs_->set_arg(span, "bytes", strfmt("%.0f", move.bytes.b()));
+    obs_->metrics().counter_add(
+        promote ? "tiering_promotions" : "tiering_demotions",
+        {{"to", mem::to_string(move.to)}});
+  }
+  if (migrations_in_flight_ == 0) busy_since_ = started;
+  ++migrations_in_flight_;
+  cost_model_.execute(move.from, move.to, move.bytes,
+                      [this, id, started, span] {
     stats_.migration_seconds += (sc_.now() - started).sec();
     tracker_.set_migrating(id, false);
+    if (--migrations_in_flight_ == 0)
+      busy_accum_ += (sc_.now() - busy_since_).sec();
+    if (obs_ != nullptr) obs_->close_migration(span, sc_.now());
   });
+}
+
+double Engine::migration_busy_seconds() const {
+  double busy = busy_accum_;
+  if (migrations_in_flight_ > 0) busy += (sc_.now() - busy_since_).sec();
+  return busy;
 }
 
 }  // namespace tsx::tiering

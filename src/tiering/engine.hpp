@@ -53,6 +53,7 @@ class Engine final : public spark::TieringHooks {
   void on_region_drop(spark::StreamClass cls, spark::RegionId id) override;
   std::vector<spark::TierShare> traffic_split(
       spark::StreamClass cls) const override;
+  double migration_busy_seconds() const override;
 
   const TieringConfig& config() const { return config_; }
   const TieringStats& stats() const { return stats_; }
@@ -62,6 +63,10 @@ class Engine final : public spark::TieringHooks {
   /// ring-buffered so long runs keep the most recent migrations.
   sim::TraceSink& trace() { return trace_; }
   const sim::TraceSink& trace() const { return trace_; }
+
+  /// Attaches the observability recorder: every migration copy becomes a
+  /// span. Null (the default) changes nothing.
+  void set_obs(obs::Recorder* recorder) { obs_ = recorder; }
 
   /// Promotion target: local DRAM of the bound socket.
   mem::TierId fast_tier() const { return mem::TierId::kTier0; }
@@ -82,6 +87,13 @@ class Engine final : public spark::TieringHooks {
   sim::TraceSink trace_;
   TieringStats stats_;
   bool started_ = false;
+  obs::Recorder* obs_ = nullptr;
+
+  // Migration-busy integrator for the obs plane's stall estimate: total
+  // virtual seconds during which >= 1 copy was in flight.
+  int migrations_in_flight_ = 0;
+  Duration busy_since_ = Duration::zero();
+  double busy_accum_ = 0.0;
 };
 
 }  // namespace tsx::tiering

@@ -125,6 +125,8 @@ std::vector<std::pair<std::string, std::string>> config_fields(
        strfmt("%.17g", config.columnar.arena_chunk_kib)},
       {"columnar_dict_capacity",
        std::to_string(config.columnar.dict_capacity)},
+      {"obs_enabled", config.obs.enabled ? "1" : "0"},
+      {"obs_trace_filter", config.obs.trace_filter},
   };
 }
 
@@ -233,6 +235,8 @@ std::vector<Diagnostic> RunConfig::validate() const {
           "columnar execution does not participate in lineage recovery yet; "
           "run the row path under fault injection");
   }
+  for (const Diagnostic& d : obs.validate())
+    issues.push_back({"obs." + d.field, d.message});
   return issues;
 }
 
@@ -297,11 +301,32 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
 
   spark::SparkContext sc(machine, dfs, conf, config.seed);
 
+  // Observability plane: the recorder exists only when enabled, so an
+  // obs-off run is the pre-obs path bit for bit (every hook site sees a
+  // null recorder / zero span id). The category filter comes from the
+  // config knob, falling back to the TSX_TRACE environment variable; the
+  // same spec also narrows the legacy tiering/fault trace sinks.
+  std::shared_ptr<obs::Recorder> recorder;
+  std::string trace_filter = config.obs.trace_filter;
+  if (trace_filter.empty()) {
+    if (const char* env = std::getenv("TSX_TRACE")) trace_filter = env;
+  }
+  if (config.obs.enabled) {
+    recorder = std::make_shared<obs::Recorder>();
+    if (!trace_filter.empty())
+      recorder->set_filter(sim::CategoryFilter::parse(trace_filter));
+    sc.set_obs(recorder.get());
+    recorder->open_run(config.describe(), simulator.now());
+  }
+
   // The engine exists only for dynamic policies: under `static` the run is
   // the pre-tiering code path bit for bit (no hooks, no epoch events).
   std::unique_ptr<tiering::Engine> engine;
   if (config.tiering.policy != tiering::PolicyKind::kStatic) {
     engine = std::make_unique<tiering::Engine>(sc, config.tiering);
+    if (!trace_filter.empty())
+      engine->trace().set_filter(sim::CategoryFilter::parse(trace_filter));
+    if (recorder) engine->set_obs(recorder.get());
     engine->start();
   }
 
@@ -311,6 +336,9 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
   std::unique_ptr<fault::Controller> faults;
   if (config.fault.enabled) {
     faults = std::make_unique<fault::Controller>(sc, config.fault);
+    if (!trace_filter.empty())
+      faults->trace().set_filter(sim::CategoryFilter::parse(trace_filter));
+    if (recorder) faults->set_obs(recorder.get());
     faults->start();
   }
 
@@ -383,6 +411,13 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
     result.columnar = col->stats();
   }
   result.host_execute_seconds = sc.scheduler().host_execute_seconds();
+  if (recorder) {
+    recorder->finalize(simulator.now());
+    sc.set_obs(nullptr);
+    if (engine) engine->set_obs(nullptr);
+    if (faults) faults->set_obs(nullptr);
+    result.trace = recorder;
+  }
 
   result.events = metrics::synthesize_events(
       result.total_cost, result.exec_time, result.tasks,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -22,6 +23,8 @@
 #include "mem/wear.hpp"
 #include "metrics/nvdimm.hpp"
 #include "metrics/system_events.hpp"
+#include "obs/options.hpp"
+#include "obs/recorder.hpp"
 #include "spark/placement.hpp"
 #include "tiering/options.hpp"
 #include "workloads/apps.hpp"
@@ -90,6 +93,11 @@ struct RunConfig {
   /// pagerank) execute through the query layer instead.
   columnar::ColumnarConfig columnar;
 
+  /// Observability plane: span tracing + metrics + tier-time attribution.
+  /// The default (`enabled = false`) records nothing — the recorder is not
+  /// even constructed and every hook site is one null-pointer branch.
+  obs::ObsConfig obs;
+
   std::string describe() const;
 
   /// Two configs are equal iff every knob matches — the identity the result
@@ -155,6 +163,12 @@ struct RunResult {
   /// machine-dependent and must not perturb the bit-identity gates; the
   /// perf bench reads it to compare row vs columnar execution speed.
   double host_execute_seconds = 0.0;
+
+  /// The run's finalized span recorder (null unless `config.obs.enabled`).
+  /// Like host_execute_seconds this is deliberately NOT serialized: the
+  /// trace is a side artifact, and results_identical must keep comparing
+  /// the simulation outcome only.
+  std::shared_ptr<const obs::Recorder> trace;
 
   bool valid = false;
   std::string validation;
