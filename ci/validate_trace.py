@@ -10,7 +10,11 @@ rules a generic schema cannot express:
   * "i" (instant) events carry ts;
   * an event's args.attr bucket map sums to its dur (microseconds) within
     float-rounding slack — the exporter-level echo of the recorder's
-    exact-sum invariant.
+    exact-sum invariant;
+  * "dfs.*" categories come only from the storage plane's known span set
+    (dfs.read / dfs.write / dfs.repair), are complete events, and carry
+    the args their consumers key on (path+bytes for I/O, chunks for
+    repair waves).
 
 Usage: validate_trace.py TRACE.json [SCHEMA.json]
 Exit code 0 = valid; 1 = violations (listed on stderr); 2 = bad usage.
@@ -67,6 +71,32 @@ def check(value, schema, path, errors):
             errors.append(f"{path}: {value} below minimum {schema['minimum']}")
 
 
+DFS_CATEGORIES = {"dfs.read", "dfs.write", "dfs.repair"}
+DFS_REQUIRED_ARGS = {
+    "dfs.read": ("path", "bytes"),
+    "dfs.write": ("path", "bytes"),
+    "dfs.repair": ("chunks",),
+}
+
+
+def check_dfs_event(ev, path, errors):
+    cat = ev.get("cat", "")
+    if not cat.startswith("dfs."):
+        return
+    if cat not in DFS_CATEGORIES:
+        errors.append(f"{path}: unknown dfs category {cat!r}")
+        return
+    if ev.get("ph") != "X":
+        errors.append(f"{path}: dfs span '{cat}' must be a complete event")
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        errors.append(f"{path}: dfs span '{cat}' carries no args")
+        return
+    for key in DFS_REQUIRED_ARGS[cat]:
+        if key not in args:
+            errors.append(f"{path}: dfs span '{cat}' missing args.{key}")
+
+
 def cross_field(events, errors):
     for i, ev in enumerate(events):
         if len(errors) >= MAX_ERRORS:
@@ -82,6 +112,7 @@ def cross_field(events, errors):
         elif ph == "i":
             if "ts" not in ev:
                 errors.append(f"{path}: 'i' event needs ts")
+        check_dfs_event(ev, path, errors)
         attr = ev.get("args", {}).get("attr") if isinstance(ev.get("args"), dict) else None
         if ph == "X" and isinstance(attr, dict):
             total_us = sum(v for v in attr.values() if isinstance(v, (int, float))) * 1e6

@@ -396,8 +396,9 @@ class ChunkRdd final : public spark::RDD<Chunk> {
         const double rows = chunks_rows(chunks);
         const Bytes bytes = Bytes::of(chunks_bytes(chunks));
         if (src.scan.charge_input_io) {
-          ctx.charge_io(this->context()->dfs().read_seek_overhead(bytes));
-          ctx.charge_disk_read(bytes);
+          const dfs::IoCharge rd = this->context()->dfs().read_charge(bytes);
+          ctx.charge_io(rd.seek);
+          ctx.charge_disk_read(rd.disk);
           ctx.charge_cpu_ns(bytes.b() * ctx.costs().deserialize_cpu_ns_per_byte);
           ctx.charge_dep_writes(rows * ctx.costs().record_dep_writes);
           ctx.charge_stream_write(bytes);  // page cache -> executor heap

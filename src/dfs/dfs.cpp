@@ -1,20 +1,180 @@
 #include "dfs/dfs.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "core/error.hpp"
+#include "core/strings.hpp"
+#include "dfs/placement.hpp"
+#include "obs/recorder.hpp"
+#include "sim/simulator.hpp"
 
 namespace tsx::dfs {
 
+namespace {
+
+std::uint64_t path_hash(const std::string& path) {
+  // FNV-1a, 64-bit — the same stable hash discipline runner keys use.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+DfsConfig legacy_config(Bytes block_size, int replication) {
+  DfsConfig config;
+  config.codec = CodecKind::kReplication;
+  config.replication = replication;
+  // One rack, one datanode per replica, so the replication pipeline has
+  // distinct placement targets; the cost formulas only see `replication`.
+  config.racks = 1;
+  config.nodes_per_rack = std::max(1, replication);
+  config.block_mib = block_size.b() / (1024.0 * 1024.0);
+  return config;
+}
+
+}  // namespace
+
 Dfs::Dfs(DiskSpec disk, Bytes block_size, int replication)
-    : disk_(disk), block_size_(block_size), replication_(replication) {
+    : config_(legacy_config(block_size, replication)),
+      disk_(disk),
+      block_size_(block_size),
+      cluster_(config_.racks, config_.nodes_per_rack, disk) {
   TSX_CHECK(block_size.b() > 0.0, "block size must be positive");
   TSX_CHECK(replication >= 1, "replication must be >= 1");
+  dead_.assign(cluster_.size(), 0);
+}
+
+Dfs::Dfs(const DfsConfig& config, std::uint64_t seed, DiskSpec disk)
+    : config_(config),
+      seed_(seed),
+      disk_(disk),
+      block_size_(Bytes::mib(config.block_mib)),
+      cluster_(config.racks, config.nodes_per_rack, disk) {
+  const auto issues = config.validate();
+  if (!issues.empty()) throw diagnostics_error("dfs", issues);
+  dead_.assign(cluster_.size(), 0);
 }
 
 std::size_t Dfs::blocks_for(Bytes size) const {
   return std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(size.b() / block_size_.b())));
+}
+
+Dfs::File Dfs::make_file(const std::string& path,
+                         std::vector<std::string> lines, Bytes size,
+                         bool is_virtual) {
+  File file;
+  file.size = size;
+  file.is_virtual = is_virtual;
+  const std::size_t nblocks = blocks_for(size);
+  file.blocks.reserve(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b)
+    file.blocks.push_back(BlockId{next_block_++});
+
+  const std::uint64_t fhash = path_hash(path);
+  const std::size_t block_b = static_cast<std::size_t>(block_size_.b());
+  const std::size_t size_b = static_cast<std::size_t>(size.b());
+  const auto slice_length = [&](std::size_t block) {
+    const std::size_t at = block * block_b;
+    return at >= size_b ? 0 : std::min(block_b, size_b - at);
+  };
+
+  if (config_.codec == CodecKind::kRs) {
+    // Serialize content once; data chunk j of stripe s carries the bytes
+    // [(s*k + j) * block, ...), parity is RS-encoded over the stripe.
+    ChunkData bytes;
+    if (!is_virtual) {
+      bytes.reserve(size_b);
+      for (const std::string& line : lines) {
+        bytes.insert(bytes.end(), line.begin(), line.end());
+        bytes.push_back('\n');
+      }
+    }
+    const int k = config_.rs_k;
+    const int m = config_.rs_m;
+    const std::size_t nstripes =
+        (nblocks + static_cast<std::size_t>(k) - 1) / k;
+    for (std::size_t s = 0; s < nstripes; ++s) {
+      Stripe stripe;
+      const int d = static_cast<int>(
+          std::min<std::size_t>(k, nblocks - s * static_cast<std::size_t>(k)));
+      stripe.data = d;
+      std::vector<ChunkData> data(static_cast<std::size_t>(d));
+      std::size_t max_len = 0;
+      for (int j = 0; j < d; ++j) {
+        const std::size_t block = s * static_cast<std::size_t>(k) + j;
+        const std::size_t len = slice_length(block);
+        max_len = std::max(max_len, len);
+        Chunk chunk;
+        chunk.length = len;
+        if (!is_virtual) {
+          const std::size_t at = block * block_b;
+          chunk.payload.assign(bytes.begin() + at, bytes.begin() + at + len);
+          data[static_cast<std::size_t>(j)] = chunk.payload;
+        }
+        stripe.chunks.push_back(std::move(chunk));
+      }
+      std::vector<ChunkData> parity;
+      if (!is_virtual) parity = rs_encode(data, m);
+      // Parity fits only where there are online nodes left beyond the data
+      // chunks — a write into a degraded cluster lands under-protected
+      // rather than failing.
+      const int width_cap = static_cast<int>(cluster_.online_count());
+      const int m_eff = std::min(m, std::max(0, width_cap - d));
+      for (int i = 0; i < m_eff; ++i) {
+        Chunk chunk;
+        chunk.length = max_len;
+        if (!is_virtual) chunk.payload = std::move(parity[i]);
+        stripe.chunks.push_back(std::move(chunk));
+      }
+      const auto nodes =
+          place_stripe(cluster_, seed_, fhash, s, d + m_eff);
+      for (std::size_t c = 0; c < stripe.chunks.size(); ++c)
+        stripe.chunks[c].node = nodes[c];
+      total_data_chunks_ += static_cast<std::uint64_t>(d);
+      file.stripes.push_back(std::move(stripe));
+    }
+  } else {
+    const int r_eff = std::min(
+        config_.replication,
+        std::max(1, static_cast<int>(cluster_.online_count())));
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      Stripe stripe;
+      stripe.data = 1;
+      const auto nodes = place_stripe(cluster_, seed_, fhash, b, r_eff);
+      for (int c = 0; c < r_eff; ++c) {
+        Chunk chunk;
+        chunk.length = slice_length(b);
+        chunk.node = nodes[static_cast<std::size_t>(c)];
+        stripe.chunks.push_back(std::move(chunk));
+      }
+      ++total_data_chunks_;
+      file.stripes.push_back(std::move(stripe));
+    }
+  }
+
+  if (!is_virtual && config_.codec != CodecKind::kRs)
+    file.lines = std::move(lines);
+  return file;
+}
+
+void Dfs::release_counters(const File& file) {
+  for (const Stripe& stripe : file.stripes)
+    for (std::size_t c = 0; c < stripe.chunks.size(); ++c) {
+      if (static_cast<int>(c) >= stripe.data) continue;
+      --total_data_chunks_;
+      if (!stripe.chunks[c].present) --lost_data_chunks_;
+    }
+}
+
+void Dfs::insert_file(const std::string& path, File file) {
+  const auto it = files_.find(path);
+  if (it != files_.end()) release_counters(it->second);
+  files_[path] = std::move(file);
 }
 
 FileStatus Dfs::write_text(const std::string& path,
@@ -23,22 +183,59 @@ FileStatus Dfs::write_text(const std::string& path,
   for (const auto& line : lines)
     size += Bytes::of(static_cast<double>(line.size() + 1));  // +\n
 
-  File file;
-  file.lines = std::move(lines);
-  file.size = size;
-  const std::size_t nblocks = blocks_for(size);
-  file.blocks.reserve(nblocks);
-  for (std::size_t b = 0; b < nblocks; ++b)
-    file.blocks.push_back(BlockId{next_block_++});
-  files_[path] = std::move(file);
-
+  insert_file(path, make_file(path, std::move(lines), size, false));
+  emit_span("dfs.write", "dfs.write", path, size);
   return status(path);
 }
 
-std::vector<std::string> Dfs::read_text(const std::string& path) const {
+FileStatus Dfs::provision(const std::string& path, Bytes size) {
+  insert_file(path, make_file(path, {}, size, true));
+  return status(path);
+}
+
+std::vector<std::string> Dfs::read_text(const std::string& path) {
   const auto it = files_.find(path);
   TSX_CHECK(it != files_.end(), "dfs: no such file: " + path);
-  return it->second.lines;
+  File& file = it->second;
+  TSX_CHECK(!file.is_virtual,
+            "dfs: provisioned file has no content: " + path);
+  emit_span("dfs.read", "dfs.read", path, file.size);
+  if (config_.codec != CodecKind::kRs) return file.lines;
+
+  // RS files live as chunk payloads; a read decodes them — reconstructing
+  // lost data chunks from any k survivors on the way.
+  ChunkData bytes;
+  bytes.reserve(static_cast<std::size_t>(file.size.b()));
+  for (const Stripe& stripe : file.stripes) {
+    bool degraded = false;
+    for (int j = 0; j < stripe.data; ++j)
+      if (!stripe.chunks[static_cast<std::size_t>(j)].present)
+        degraded = true;
+    if (!degraded) {
+      for (int j = 0; j < stripe.data; ++j) {
+        const Chunk& c = stripe.chunks[static_cast<std::size_t>(j)];
+        bytes.insert(bytes.end(), c.payload.begin(), c.payload.end());
+      }
+      continue;
+    }
+    ++stats_.degraded_reads;
+    const auto data = reconstruct_data(file, stripe);
+    for (int j = 0; j < stripe.data; ++j) {
+      if (!stripe.chunks[static_cast<std::size_t>(j)].present)
+        ++stats_.reconstructed_chunks;
+      bytes.insert(bytes.end(), data[static_cast<std::size_t>(j)].begin(),
+                   data[static_cast<std::size_t>(j)].end());
+    }
+  }
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    if (bytes[i] == '\n') {
+      lines.emplace_back(bytes.begin() + start, bytes.begin() + i);
+      start = i + 1;
+    }
+  return lines;
 }
 
 bool Dfs::exists(const std::string& path) const {
@@ -46,14 +243,17 @@ bool Dfs::exists(const std::string& path) const {
 }
 
 void Dfs::remove(const std::string& path) {
-  TSX_CHECK(files_.erase(path) > 0, "dfs: remove of missing file: " + path);
+  const auto it = files_.find(path);
+  TSX_CHECK(it != files_.end(), "dfs: remove of missing file: " + path);
+  release_counters(it->second);
+  files_.erase(it);
 }
 
 FileStatus Dfs::status(const std::string& path) const {
   const auto it = files_.find(path);
   TSX_CHECK(it != files_.end(), "dfs: no such file: " + path);
   return FileStatus{path, it->second.size, it->second.blocks.size(),
-                    replication_};
+                    config_.replication};
 }
 
 std::vector<std::string> Dfs::list() const {
@@ -63,19 +263,47 @@ std::vector<std::string> Dfs::list() const {
   return out;
 }
 
+// ---- cost model --------------------------------------------------------
+
+IoCharge Dfs::read_charge(Bytes bytes) {
+  const auto blocks = static_cast<double>(blocks_for(bytes));
+  if (lost_data_chunks_ == 0) {
+    // Healthy path: the original flat-model arithmetic, and no state
+    // writes — pool threads call this concurrently in parallel runs.
+    return IoCharge{disk_.seek * blocks, bytes};
+  }
+  // Degraded: the lost fraction of data chunks reads k survivors instead
+  // of one (RS reconstruction); replication reroutes at no amplification.
+  const double f = degraded_fraction();
+  const double amp =
+      1.0 + f * static_cast<double>(config_.data_chunks() - 1);
+  ++stats_.degraded_reads;
+  return IoCharge{disk_.seek * blocks * amp, bytes * amp};
+}
+
+IoCharge Dfs::write_charge(Bytes bytes) const {
+  const std::size_t blocks = blocks_for(bytes);
+  if (config_.codec == CodecKind::kRs) {
+    const auto k = static_cast<std::size_t>(config_.rs_k);
+    const auto m = static_cast<std::size_t>(config_.rs_m);
+    const std::size_t stripes = (blocks + k - 1) / k;
+    return IoCharge{
+        disk_.seek * static_cast<double>(blocks + stripes * m),
+        bytes * (1.0 + static_cast<double>(m) / static_cast<double>(k))};
+  }
+  const auto r = static_cast<std::size_t>(config_.replication);
+  return IoCharge{disk_.seek * static_cast<double>(blocks * r),
+                  bytes * static_cast<double>(r)};
+}
+
 Duration Dfs::read_time(Bytes bytes) const {
   const auto seeks = static_cast<double>(blocks_for(bytes));
   return bytes / disk_.bandwidth + disk_.seek * seeks;
 }
 
 Duration Dfs::write_time(Bytes bytes) const {
-  // The replication pipeline streams through each replica in series for the
-  // first byte but overlaps thereafter; model the classic pipeline cost of
-  // one traversal plus per-replica block handoffs.
-  const auto seeks =
-      static_cast<double>(blocks_for(bytes) * static_cast<std::size_t>(
-                                                  replication_));
-  return bytes / disk_.bandwidth + disk_.seek * seeks;
+  const IoCharge charge = write_charge(bytes);
+  return charge.disk / disk_.bandwidth + charge.seek;
 }
 
 Duration Dfs::read_seek_overhead(Bytes bytes) const {
@@ -83,9 +311,258 @@ Duration Dfs::read_seek_overhead(Bytes bytes) const {
 }
 
 Duration Dfs::write_seek_overhead(Bytes bytes) const {
-  return disk_.seek * static_cast<double>(blocks_for(bytes) *
-                                          static_cast<std::size_t>(
-                                              replication_));
+  return write_charge(bytes).seek;
+}
+
+// ---- failure + repair --------------------------------------------------
+
+void Dfs::node_down(int node) {
+  cluster_.set_online(node, false);
+  for (auto& [path, file] : files_)
+    for (Stripe& stripe : file.stripes) {
+      bool hit = false;
+      for (std::size_t c = 0; c < stripe.chunks.size(); ++c) {
+        Chunk& chunk = stripe.chunks[c];
+        if (chunk.node != node || !chunk.present) continue;
+        chunk.present = false;
+        hit = true;
+        ++stats_.chunks_lost;
+        if (static_cast<int>(c) < stripe.data) ++lost_data_chunks_;
+      }
+      if (hit) {
+        int present = 0;
+        for (const Chunk& chunk : stripe.chunks)
+          if (chunk.present) ++present;
+        // Crossing below `data` survivors is the codec budget: the stripe
+        // just became unreconstructible.
+        if (present == stripe.data - 1) ++stats_.chunks_unreadable;
+      }
+    }
+}
+
+void Dfs::fail_datanode(int node) {
+  TSX_CHECK(node >= 0 && node < static_cast<int>(cluster_.size()),
+            "dfs: no such datanode: " + std::to_string(node));
+  if (!cluster_.online(node)) return;
+  dead_[static_cast<std::size_t>(node)] = 1;
+  node_down(node);
+  ++stats_.datanodes_lost;
+}
+
+void Dfs::fail_rack(int rack) {
+  TSX_CHECK(rack >= 0 && rack < cluster_.racks(),
+            "dfs: no such rack: " + std::to_string(rack));
+  for (const int node : cluster_.rack_members(rack))
+    if (cluster_.online(node)) node_down(node);
+  ++stats_.racks_lost;
+}
+
+void Dfs::recover_rack(int rack) {
+  TSX_CHECK(rack >= 0 && rack < cluster_.racks(),
+            "dfs: no such rack: " + std::to_string(rack));
+  for (const int node : cluster_.rack_members(rack)) {
+    // A partition heals with its disks intact; a crashed node stays dead.
+    if (dead_[static_cast<std::size_t>(node)]) continue;
+    if (cluster_.online(node)) continue;
+    cluster_.set_online(node, true);
+    for (auto& [path, file] : files_)
+      for (Stripe& stripe : file.stripes)
+        for (std::size_t c = 0; c < stripe.chunks.size(); ++c) {
+          Chunk& chunk = stripe.chunks[c];
+          if (chunk.node != node || chunk.present) continue;
+          chunk.present = true;
+          if (static_cast<int>(c) < stripe.data) --lost_data_chunks_;
+        }
+  }
+  ++stats_.racks_recovered;
+}
+
+RepairSchedule Dfs::plan_repair() const {
+  RepairSchedule sched;
+  for (const auto& [path, file] : files_) {
+    for (std::size_t s = 0; s < file.stripes.size(); ++s) {
+      const Stripe& stripe = file.stripes[s];
+      int present = 0;
+      for (const Chunk& chunk : stripe.chunks)
+        if (chunk.present) ++present;
+      // Fewer than `data` survivors: past the codec budget, unrepairable.
+      if (present < stripe.data) continue;
+      if (present == static_cast<int>(stripe.chunks.size())) continue;
+
+      std::set<int> used;
+      std::vector<int> rack_load(static_cast<std::size_t>(cluster_.racks()),
+                                 0);
+      int source_rack = -1;
+      for (const Chunk& chunk : stripe.chunks)
+        if (chunk.present) {
+          used.insert(chunk.node);
+          ++rack_load[static_cast<std::size_t>(cluster_.rack_of(chunk.node))];
+          if (source_rack < 0) source_rack = cluster_.rack_of(chunk.node);
+        }
+
+      for (std::size_t c = 0; c < stripe.chunks.size(); ++c) {
+        const Chunk& chunk = stripe.chunks[c];
+        if (chunk.present) continue;
+        // Replacement target: an online node hosting nothing of this
+        // stripe, in the rack carrying the fewest of its chunks (ties by
+        // node id) — the same spread invariant placement enforces.
+        int target = -1;
+        for (const int node : cluster_.online_nodes()) {
+          if (used.count(node)) continue;
+          if (target < 0 ||
+              rack_load[static_cast<std::size_t>(cluster_.rack_of(node))] <
+                  rack_load[static_cast<std::size_t>(
+                      cluster_.rack_of(target))])
+            target = node;
+        }
+        if (target < 0) continue;  // cluster too degraded to re-spread
+        used.insert(target);
+        ++rack_load[static_cast<std::size_t>(cluster_.rack_of(target))];
+
+        RepairTask task;
+        task.path = path;
+        task.stripe = s;
+        task.chunk_index = static_cast<int>(c);
+        task.target = target;
+        // RS reconstruction streams `data` surviving chunks; replication
+        // copies the one lost replica. Actual payload lengths, not padded
+        // blocks — repair moves data, not allocation.
+        if (config_.codec == CodecKind::kRs) {
+          int sources = 0;
+          for (const Chunk& src : stripe.chunks) {
+            if (!src.present || sources == stripe.data) continue;
+            ++sources;
+            task.read_bytes += Bytes::of(static_cast<double>(src.length));
+          }
+        } else {
+          task.read_bytes = Bytes::of(static_cast<double>(chunk.length));
+        }
+        task.write_bytes = Bytes::of(static_cast<double>(chunk.length));
+        task.cross_rack =
+            config_.codec == CodecKind::kRs
+                ? cluster_.racks() > 1
+                : source_rack >= 0 && source_rack != cluster_.rack_of(target);
+        sched.total_read += task.read_bytes;
+        sched.total_write += task.write_bytes;
+        sched.tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return sched;
+}
+
+bool Dfs::apply_repair(const RepairTask& task) {
+  const auto it = files_.find(task.path);
+  if (it == files_.end()) {
+    ++stats_.repair_tasks_cancelled;
+    return false;
+  }
+  File& file = it->second;
+  if (task.stripe >= file.stripes.size() || task.chunk_index < 0) {
+    ++stats_.repair_tasks_cancelled;
+    return false;
+  }
+  Stripe& stripe = file.stripes[task.stripe];
+  if (static_cast<std::size_t>(task.chunk_index) >= stripe.chunks.size()) {
+    ++stats_.repair_tasks_cancelled;
+    return false;
+  }
+  Chunk& chunk = stripe.chunks[static_cast<std::size_t>(task.chunk_index)];
+  // Healed in the meantime (rack recovered) or the target died since the
+  // plan was drawn: tolerated, counted, skipped.
+  if (chunk.present || task.target < 0 || !cluster_.online(task.target)) {
+    ++stats_.repair_tasks_cancelled;
+    return false;
+  }
+  int present = 0;
+  for (const Chunk& c : stripe.chunks)
+    if (c.present) ++present;
+  if (present < stripe.data) {
+    ++stats_.repair_tasks_cancelled;
+    return false;
+  }
+
+  if (config_.codec == CodecKind::kRs && !file.is_virtual) {
+    const auto data = reconstruct_data(file, stripe);
+    if (task.chunk_index < stripe.data) {
+      chunk.payload = data[static_cast<std::size_t>(task.chunk_index)];
+    } else {
+      const int m = static_cast<int>(stripe.chunks.size()) - stripe.data;
+      auto parity = rs_encode(data, m);
+      chunk.payload = std::move(
+          parity[static_cast<std::size_t>(task.chunk_index - stripe.data)]);
+    }
+    ++stats_.reconstructed_chunks;
+  }
+  chunk.node = task.target;
+  chunk.present = true;
+  if (task.chunk_index < stripe.data) --lost_data_chunks_;
+  ++stats_.chunks_repaired;
+  return true;
+}
+
+void Dfs::note_repair_traffic(Bytes read, Bytes written, double seconds) {
+  stats_.repair_read_bytes += read;
+  stats_.repair_write_bytes += written;
+  stats_.repair_seconds += seconds;
+}
+
+std::vector<ChunkData> Dfs::reconstruct_data(const File& file,
+                                             const Stripe& stripe) const {
+  (void)file;
+  const int k = stripe.data;
+  const int m = static_cast<int>(stripe.chunks.size()) - k;
+  std::vector<ChunkData> chunks;
+  std::vector<bool> present;
+  std::vector<std::size_t> lengths;
+  chunks.reserve(stripe.chunks.size());
+  for (const Chunk& c : stripe.chunks) {
+    chunks.push_back(c.payload);
+    present.push_back(c.present);
+  }
+  for (int j = 0; j < k; ++j)
+    lengths.push_back(stripe.chunks[static_cast<std::size_t>(j)].length);
+  return rs_reconstruct(chunks, present, lengths, k, m);
+}
+
+// ---- observability -----------------------------------------------------
+
+void Dfs::set_obs(obs::Recorder* recorder, sim::Simulator* simulator) {
+  obs_ = recorder;
+  sim_ = simulator;
+}
+
+void Dfs::emit_span(const char* name, const std::string& category,
+                    const std::string& path, Bytes bytes) {
+  if (obs_ == nullptr || sim_ == nullptr) return;
+  const Duration now = sim_->now();
+  const obs::SpanId id =
+      obs_->open(obs::SpanKind::kMigration, name, category, now);
+  if (id == 0) return;
+  obs_->set_arg(id, "path", path);
+  obs_->set_arg(id, "bytes", strfmt("%.0f", bytes.b()));
+  obs_->close_with_attribution(id, now, obs::TimeAttribution{},
+                               obs::Bucket::kOther);
+}
+
+// ---- introspection -----------------------------------------------------
+
+double Dfs::degraded_fraction() const {
+  if (total_data_chunks_ == 0) return 0.0;
+  return static_cast<double>(lost_data_chunks_) /
+         static_cast<double>(total_data_chunks_);
+}
+
+std::vector<int> Dfs::stripe_nodes(const std::string& path,
+                                   std::size_t stripe) const {
+  const auto it = files_.find(path);
+  TSX_CHECK(it != files_.end(), "dfs: no such file: " + path);
+  TSX_CHECK(stripe < it->second.stripes.size(),
+            "dfs: no such stripe: " + std::to_string(stripe));
+  std::vector<int> nodes;
+  for (const Chunk& chunk : it->second.stripes[stripe].chunks)
+    nodes.push_back(chunk.node);
+  return nodes;
 }
 
 std::size_t Dfs::block_count() const {
@@ -95,10 +572,12 @@ std::size_t Dfs::block_count() const {
 }
 
 Bytes Dfs::bytes_stored() const {
-  Bytes total = Bytes::zero();
+  // Physical occupancy: every chunk pins a full block — last-block padding
+  // included — times however many chunks the codec laid down.
+  std::size_t chunks = 0;
   for (const auto& [path, file] : files_)
-    total += file.size * static_cast<double>(replication_);
-  return total;
+    for (const Stripe& stripe : file.stripes) chunks += stripe.chunks.size();
+  return block_size_ * static_cast<double>(chunks);
 }
 
 }  // namespace tsx::dfs

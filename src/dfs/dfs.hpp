@@ -1,12 +1,23 @@
 // Simulated distributed file system (the HDFS substrate).
 //
-// The paper stores Spark job input/output on HDFS running on the same node.
-// This module reproduces the pieces that matter to the study: a namenode
-// mapping paths to fixed-size blocks, replicated block storage on a disk
-// medium with its own bandwidth/seek model, and cost estimation for reads
-// and writes so the Spark engine can charge realistic I/O time at job
-// boundaries. File *content* is held for real (vectors of text lines), so
-// save-then-read roundtrips are verifiable in tests.
+// The paper stores Spark job input/output on HDFS running on the same node;
+// this module grew from that flat single-disk model into a cluster DFS: a
+// topology of racks x datanodes (failure domains), pluggable redundancy —
+// replication-N or striped Reed-Solomon RS(k,m) — failure-domain-aware
+// chunk placement, degraded reads that reconstruct from any k surviving
+// chunks, and a deterministic repair schedule the fault controller executes
+// as background flows through the shared storage channel.
+//
+// The default configuration (replication-1, one datanode) reproduces the
+// original cost model bit for bit: the read/write charge formulas collapse
+// to exactly the old per-block seek + transfer arithmetic, and the healthy
+// read path performs no state writes, so the parallel data plane may call
+// it from pool threads.
+//
+// File *content* is held for real — text lines for replicated files, and
+// actual chunk payloads (data + parity bytes) for RS files — so degraded
+// reads and repairs are verifiable byte-for-byte in tests rather than just
+// cost-accounted.
 #pragma once
 
 #include <cstdint>
@@ -15,15 +26,20 @@
 #include <vector>
 
 #include "core/units.hpp"
+#include "dfs/codec.hpp"
+#include "dfs/disk.hpp"
+#include "dfs/options.hpp"
+#include "dfs/repair.hpp"
+#include "dfs/topology.hpp"
+
+namespace tsx::obs {
+class Recorder;
+}
+namespace tsx::sim {
+class Simulator;
+}
 
 namespace tsx::dfs {
-
-struct DiskSpec {
-  /// Sequential throughput of the backing medium (testbed used SATA SSDs).
-  Bandwidth bandwidth = Bandwidth::gb_per_sec(0.5);
-  /// Per-block positioning/request overhead.
-  Duration seek = Duration::micros(100);
-};
 
 struct BlockId {
   std::uint64_t value = 0;
@@ -37,25 +53,58 @@ struct FileStatus {
   int replication = 1;
 };
 
+/// What one engine-level read/write costs: fixed positioning overhead plus
+/// the bytes to stream through the shared storage channel (amplified under
+/// degraded or encoded operation).
+struct IoCharge {
+  Duration seek;
+  Bytes disk;
+};
+
 class Dfs {
  public:
+  /// Legacy flat model: one rack, `max(1, replication)` datanodes (so a
+  /// replication pipeline has distinct targets), replication codec. Cost
+  /// formulas are unchanged from the original single-disk engine.
   explicit Dfs(DiskSpec disk = {}, Bytes block_size = Bytes::mib(128),
                int replication = 1);
+
+  /// Cluster model: topology, codec and repair knobs from `config`;
+  /// placement is a pure function of (seed, path, stripe).
+  Dfs(const DfsConfig& config, std::uint64_t seed, DiskSpec disk = {});
 
   /// Creates (or overwrites) a text file from lines. Returns its status.
   FileStatus write_text(const std::string& path,
                         std::vector<std::string> lines);
 
-  /// Reads a text file back; throws if missing.
-  std::vector<std::string> read_text(const std::string& path) const;
+  /// Reads a text file back; throws if missing. Under RS with lost chunks
+  /// the content is reconstructed from any k survivors (byte-identical);
+  /// throws if a stripe has fewer than k chunks left.
+  std::vector<std::string> read_text(const std::string& path);
+
+  /// Registers a content-less file (the workload's nominal input dataset)
+  /// so its chunks participate in placement, loss and repair. Reading it
+  /// throws; status/list/accounting see it like any other file.
+  FileStatus provision(const std::string& path, Bytes size);
 
   bool exists(const std::string& path) const;
   void remove(const std::string& path);
   FileStatus status(const std::string& path) const;
   std::vector<std::string> list() const;
 
-  /// I/O time models used by the Spark engine when charging job-boundary
-  /// reads/writes. Writes pay the replication pipeline.
+  // ---- cost model ------------------------------------------------------
+
+  /// What the engine charges for a job-boundary read/write: seek overhead
+  /// to the task's I/O bill, `disk` bytes through the machine's shared
+  /// storage channel. Reads amplify when data chunks are lost (RS degraded
+  /// reads touch k chunks instead of one); writes pay the codec (extra
+  /// replicas or parity). The healthy read path is state-write-free and
+  /// thread-safe; degraded reads only occur in (serial) fault mode.
+  IoCharge read_charge(Bytes bytes);
+  IoCharge write_charge(Bytes bytes) const;
+
+  /// I/O time models used by tests and examples: the full charge (seek +
+  /// transfer) against one disk's sequential bandwidth.
   Duration read_time(Bytes bytes) const;
   Duration write_time(Bytes bytes) const;
 
@@ -65,28 +114,110 @@ class Dfs {
   Duration read_seek_overhead(Bytes bytes) const;
   Duration write_seek_overhead(Bytes bytes) const;
 
-  Bytes block_size() const { return block_size_; }
-  int replication() const { return replication_; }
+  // ---- failure + repair surface (fault controller) ---------------------
 
-  /// Aggregate statistics.
+  /// Permanently loses a datanode: chunks on it become absent (payloads
+  /// are dropped from service, not recovered by anything but repair).
+  void fail_datanode(int node);
+  /// Takes a whole rack offline (partition: disks keep their bytes) /
+  /// brings it back, restoring every chunk repair has not yet relocated.
+  void fail_rack(int rack);
+  void recover_rack(int rack);
+
+  /// The namenode's repair plan for every absent chunk that is still
+  /// reconstructible: deterministic order (path, stripe, slot), targets
+  /// chosen rack-aware. Pure — call repeatedly, apply incrementally.
+  RepairSchedule plan_repair() const;
+  /// Executes one planned task: reconstructs the chunk (for real RS files,
+  /// byte-for-byte from survivors) onto `task.target`. Returns false — and
+  /// counts a cancellation — when the chunk healed in the meantime.
+  bool apply_repair(const RepairTask& task);
+
+  /// Repair-wave accounting hooks for the controller driving the flows.
+  void note_repair_wave() { ++stats_.repair_waves; }
+  void note_repair_traffic(Bytes read, Bytes written, double seconds);
+
+  // ---- observability ---------------------------------------------------
+
+  /// Wires span emission (`dfs.read` / `dfs.write` under the open run) to
+  /// the run's recorder; null detaches. Purely observational.
+  void set_obs(obs::Recorder* recorder, sim::Simulator* simulator);
+
+  // ---- introspection ---------------------------------------------------
+
+  Bytes block_size() const { return block_size_; }
+  int replication() const { return config_.replication; }
+  const DfsConfig& config() const { return config_; }
+  const Cluster& cluster() const { return cluster_; }
+  const DfsStats& stats() const { return stats_; }
+
+  /// Fraction of data chunks currently absent (drives read amplification).
+  double degraded_fraction() const;
+
+  /// Datanodes hosting each chunk of `path`'s stripe `stripe`, in slot
+  /// order — the placement invariants' test surface.
+  std::vector<int> stripe_nodes(const std::string& path,
+                                std::size_t stripe) const;
+
+  /// Aggregate statistics. `bytes_stored` charges full blocks (last-block
+  /// padding included) times the codec's physical width.
   std::size_t file_count() const { return files_.size(); }
   std::size_t block_count() const;
   Bytes bytes_stored() const;
 
+  std::size_t blocks_for(Bytes size) const;
+
  private:
+  struct Chunk {
+    int node = -1;
+    bool present = true;
+    /// Physical payload bytes (RS files only; replicated files keep their
+    /// lines at file level and virtual files none at all).
+    ChunkData payload;
+    /// Logical bytes this chunk covers (may be < block_size at file end).
+    std::size_t length = 0;
+  };
+  struct Stripe {
+    /// Data chunks first (RS: k_eff of them), then parity (RS: m) or the
+    /// remaining replicas (replication: copies 2..N of one block).
+    std::vector<Chunk> chunks;
+    int data = 1;  ///< count of data slots
+  };
   struct File {
     std::vector<std::string> lines;
     Bytes size;
     std::vector<BlockId> blocks;
+    bool is_virtual = false;
+    std::vector<Stripe> stripes;
   };
 
-  std::size_t blocks_for(Bytes size) const;
+  File make_file(const std::string& path, std::vector<std::string> lines,
+                 Bytes size, bool is_virtual);
+  void insert_file(const std::string& path, File file);
+  void release_counters(const File& file);
+  void mark_chunk_absent(File& file, Stripe& stripe, Chunk& chunk);
+  void node_down(int node);
+  std::vector<ChunkData> reconstruct_data(const File& file,
+                                          const Stripe& stripe) const;
+  void emit_span(const char* name, const std::string& category,
+                 const std::string& path, Bytes bytes);
 
+  DfsConfig config_;
+  std::uint64_t seed_ = 0;
   DiskSpec disk_;
   Bytes block_size_;
-  int replication_;
+  Cluster cluster_;
   std::map<std::string, File> files_;
   std::uint64_t next_block_ = 1;
+
+  /// Permanent node deaths (crashes); rack recovery skips these.
+  std::vector<char> dead_;
+  std::uint64_t total_data_chunks_ = 0;
+  std::uint64_t lost_data_chunks_ = 0;
+  DfsStats stats_;
+
+  obs::Recorder* obs_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
 };
 
 }  // namespace tsx::dfs

@@ -1,0 +1,15 @@
+// The disk medium behind one datanode.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace tsx::dfs {
+
+struct DiskSpec {
+  /// Sequential throughput of the backing medium (testbed used SATA SSDs).
+  Bandwidth bandwidth = Bandwidth::gb_per_sec(0.5);
+  /// Per-block positioning/request overhead.
+  Duration seek = Duration::micros(100);
+};
+
+}  // namespace tsx::dfs

@@ -1,0 +1,72 @@
+#include "dfs/placement.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace tsx::dfs {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t file_hash,
+                  std::uint64_t stripe, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (file_hash * 0x9e3779b97f4a7c15ULL) ^
+                        (stripe * 0xbf58476d1ce4e5b9ULL) ^ salt;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+std::vector<int> place_stripe(const Cluster& cluster, std::uint64_t seed,
+                              std::uint64_t file_hash, std::size_t stripe,
+                              int width) {
+  TSX_CHECK(width >= 1, "placement: stripe width must be >= 1");
+  TSX_CHECK(cluster.online_count() >= static_cast<std::size_t>(width),
+            "placement: stripe wider than the online cluster");
+
+  // Shuffle racks and, within each rack, its online nodes — both orders
+  // keyed by (seed, file, stripe) so hot paths don't pile onto rack 0 yet
+  // the layout replays exactly.
+  std::vector<std::pair<std::uint64_t, int>> racks;
+  for (int r = 0; r < cluster.racks(); ++r)
+    racks.emplace_back(mix(seed, file_hash, stripe, 0x7261636bULL + r), r);
+  std::sort(racks.begin(), racks.end());
+
+  std::vector<std::vector<int>> pools;
+  for (const auto& [key, r] : racks) {
+    std::vector<std::pair<std::uint64_t, int>> members;
+    for (const int id : cluster.rack_members(r))
+      if (cluster.online(id))
+        members.emplace_back(mix(seed, file_hash, stripe, 0x6e6f6465ULL + id),
+                             id);
+    std::sort(members.begin(), members.end());
+    std::vector<int> pool;
+    pool.reserve(members.size());
+    for (const auto& [k2, id] : members) pool.push_back(id);
+    if (!pool.empty()) pools.push_back(std::move(pool));
+  }
+
+  // Round-robin across racks: each pass takes one node from every rack
+  // that still has spares, so per-rack counts stay within one of each
+  // other — the rack-spread invariant.
+  std::vector<int> placed;
+  placed.reserve(static_cast<std::size_t>(width));
+  std::size_t depth = 0;
+  while (static_cast<int>(placed.size()) < width) {
+    bool any = false;
+    for (const std::vector<int>& pool : pools) {
+      if (depth < pool.size()) {
+        any = true;
+        placed.push_back(pool[depth]);
+        if (static_cast<int>(placed.size()) == width) break;
+      }
+    }
+    TSX_CHECK(any, "placement: ran out of online datanodes");
+    ++depth;
+  }
+  return placed;
+}
+
+}  // namespace tsx::dfs

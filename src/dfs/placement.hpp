@@ -1,0 +1,28 @@
+// Failure-domain-aware chunk placement.
+//
+// Invariants (tested):
+//  * no two chunks of one stripe land on the same datanode;
+//  * chunks spread across racks as evenly as the topology allows — per-rack
+//    chunk counts differ by at most ceil(width / racks-with-capacity), so a
+//    whole-rack loss with racks >= m + 1 never kills more than the parity
+//    budget of an RS stripe.
+//
+// The layout is a pure function of (seed, path hash, stripe index) over the
+// online membership at write time — deterministic and replayable, like
+// every other schedule in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/topology.hpp"
+
+namespace tsx::dfs {
+
+/// Picks `width` distinct online datanodes for one stripe. Throws if fewer
+/// than `width` nodes are online.
+std::vector<int> place_stripe(const Cluster& cluster, std::uint64_t seed,
+                              std::uint64_t file_hash, std::size_t stripe,
+                              int width);
+
+}  // namespace tsx::dfs

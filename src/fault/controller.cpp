@@ -1,5 +1,7 @@
 #include "fault/controller.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "core/strings.hpp"
@@ -19,7 +21,8 @@ Controller::Controller(spark::SparkContext& sc, FaultConfig config)
     : sc_(sc),
       config_(config),
       plan_(build_plan(config, sc.job_seed(),
-                       static_cast<int>(sc.executors().size()))),
+                       static_cast<int>(sc.executors().size()),
+                       static_cast<int>(sc.dfs().cluster().size()))),
       clock_(sc.machine().simulator()) {
   TSX_CHECK(config_.enabled, "constructing a controller from a disabled "
                              "FaultConfig");
@@ -72,6 +75,21 @@ void Controller::start() {
   if (config_.bw_collapse_at_s >= 0.0) {
     clock_.arm(Duration::seconds(config_.bw_collapse_at_s),
                [this] { collapse_bandwidth(); });
+  }
+
+  for (const PlannedDatanodeCrash& crash : plan_.datanode_crashes) {
+    const int node = crash.node;
+    clock_.arm(crash.at, [this, node] { crash_datanode(node); });
+  }
+
+  if (config_.rack_offline >= 0 && config_.rack_offline_at_s >= 0.0) {
+    const int rack = config_.rack_offline;
+    clock_.arm(Duration::seconds(config_.rack_offline_at_s),
+               [this, rack] { take_rack_offline(rack); });
+    if (config_.rack_recover_after_s >= 0.0)
+      clock_.arm(Duration::seconds(config_.rack_offline_at_s +
+                                   config_.rack_recover_after_s),
+                 [this, rack] { recover_rack(rack); });
   }
 
   if (!plan_.uce_thresholds_gib.empty()) {
@@ -271,6 +289,111 @@ bool Controller::poll_uce() {
     }
   }
   return next_uce_ < plan_.uce_thresholds_gib.size();
+}
+
+void Controller::crash_datanode(int node) {
+  dfs::Dfs& fs = sc_.dfs();
+  if (node < 0 || node >= static_cast<int>(fs.cluster().size())) return;
+  if (!fs.cluster().online(node)) return;
+  fs.fail_datanode(node);
+  note("fault.inject", [&] {
+    return strfmt("datanode-crash node=%d rack=%d degraded=%.3f", node,
+                  fs.cluster().rack_of(node), fs.degraded_fraction());
+  });
+  run_repair_wave();
+}
+
+void Controller::take_rack_offline(int rack) {
+  dfs::Dfs& fs = sc_.dfs();
+  if (rack < 0 || rack >= fs.cluster().racks()) return;
+  fs.fail_rack(rack);
+  note("fault.inject", [&] {
+    return strfmt("rack-offline rack=%d degraded=%.3f", rack,
+                  fs.degraded_fraction());
+  });
+  run_repair_wave();
+}
+
+void Controller::recover_rack(int rack) {
+  dfs::Dfs& fs = sc_.dfs();
+  if (rack < 0 || rack >= fs.cluster().racks()) return;
+  fs.recover_rack(rack);
+  note("fault.recover", [&] {
+    return strfmt("rack-recover rack=%d degraded=%.3f", rack,
+                  fs.degraded_fraction());
+  });
+}
+
+void Controller::run_repair_wave() {
+  dfs::Dfs& fs = sc_.dfs();
+  const dfs::RepairSchedule schedule = fs.plan_repair();
+  if (schedule.empty()) return;
+  fs.note_repair_wave();
+  note("fault.recover", [&] {
+    return strfmt("dfs-repair wave: %zu chunks, %.1f MiB to read",
+                  schedule.tasks.size(),
+                  schedule.total_read.b() / 1048576.0);
+  });
+  auto wave = std::make_shared<RepairWave>();
+  wave->tasks = schedule.tasks;
+  wave->wave_start = sc_.now();
+  wave->task_start = sc_.now();
+  if (obs_ != nullptr) {
+    wave->span = obs_->open(obs::SpanKind::kMigration, "dfs.repair",
+                            "dfs.repair", sc_.now());
+    if (wave->span != 0) {
+      obs_->set_arg(wave->span, "chunks",
+                    std::to_string(wave->tasks.size()));
+      obs_->set_arg(wave->span, "read_bytes",
+                    strfmt("%.0f", schedule.total_read.b()));
+    }
+  }
+  launch_repair(wave);
+}
+
+void Controller::launch_repair(const std::shared_ptr<RepairWave>& wave) {
+  if (wave->next >= wave->tasks.size()) {
+    finish_repair_wave(wave);
+    return;
+  }
+  const dfs::RepairTask& task = wave->tasks[wave->next];
+  const dfs::DfsConfig& cfg = sc_.dfs().config();
+  sim::FluidChannel& channel = sc_.machine().storage_channel();
+  Bandwidth cap = channel.capacity();
+  if (cfg.repair_gbps > 0.0)
+    cap = std::min(cap, Bandwidth::gb_per_sec(cfg.repair_gbps));
+  if (task.cross_rack && cfg.rack_link_gbps > 0.0)
+    cap = std::min(cap, Bandwidth::gb_per_sec(cfg.rack_link_gbps));
+  wave->task_start = sc_.now();
+  // Zero-length chunks (empty files) still repair; give the flow a token
+  // volume so the channel completes it.
+  const Bytes volume =
+      std::max(task.read_bytes + task.write_bytes, Bytes::of(1.0));
+  channel.start_flow(volume, cap, [this, wave] {
+    const dfs::RepairTask& done = wave->tasks[wave->next];
+    dfs::Dfs& fs = sc_.dfs();
+    const double seconds = (sc_.now() - wave->task_start).sec();
+    if (fs.apply_repair(done)) {
+      fs.note_repair_traffic(done.read_bytes, done.write_bytes, seconds);
+      note("fault.recover", [&] {
+        return strfmt("dfs-repaired %s stripe=%zu chunk=%d -> node %d",
+                      done.path.c_str(), done.stripe, done.chunk_index,
+                      done.target);
+      });
+    }
+    ++wave->next;
+    launch_repair(wave);
+  });
+}
+
+void Controller::finish_repair_wave(const std::shared_ptr<RepairWave>& wave) {
+  note("fault.recover", [&] {
+    return strfmt("dfs-repair wave done in %.3fs",
+                  (sc_.now() - wave->wave_start).sec());
+  });
+  if (obs_ != nullptr && wave->span != 0)
+    obs_->close_with_attribution(wave->span, sc_.now(),
+                                 obs::TimeAttribution{}, obs::Bucket::kDisk);
 }
 
 mem::TierId Controller::fallback_for(mem::TierId dead) const {

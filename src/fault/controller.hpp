@@ -19,8 +19,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "dfs/repair.hpp"
 #include "fault/options.hpp"
 #include "fault/plan.hpp"
 #include "obs/recorder.hpp"
@@ -83,6 +85,23 @@ class Controller final : public spark::FaultHooks {
   void inject_crash(int executor);
   void take_tier_offline(mem::TierId tier);
   void collapse_bandwidth();
+  void crash_datanode(int node);
+  void take_rack_offline(int rack);
+  void recover_rack(int rack);
+  /// Plans and drives one background repair wave: the schedule's tasks run
+  /// as sequential flows through the shared storage channel (capped by the
+  /// DfsConfig's repair/rack-link bandwidth), each completion re-creating
+  /// its chunk. Itemized in DfsStats and spanned as `dfs.repair`.
+  struct RepairWave {
+    std::vector<dfs::RepairTask> tasks;
+    std::size_t next = 0;
+    Duration task_start;
+    Duration wave_start;
+    obs::SpanId span = 0;
+  };
+  void run_repair_wave();
+  void launch_repair(const std::shared_ptr<RepairWave>& wave);
+  void finish_repair_wave(const std::shared_ptr<RepairWave>& wave);
   /// Churn poll: fires queued UCEs as NVM write volume crosses the plan's
   /// thresholds. Returns false once the threshold list is exhausted.
   bool poll_uce();

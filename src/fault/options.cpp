@@ -36,6 +36,15 @@ std::vector<Diagnostic> FaultConfig::validate() const {
     bad("bw_collapse_factor", "collapse multiplier must lie in (0, 1]");
   if (!tier_index_ok(bw_collapse_tier))
     bad("bw_collapse_tier", "tier index must be -1 (bound tier) or 0-3");
+  if (datanode_crashes < 0)
+    bad("datanode_crashes", "datanode crash count cannot be negative");
+  if (!(datanode_crash_window_s >= 0.0))
+    bad("datanode_crash_window_s", "crash window cannot be negative");
+  if (rack_offline < -1)
+    bad("rack_offline", "rack index must be -1 (never) or >= 0");
+  if (rack_offline >= 0 && rack_offline_at_s < 0.0)
+    bad("rack_offline_at_s",
+        "a rack partition needs a non-negative injection time");
   if (!(straggler_prob >= 0.0 && straggler_prob <= 1.0))
     bad("straggler_prob", "straggle probability must lie in [0, 1]");
   if (!(straggler_factor > 1.0))

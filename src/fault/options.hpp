@@ -63,6 +63,22 @@ struct FaultConfig {
   /// Tier whose node channel collapses; -1 = the run's bound tier.
   int bw_collapse_tier = -1;
 
+  // --- Storage faults (the DFS cluster) ---------------------------------
+  /// Number of datanode-crash events (permanent disk loss; the DFS repair
+  /// pipeline re-creates the lost chunks in the background).
+  int datanode_crashes = 0;
+  /// Crash times draw uniformly from [at, at + window] seconds; victims
+  /// draw without replacement over the datanode grid.
+  double datanode_crash_at_s = 3.0;
+  double datanode_crash_window_s = 0.0;
+  /// Rack to partition off (disks intact, chunks unreachable); -1 = never.
+  int rack_offline = -1;
+  /// Virtual time the rack drops in seconds; < 0 = never.
+  double rack_offline_at_s = -1.0;
+  /// Seconds after the drop at which the partition heals; < 0 = it never
+  /// comes back (repair must re-create everything).
+  double rack_recover_after_s = -1.0;
+
   // --- Stragglers -------------------------------------------------------
   /// Per-first-launch probability that a task's host phase straggles.
   double straggler_prob = 0.0;

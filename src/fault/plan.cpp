@@ -9,8 +9,9 @@
 namespace tsx::fault {
 
 FaultPlan build_plan(const FaultConfig& config, std::uint64_t seed,
-                     int num_executors) {
+                     int num_executors, int num_datanodes) {
   TSX_CHECK(num_executors > 0, "fault plan needs at least one executor");
+  TSX_CHECK(num_datanodes > 0, "fault plan needs at least one datanode");
   FaultPlan plan;
 
   // Every draw comes from one dedicated stream, keyed off the run seed and
@@ -41,6 +42,30 @@ FaultPlan build_plan(const FaultConfig& config, std::uint64_t seed,
       cum += rng.exponential(config.uce_per_gib);
       plan.uce_thresholds_gib.push_back(cum);
     }
+  }
+
+  if (config.datanode_crashes > 0) {
+    // Victims without replacement over the datanode grid; drawn last so the
+    // executor-crash and UCE streams above stay exactly as they were
+    // without storage faults.
+    std::vector<int> pool;
+    pool.reserve(static_cast<std::size_t>(num_datanodes));
+    for (int n = 0; n < num_datanodes; ++n) pool.push_back(n);
+    const int count = std::min(config.datanode_crashes, num_datanodes);
+    for (int c = 0; c < count; ++c) {
+      PlannedDatanodeCrash crash;
+      crash.at = Duration::seconds(config.datanode_crash_at_s +
+                                   rng.uniform() *
+                                       config.datanode_crash_window_s);
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(pool.size())));
+      crash.node = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      plan.datanode_crashes.push_back(crash);
+    }
+    std::sort(plan.datanode_crashes.begin(), plan.datanode_crashes.end(),
+              [](const PlannedDatanodeCrash& a,
+                 const PlannedDatanodeCrash& b) { return a.at < b.at; });
   }
   return plan;
 }

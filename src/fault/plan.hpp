@@ -23,6 +23,12 @@ struct PlannedCrash {
   int executor = 0;
 };
 
+/// One planned datanode loss in the DFS cluster.
+struct PlannedDatanodeCrash {
+  Duration at;
+  int node = 0;
+};
+
 /// The full injection schedule of one run. Offline / collapse events carry
 /// their times directly in the config (they are single, explicitly placed
 /// events); only the randomized draws live here.
@@ -33,12 +39,17 @@ struct FaultPlan {
   /// errors fire, as cumulative sums of exponential inter-arrival draws.
   /// Consumed in order by the controller's churn poll.
   std::vector<double> uce_thresholds_gib;
+
+  /// Sorted by time; victims drawn without replacement. Drawn after every
+  /// other fault class, so enabling storage faults never perturbs the
+  /// executor-crash or UCE schedules.
+  std::vector<PlannedDatanodeCrash> datanode_crashes;
 };
 
 /// Derives the plan from the config and the run seed. Pure and total: the
 /// same inputs always produce the same plan.
 FaultPlan build_plan(const FaultConfig& config, std::uint64_t seed,
-                     int num_executors);
+                     int num_executors, int num_datanodes = 1);
 
 /// Thin scheduling facade over the simulator: arms one-shot and periodic
 /// virtual-time events for the controller. Periodic callbacks return false

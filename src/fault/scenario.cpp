@@ -37,6 +37,40 @@ FaultConfig scenario(const std::string& name) {
     // Media wear surfaces uncorrectable errors as write churn accumulates;
     // each poisons a cached block.
     config.uce_per_gib = 0.02;
+  } else if (name == "datanode-loss") {
+    // One DFS datanode dies for good; the repair pipeline re-creates its
+    // chunks from the surviving replicas / RS survivors in the background.
+    // Needs a multi-node DfsConfig with redundancy (RunConfig::validate
+    // enforces the pairing).
+    config.datanode_crashes = 1;
+    config.datanode_crash_at_s = 2.5;
+    config.datanode_crash_window_s = 0.0;
+  } else if (name == "rack-offline") {
+    // A whole rack partitions off mid-run (disks intact) and heals later;
+    // reads reconstruct through the codec meanwhile and repair races the
+    // heal.
+    config.rack_offline = 0;
+    config.rack_offline_at_s = 2.5;
+    config.rack_recover_after_s = 1.5;
+  } else if (name == "dimm-datanode") {
+    // Compound drill: the NVM DIMM group dies *and* a datanode is lost —
+    // lineage recomputation runs against a degraded DFS.
+    config.offline_tier = 2;
+    config.offline_at_s = 3.0;
+    config.datanode_crashes = 1;
+    config.datanode_crash_at_s = 2.5;
+    config.datanode_crash_window_s = 0.0;
+  } else if (name == "crash-rack") {
+    // Compound drill: an executor crashes while a rack is partitioned —
+    // retries and recomputation read the DFS through the codec until the
+    // partition heals.
+    config.executor_crashes = 1;
+    config.crash_offset_s = 2.6;
+    config.crash_window_s = 0.2;
+    config.restart_delay_s = 0.5;
+    config.rack_offline = 0;
+    config.rack_offline_at_s = 2.5;
+    config.rack_recover_after_s = 2.0;
   } else if (name == "chaos") {
     config.executor_crashes = 2;
     config.crash_offset_s = 2.0;
@@ -57,8 +91,10 @@ FaultConfig scenario(const std::string& name) {
 }
 
 std::vector<std::string> scenario_names() {
-  return {"none",        "crash", "dimm-offline", "straggler",
-          "bw-collapse", "uce",   "chaos"};
+  return {"none",          "crash",        "dimm-offline",
+          "straggler",     "bw-collapse",  "uce",
+          "datanode-loss", "rack-offline", "dimm-datanode",
+          "crash-rack",    "chaos"};
 }
 
 }  // namespace tsx::fault

@@ -15,7 +15,11 @@
 namespace tsx::fault {
 
 /// Known names: "none", "crash", "dimm-offline", "straggler", "bw-collapse",
-/// "uce", "chaos". Throws on unknown names.
+/// "uce", "datanode-loss", "rack-offline", "dimm-datanode", "crash-rack",
+/// "chaos". Throws on unknown names. The storage scenarios (datanode-loss,
+/// rack-offline and the compounds) additionally need a multi-node
+/// RunConfig::dfs with redundancy — RunConfig::validate enforces the
+/// pairing.
 FaultConfig scenario(const std::string& name);
 
 /// Every name `scenario` accepts, in presentation order.

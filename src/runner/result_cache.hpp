@@ -37,7 +37,10 @@ class ResultCache {
   /// per-kernel stats) joined the schema and the cache key.
   /// v5: the observability knobs (RunConfig.obs.enabled / trace_filter)
   /// joined the config identity and the serialized config object.
-  static constexpr int kStoreVersion = 5;
+  /// v6: the cluster-DFS section (RunConfig.dfs topology/codec/repair
+  /// knobs, RunResult.dfs stats, fault datanode/rack drills) joined the
+  /// schema and the cache key.
+  static constexpr int kStoreVersion = 6;
 
   /// The memoized result for `config`, if present. Thread-safe.
   std::optional<workloads::RunResult> find(

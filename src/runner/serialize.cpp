@@ -7,6 +7,7 @@
 #include "columnar/options.hpp"
 #include "core/error.hpp"
 #include "core/strings.hpp"
+#include "dfs/options.hpp"
 #include "tiering/options.hpp"
 
 namespace tsx::runner {
@@ -330,12 +331,28 @@ RunConfig config_from(const Value& v) {
       v.at("fault_speculation_multiplier").as_double();
   c.fault.speculation_min_fraction =
       v.at("fault_speculation_min_fraction").as_double();
+  c.fault.datanode_crashes = v.at("fault_datanode_crashes").as_int();
+  c.fault.datanode_crash_at_s = v.at("fault_datanode_at_s").as_double();
+  c.fault.datanode_crash_window_s =
+      v.at("fault_datanode_window_s").as_double();
+  c.fault.rack_offline = v.at("fault_rack_offline").as_int();
+  c.fault.rack_offline_at_s = v.at("fault_rack_at_s").as_double();
+  c.fault.rack_recover_after_s = v.at("fault_rack_recover_s").as_double();
   c.columnar.enabled = v.at("columnar_enabled").as_bool();
   c.columnar.batch_rows = v.at("columnar_batch_rows").as_int();
   c.columnar.arena_chunk_kib = v.at("columnar_arena_chunk_kib").as_double();
   c.columnar.dict_capacity = v.at("columnar_dict_capacity").as_int();
   c.obs.enabled = v.at("obs_enabled").as_bool();
   c.obs.trace_filter = v.at("obs_trace_filter").text;
+  c.dfs.codec = static_cast<dfs::CodecKind>(v.at("dfs_codec").as_int());
+  c.dfs.replication = v.at("dfs_replication").as_int();
+  c.dfs.rs_k = v.at("dfs_rs_k").as_int();
+  c.dfs.rs_m = v.at("dfs_rs_m").as_int();
+  c.dfs.racks = v.at("dfs_racks").as_int();
+  c.dfs.nodes_per_rack = v.at("dfs_nodes_per_rack").as_int();
+  c.dfs.block_mib = v.at("dfs_block_mib").as_double();
+  c.dfs.repair_gbps = v.at("dfs_repair_gbps").as_double();
+  c.dfs.rack_link_gbps = v.at("dfs_rack_gbps").as_double();
   return c;
 }
 
@@ -455,6 +472,23 @@ std::string to_json(const RunResult& result) {
   co.field("arena_leases", std::to_string(result.columnar.arena_leases));
   co.field("arena_high_water", num(result.columnar.arena_high_water.b()));
   w.field("columnar", co.close());
+  ObjectWriter df;
+  df.field("datanodes_lost", std::to_string(result.dfs.datanodes_lost));
+  df.field("racks_lost", std::to_string(result.dfs.racks_lost));
+  df.field("racks_recovered", std::to_string(result.dfs.racks_recovered));
+  df.field("chunks_lost", std::to_string(result.dfs.chunks_lost));
+  df.field("chunks_unreadable", std::to_string(result.dfs.chunks_unreadable));
+  df.field("degraded_reads", std::to_string(result.dfs.degraded_reads));
+  df.field("reconstructed_chunks",
+           std::to_string(result.dfs.reconstructed_chunks));
+  df.field("repair_waves", std::to_string(result.dfs.repair_waves));
+  df.field("chunks_repaired", std::to_string(result.dfs.chunks_repaired));
+  df.field("repair_tasks_cancelled",
+           std::to_string(result.dfs.repair_tasks_cancelled));
+  df.field("repair_read_bytes", num(result.dfs.repair_read_bytes.b()));
+  df.field("repair_write_bytes", num(result.dfs.repair_write_bytes.b()));
+  df.field("repair_seconds", num(result.dfs.repair_seconds));
+  w.field("dfs", df.close());
   w.field("valid", result.valid ? "true" : "false");
   w.field("validation", quote(result.validation));
   w.field("failed", result.failed ? "true" : "false");
@@ -569,6 +603,22 @@ bool result_from_json(const std::string& json, RunResult* out) {
     r.columnar.arena_leases = co.at("arena_leases").as_u64();
     r.columnar.arena_high_water =
         Bytes::of(co.at("arena_high_water").as_double());
+    const Value& df = v.at("dfs");
+    r.dfs.datanodes_lost = df.at("datanodes_lost").as_u64();
+    r.dfs.racks_lost = df.at("racks_lost").as_u64();
+    r.dfs.racks_recovered = df.at("racks_recovered").as_u64();
+    r.dfs.chunks_lost = df.at("chunks_lost").as_u64();
+    r.dfs.chunks_unreadable = df.at("chunks_unreadable").as_u64();
+    r.dfs.degraded_reads = df.at("degraded_reads").as_u64();
+    r.dfs.reconstructed_chunks = df.at("reconstructed_chunks").as_u64();
+    r.dfs.repair_waves = df.at("repair_waves").as_u64();
+    r.dfs.chunks_repaired = df.at("chunks_repaired").as_u64();
+    r.dfs.repair_tasks_cancelled = df.at("repair_tasks_cancelled").as_u64();
+    r.dfs.repair_read_bytes =
+        Bytes::of(df.at("repair_read_bytes").as_double());
+    r.dfs.repair_write_bytes =
+        Bytes::of(df.at("repair_write_bytes").as_double());
+    r.dfs.repair_seconds = df.at("repair_seconds").as_double();
     r.valid = v.at("valid").as_bool();
     r.validation = v.at("validation").text;
     r.failed = v.at("failed").as_bool();

@@ -118,8 +118,9 @@ class GenerateRDD final : public RDD<T> {
     std::vector<T> out = generator_(part, rng);
     const Bytes bytes = Bytes::of(est_bytes_all(out));
     if (charge_input_io_) {
-      ctx.charge_io(this->context()->dfs().read_seek_overhead(bytes));
-      ctx.charge_disk_read(bytes);
+      const dfs::IoCharge rd = this->context()->dfs().read_charge(bytes);
+      ctx.charge_io(rd.seek);
+      ctx.charge_disk_read(rd.disk);
       ctx.charge_cpu_ns(bytes.b() * ctx.costs().deserialize_cpu_ns_per_byte);
       ctx.charge_dep_writes(static_cast<double>(out.size()) *
                             ctx.costs().record_dep_writes);
@@ -653,8 +654,9 @@ void save_as_text_file(const RddPtr<T>& rdd, const std::string& path,
         }
         ctx.charge_cpu_ns(bytes * ctx.costs().serialize_cpu_ns_per_byte);
         ctx.charge_stream_read(Bytes::of(bytes));
-        ctx.charge_io(fs.write_seek_overhead(Bytes::of(bytes)));
-        ctx.charge_disk_write(Bytes::of(bytes));
+        const dfs::IoCharge wr = fs.write_charge(Bytes::of(bytes));
+        ctx.charge_io(wr.seek);
+        ctx.charge_disk_write(wr.disk);
         (*slots)[p] = std::move(lines);
       },
       parts, "saveAsTextFile:" + rdd->name());

@@ -119,6 +119,16 @@ std::vector<std::pair<std::string, std::string>> config_fields(
        strfmt("%.17g", config.fault.speculation_multiplier)},
       {"fault_speculation_min_fraction",
        strfmt("%.17g", config.fault.speculation_min_fraction)},
+      {"fault_datanode_crashes",
+       std::to_string(config.fault.datanode_crashes)},
+      {"fault_datanode_at_s",
+       strfmt("%.17g", config.fault.datanode_crash_at_s)},
+      {"fault_datanode_window_s",
+       strfmt("%.17g", config.fault.datanode_crash_window_s)},
+      {"fault_rack_offline", std::to_string(config.fault.rack_offline)},
+      {"fault_rack_at_s", strfmt("%.17g", config.fault.rack_offline_at_s)},
+      {"fault_rack_recover_s",
+       strfmt("%.17g", config.fault.rack_recover_after_s)},
       {"columnar_enabled", config.columnar.enabled ? "1" : "0"},
       {"columnar_batch_rows", std::to_string(config.columnar.batch_rows)},
       {"columnar_arena_chunk_kib",
@@ -127,6 +137,15 @@ std::vector<std::pair<std::string, std::string>> config_fields(
        std::to_string(config.columnar.dict_capacity)},
       {"obs_enabled", config.obs.enabled ? "1" : "0"},
       {"obs_trace_filter", config.obs.trace_filter},
+      {"dfs_codec", std::to_string(static_cast<int>(config.dfs.codec))},
+      {"dfs_replication", std::to_string(config.dfs.replication)},
+      {"dfs_rs_k", std::to_string(config.dfs.rs_k)},
+      {"dfs_rs_m", std::to_string(config.dfs.rs_m)},
+      {"dfs_racks", std::to_string(config.dfs.racks)},
+      {"dfs_nodes_per_rack", std::to_string(config.dfs.nodes_per_rack)},
+      {"dfs_block_mib", strfmt("%.17g", config.dfs.block_mib)},
+      {"dfs_repair_gbps", strfmt("%.17g", config.dfs.repair_gbps)},
+      {"dfs_rack_gbps", strfmt("%.17g", config.dfs.rack_link_gbps)},
   };
 }
 
@@ -227,6 +246,31 @@ std::vector<Diagnostic> RunConfig::validate() const {
     for (const Diagnostic& d : fault.validate())
       issues.push_back({"fault." + d.field, d.message});
   }
+  for (const Diagnostic& d : dfs.validate())
+    issues.push_back({"dfs." + d.field, d.message});
+  if (fault.enabled) {
+    // Storage faults need a cluster that can lose a failure domain and
+    // still serve: more than one datanode and some redundancy.
+    const bool storage_faults =
+        fault.datanode_crashes > 0 || fault.rack_offline >= 0;
+    if (storage_faults && dfs.total_nodes() < 2)
+      bad("dfs.nodes_per_rack",
+          "storage faults need a cluster of at least two datanodes");
+    if (storage_faults && dfs.codec == dfs::CodecKind::kReplication &&
+        dfs.replication < 2)
+      bad("dfs.replication",
+          "storage faults need redundancy: replication >= 2 or the RS "
+          "codec");
+    if (fault.datanode_crashes >= dfs.total_nodes() &&
+        fault.datanode_crashes > 0)
+      bad("fault.datanode_crashes",
+          "cannot crash every datanode — nothing would survive to repair "
+          "from");
+    if (fault.rack_offline >= dfs.racks)
+      bad("fault.rack_offline", "rack index exceeds the dfs topology");
+    if (fault.rack_offline >= 0 && dfs.racks < 2)
+      bad("dfs.racks", "a rack partition needs at least two racks");
+  }
   if (columnar.enabled) {
     for (const Diagnostic& d : columnar.validate())
       issues.push_back({"columnar." + d.field, d.message});
@@ -279,7 +323,16 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
                             config.machine == MachineVariant::kDramCxl
                                 ? mem::cxl_topology()
                                 : mem::testbed_topology());
-  dfs::Dfs dfs;
+  dfs::Dfs dfs(config.dfs, config.seed);
+  // Register the workload's nominal input dataset (Sec. III sizing) as a
+  // provisioned DFS file, so storage-fault drills have real chunks to
+  // lose, reconstruct and repair. Placement is a pure function of (seed,
+  // path); under the default single-node config this is inert.
+  const double nominal_input_b = config.scale == ScaleId::kLarge ? 3.2e9
+                                 : config.scale == ScaleId::kSmall
+                                     ? 3.2e8
+                                     : 32768.0;
+  dfs.provision("/in/" + to_string(config.app), Bytes::of(nominal_input_b));
 
   spark::SparkConf conf;
   conf.executor_instances = config.executors;
@@ -316,6 +369,7 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
     if (!trace_filter.empty())
       recorder->set_filter(sim::CategoryFilter::parse(trace_filter));
     sc.set_obs(recorder.get());
+    dfs.set_obs(recorder.get(), &simulator);
     recorder->open_run(config.describe(), simulator.now());
   }
 
@@ -410,10 +464,12 @@ RunResult run_workload(const RunConfig& config, double wall_budget_seconds) {
     col->finish();
     result.columnar = col->stats();
   }
+  result.dfs = dfs.stats();
   result.host_execute_seconds = sc.scheduler().host_execute_seconds();
   if (recorder) {
     recorder->finalize(simulator.now());
     sc.set_obs(nullptr);
+    dfs.set_obs(nullptr, nullptr);
     if (engine) engine->set_obs(nullptr);
     if (faults) faults->set_obs(nullptr);
     result.trace = recorder;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "columnar/options.hpp"
+#include "dfs/options.hpp"
 #include "fault/options.hpp"
 #include "mem/energy.hpp"
 #include "mem/tier.hpp"
@@ -87,6 +88,11 @@ struct RunConfig {
   /// exact pre-fault code path — the controller is not even constructed.
   fault::FaultConfig fault;
 
+  /// Cluster DFS: topology, redundancy codec, repair pipeline. The default
+  /// (replication-1, one datanode) reproduces the flat single-disk cost
+  /// model bit for bit.
+  dfs::DfsConfig dfs;
+
   /// Vectorized columnar execution. The default (`enabled = false`) runs
   /// the exact row-at-a-time code path — the columnar runtime is not even
   /// constructed. When enabled, workloads with a columnar port (sort,
@@ -157,6 +163,9 @@ struct RunResult {
   fault::FaultStats fault;
   /// What the columnar runtime did (all-zero when columnar is off).
   columnar::ColumnarStats columnar;
+  /// What the storage tier lost and what repair cost (all-zero without
+  /// storage faults).
+  dfs::DfsStats dfs;
 
   /// Host (real) seconds spent inside stage task execution, summed over the
   /// run's stages. Deliberately kept out of serialization — wall-clock is

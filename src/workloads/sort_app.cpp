@@ -103,8 +103,9 @@ AppOutcome run_sort_columnar(columnar::Runtime& rt, spark::SparkContext& sc,
                   kc.task.charge_cpu_ns(
                       text * kc.task.costs().serialize_cpu_ns_per_byte);
                   kc.task.charge_stream_read(bytes);
-                  kc.task.charge_io(sc.dfs().write_seek_overhead(bytes));
-                  kc.task.charge_disk_write(bytes);
+                  const dfs::IoCharge wr = sc.dfs().write_charge(bytes);
+                  kc.task.charge_io(wr.seek);
+                  kc.task.charge_disk_write(wr.disk);
                 });
 
   columnar::QueryResult qr = columnar::execute(rt, query, "sort");

@@ -1,8 +1,19 @@
-// Tests for the simulated distributed file system.
+// Tests for the simulated distributed file system: the legacy flat-disk
+// cost model (bit-identical under the default config), the GF(256)
+// Reed-Solomon codec, failure-domain-aware placement, degraded reads, and
+// the deterministic repair plan.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "core/error.hpp"
+#include "dfs/codec.hpp"
 #include "dfs/dfs.hpp"
+#include "dfs/placement.hpp"
 
 namespace tsx::dfs {
 namespace {
@@ -68,8 +79,52 @@ TEST(Dfs, WriteTimePaysReplication) {
   EXPECT_GT(fs3.write_time(Bytes::mib(64)).sec(),
             fs1.write_time(Bytes::mib(64)).sec());
   EXPECT_DOUBLE_EQ(fs3.bytes_stored().b(), 0.0);
-  fs3.write_text("/r", {"abc"});
-  EXPECT_DOUBLE_EQ(fs3.bytes_stored().b(), 12.0);  // 4 bytes x3 replicas
+}
+
+// Satellite fix: stored bytes charge *full* blocks — a 4-byte file on a
+// 100-byte-block FS with replication 3 occupies 3 padded chunks, and
+// remove() releases them from the accounting.
+TEST(Dfs, BytesStoredChargesPaddedBlocks) {
+  Dfs fs(DiskSpec{}, Bytes::of(100), 3);
+  fs.write_text("/r", {"abc"});  // 4 bytes -> 1 block x 3 replicas
+  EXPECT_DOUBLE_EQ(fs.bytes_stored().b(), 300.0);
+  fs.write_text("/s", std::vector<std::string>(10, std::string(24, 'y')));
+  // 250 bytes -> 3 blocks x 3 replicas = 9 padded chunks.
+  EXPECT_DOUBLE_EQ(fs.bytes_stored().b(), 300.0 + 900.0);
+  fs.remove("/s");
+  EXPECT_DOUBLE_EQ(fs.bytes_stored().b(), 300.0);
+  EXPECT_EQ(fs.block_count(), 1u);
+  fs.remove("/r");
+  EXPECT_DOUBLE_EQ(fs.bytes_stored().b(), 0.0);
+  EXPECT_EQ(fs.block_count(), 0u);
+}
+
+TEST(Dfs, BlocksForEdgeCases) {
+  Dfs fs(DiskSpec{}, Bytes::of(100), 1);
+  EXPECT_EQ(fs.blocks_for(Bytes::zero()), 1u);     // empty file: one block
+  EXPECT_EQ(fs.blocks_for(Bytes::of(1)), 1u);      // sub-block
+  EXPECT_EQ(fs.blocks_for(Bytes::of(99)), 1u);     // one short of the edge
+  EXPECT_EQ(fs.blocks_for(Bytes::of(100)), 1u);    // exact multiple
+  EXPECT_EQ(fs.blocks_for(Bytes::of(101)), 2u);    // spill into the next
+  EXPECT_EQ(fs.blocks_for(Bytes::of(200)), 2u);    // exact multiple again
+  EXPECT_EQ(fs.blocks_for(Bytes::of(201)), 3u);
+}
+
+TEST(Dfs, SeekMathAtReplicationOneVsN) {
+  const DiskSpec disk{Bandwidth::gb_per_sec(0.5), Duration::micros(100)};
+  Dfs fs1(disk, Bytes::mib(128), 1);
+  Dfs fs3(disk, Bytes::mib(128), 3);
+  const Bytes two_blocks = Bytes::mib(256);
+  // Reads touch one copy: seek overhead is replication-independent.
+  EXPECT_DOUBLE_EQ(fs1.read_seek_overhead(two_blocks).sec(),
+                   fs3.read_seek_overhead(two_blocks).sec());
+  EXPECT_NEAR(fs1.read_seek_overhead(two_blocks).sec(), 2 * 100e-6, 1e-12);
+  // Writes pay every replica: 2 blocks x 3 copies x 100us.
+  EXPECT_NEAR(fs1.write_seek_overhead(two_blocks).sec(), 2 * 100e-6, 1e-12);
+  EXPECT_NEAR(fs3.write_seek_overhead(two_blocks).sec(), 6 * 100e-6, 1e-12);
+  // write_time = transfer of replicated volume + all seeks.
+  EXPECT_NEAR(fs3.write_time(two_blocks).sec(),
+              3 * two_blocks.b() / 0.5e9 + 6 * 100e-6, 1e-9);
 }
 
 TEST(Dfs, SeekOverheadExcludesTransfer) {
@@ -83,6 +138,328 @@ TEST(Dfs, SeekOverheadExcludesTransfer) {
 TEST(Dfs, RejectsBadConfig) {
   EXPECT_THROW(Dfs(DiskSpec{}, Bytes::zero(), 1), tsx::Error);
   EXPECT_THROW(Dfs(DiskSpec{}, Bytes::mib(1), 0), tsx::Error);
+}
+
+TEST(Dfs, DefaultConfigMatchesLegacyChargesBitForBit) {
+  Dfs legacy;              // flat single-disk model
+  Dfs cluster(DfsConfig{}, 42);  // default cluster config
+  for (const double b : {0.0, 1.0, 512.0, 1e6, 3.2e9}) {
+    const Bytes bytes = Bytes::of(b);
+    const IoCharge lr = legacy.read_charge(bytes);
+    const IoCharge cr = cluster.read_charge(bytes);
+    EXPECT_DOUBLE_EQ(lr.seek.sec(), cr.seek.sec()) << b;
+    EXPECT_DOUBLE_EQ(lr.disk.b(), cr.disk.b()) << b;
+    const IoCharge lw = legacy.write_charge(bytes);
+    const IoCharge cw = cluster.write_charge(bytes);
+    EXPECT_DOUBLE_EQ(lw.seek.sec(), cw.seek.sec()) << b;
+    EXPECT_DOUBLE_EQ(lw.disk.b(), cw.disk.b()) << b;
+    // And both match the original formulas verbatim.
+    EXPECT_DOUBLE_EQ(lr.seek.sec(), legacy.read_seek_overhead(bytes).sec());
+    EXPECT_DOUBLE_EQ(lr.disk.b(), bytes.b());
+  }
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(DfsCodec, GfFieldBasics) {
+  EXPECT_EQ(gf_mul(0, 77), 0);
+  EXPECT_EQ(gf_mul(1, 77), 77);
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, gf_inv(x)), 1) << a;
+  }
+  // Commutativity spot checks.
+  EXPECT_EQ(gf_mul(13, 200), gf_mul(200, 13));
+}
+
+ChunkData pattern_chunk(std::size_t len, std::uint8_t base) {
+  ChunkData c(len);
+  for (std::size_t i = 0; i < len; ++i)
+    c[i] = static_cast<std::uint8_t>(base + i * 31);
+  return c;
+}
+
+TEST(DfsCodec, ReconstructsFromAnyLossPattern) {
+  const int k = 4, m = 2;
+  std::vector<ChunkData> data;
+  std::vector<std::size_t> lengths;
+  for (int j = 0; j < k; ++j) {
+    // Uneven lengths: the last chunk is short, like a real file tail.
+    const std::size_t len = j == k - 1 ? 5u : 16u;
+    data.push_back(pattern_chunk(len, static_cast<std::uint8_t>(j * 7 + 1)));
+    lengths.push_back(len);
+  }
+  const std::vector<ChunkData> parity = rs_encode(data, m);
+  ASSERT_EQ(parity.size(), static_cast<std::size_t>(m));
+  EXPECT_EQ(parity[0].size(), 16u);  // parity spans the longest data chunk
+
+  std::vector<ChunkData> chunks = data;
+  chunks.insert(chunks.end(), parity.begin(), parity.end());
+
+  // Every loss pattern of size <= m must reconstruct byte-identically.
+  const int width = k + m;
+  for (int a = 0; a < width; ++a) {
+    for (int b = a; b < width; ++b) {
+      std::vector<bool> present(static_cast<std::size_t>(width), true);
+      present[static_cast<std::size_t>(a)] = false;
+      present[static_cast<std::size_t>(b)] = false;  // a == b: single loss
+      const std::vector<ChunkData> got =
+          rs_reconstruct(chunks, present, lengths, k, m);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(k));
+      for (int j = 0; j < k; ++j)
+        EXPECT_EQ(got[static_cast<std::size_t>(j)],
+                  data[static_cast<std::size_t>(j)])
+            << "lost {" << a << "," << b << "} data chunk " << j;
+    }
+  }
+}
+
+TEST(DfsCodec, ThrowsPastParityBudget) {
+  const int k = 3, m = 1;
+  std::vector<ChunkData> data(3, pattern_chunk(8, 1));
+  std::vector<ChunkData> chunks = data;
+  const std::vector<ChunkData> parity = rs_encode(data, m);
+  chunks.insert(chunks.end(), parity.begin(), parity.end());
+  std::vector<bool> present(4, true);
+  present[0] = present[2] = false;  // two losses, one parity
+  EXPECT_THROW(
+      rs_reconstruct(chunks, present, {8, 8, 8}, k, m), tsx::Error);
+}
+
+// ---- placement ------------------------------------------------------------
+
+TEST(DfsPlacement, StripeNodesAreDistinctAndRackSpread) {
+  const Cluster cluster(3, 3, DiskSpec{});
+  for (std::uint64_t stripe = 0; stripe < 16; ++stripe) {
+    const std::vector<int> nodes =
+        place_stripe(cluster, 42, 0x1234, stripe, 9);
+    std::set<int> distinct(nodes.begin(), nodes.end());
+    EXPECT_EQ(distinct.size(), 9u);  // never two chunks on one node
+    std::map<int, int> per_rack;
+    for (const int n : nodes) ++per_rack[cluster.rack_of(n)];
+    for (const auto& [rack, count] : per_rack)
+      EXPECT_EQ(count, 3) << "rack " << rack;  // even spread at full width
+  }
+}
+
+TEST(DfsPlacement, PartialWidthPrefersRackDiversity) {
+  const Cluster cluster(3, 4, DiskSpec{});
+  const std::vector<int> nodes = place_stripe(cluster, 7, 99, 0, 3);
+  std::set<int> racks;
+  for (const int n : nodes) racks.insert(cluster.rack_of(n));
+  EXPECT_EQ(racks.size(), 3u);  // 3 chunks over 3 racks: one each
+}
+
+TEST(DfsPlacement, DeterministicInSeedAndThrowsWhenShort) {
+  const Cluster cluster(2, 2, DiskSpec{});
+  EXPECT_EQ(place_stripe(cluster, 1, 2, 3, 4),
+            place_stripe(cluster, 1, 2, 3, 4));
+  EXPECT_NE(place_stripe(cluster, 1, 2, 3, 4),
+            place_stripe(cluster, 2, 2, 3, 4));
+  EXPECT_THROW(place_stripe(cluster, 1, 2, 3, 5), tsx::Error);
+}
+
+// ---- cluster Dfs: degraded reads + repair ---------------------------------
+
+DfsConfig rs_config() {
+  DfsConfig config;
+  config.codec = CodecKind::kRs;
+  config.rs_k = 4;
+  config.rs_m = 2;
+  config.racks = 3;
+  config.nodes_per_rack = 3;
+  config.block_mib = 1.0 / 1024;  // 1 KiB blocks: small files stripe wide
+  return config;
+}
+
+std::vector<std::string> big_text() {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i)
+    lines.push_back("line-" + std::to_string(i) + "-" +
+                    std::string(static_cast<std::size_t>(17 + i % 13), 'z'));
+  return lines;
+}
+
+TEST(DfsCluster, DegradedReadIsByteIdentical) {
+  Dfs fs(rs_config(), 42);
+  const std::vector<std::string> lines = big_text();
+  const FileStatus st = fs.write_text("/rs/file", lines);
+  ASSERT_GT(st.blocks, 4u);  // at least one full stripe
+  EXPECT_EQ(fs.read_text("/rs/file"), lines);  // healthy
+
+  // Lose up to m = 2 datanodes hosting chunks of stripe 0.
+  const std::vector<int> nodes = fs.stripe_nodes("/rs/file", 0);
+  ASSERT_GE(nodes.size(), 6u);
+  fs.fail_datanode(nodes[0]);
+  EXPECT_EQ(fs.read_text("/rs/file"), lines);  // one loss
+  fs.fail_datanode(nodes[5]);
+  EXPECT_EQ(fs.read_text("/rs/file"), lines);  // parity-budget losses
+  EXPECT_GT(fs.stats().degraded_reads, 0u);
+  EXPECT_GT(fs.stats().reconstructed_chunks, 0u);
+  EXPECT_GT(fs.degraded_fraction(), 0.0);
+
+  // A third loss in the same stripe exceeds the budget.
+  fs.fail_datanode(nodes[2]);
+  EXPECT_THROW(fs.read_text("/rs/file"), tsx::Error);
+  EXPECT_GT(fs.stats().chunks_unreadable, 0u);
+}
+
+TEST(DfsCluster, DegradedReadChargeAmplifies) {
+  Dfs fs(rs_config(), 42);
+  fs.write_text("/rs/a", big_text());
+  const IoCharge healthy = fs.read_charge(Bytes::mib(1));
+  fs.fail_datanode(fs.stripe_nodes("/rs/a", 0)[0]);
+  const IoCharge degraded = fs.read_charge(Bytes::mib(1));
+  EXPECT_GT(degraded.disk.b(), healthy.disk.b());
+  EXPECT_GT(degraded.seek.sec(), healthy.seek.sec());
+  // Amplification is bounded by reading all k chunks instead of one.
+  EXPECT_LE(degraded.disk.b(), healthy.disk.b() * 4 + 1.0);
+}
+
+TEST(DfsCluster, WriteChargePaysParity) {
+  Dfs fs(rs_config(), 42);
+  const Bytes bytes = Bytes::mib(4);
+  const IoCharge wr = fs.write_charge(bytes);
+  // RS(4,2): parity adds m/k = 50% write volume.
+  EXPECT_DOUBLE_EQ(wr.disk.b(), bytes.b() * 1.5);
+}
+
+TEST(DfsCluster, RepairPlanIsDeterministicAndRackAware) {
+  Dfs a(rs_config(), 42);
+  Dfs b(rs_config(), 42);
+  const std::vector<std::string> lines = big_text();
+  a.write_text("/rs/f", lines);
+  b.write_text("/rs/f", lines);
+  const int victim = a.stripe_nodes("/rs/f", 0)[1];
+  a.fail_datanode(victim);
+  b.fail_datanode(victim);
+  const RepairSchedule pa = a.plan_repair();
+  const RepairSchedule pb = b.plan_repair();
+  ASSERT_FALSE(pa.empty());
+  ASSERT_EQ(pa.tasks.size(), pb.tasks.size());
+  for (std::size_t i = 0; i < pa.tasks.size(); ++i) {
+    EXPECT_EQ(pa.tasks[i].path, pb.tasks[i].path);
+    EXPECT_EQ(pa.tasks[i].stripe, pb.tasks[i].stripe);
+    EXPECT_EQ(pa.tasks[i].chunk_index, pb.tasks[i].chunk_index);
+    EXPECT_EQ(pa.tasks[i].target, pb.tasks[i].target);
+    EXPECT_NE(pa.tasks[i].target, victim);  // never back onto the dead node
+    EXPECT_DOUBLE_EQ(pa.tasks[i].read_bytes.b(), pb.tasks[i].read_bytes.b());
+  }
+}
+
+TEST(DfsCluster, RepairRestoresRedundancyByteForByte) {
+  Dfs fs(rs_config(), 42);
+  const std::vector<std::string> lines = big_text();
+  fs.write_text("/rs/f", lines);
+  const std::vector<int> nodes = fs.stripe_nodes("/rs/f", 0);
+  fs.fail_datanode(nodes[0]);
+  fs.fail_datanode(nodes[3]);
+  const RepairSchedule plan = fs.plan_repair();
+  ASSERT_FALSE(plan.empty());
+  for (const RepairTask& task : plan.tasks) EXPECT_TRUE(fs.apply_repair(task));
+  EXPECT_EQ(fs.stats().chunks_repaired, plan.tasks.size());
+  EXPECT_DOUBLE_EQ(fs.degraded_fraction(), 0.0);
+  EXPECT_TRUE(fs.plan_repair().empty());  // nothing left to do
+  EXPECT_EQ(fs.read_text("/rs/f"), lines);
+  // Full redundancy is back: the original parity budget holds again.
+  const std::vector<int> fresh = fs.stripe_nodes("/rs/f", 0);
+  fs.fail_datanode(fresh[1]);
+  fs.fail_datanode(fresh[4]);
+  EXPECT_EQ(fs.read_text("/rs/f"), lines);
+}
+
+TEST(DfsCluster, StaleRepairTaskIsCancelled) {
+  Dfs fs(rs_config(), 42);
+  fs.write_text("/rs/f", big_text());
+  const int rack = fs.cluster().rack_of(fs.stripe_nodes("/rs/f", 0)[0]);
+  fs.fail_rack(rack);
+  const RepairSchedule plan = fs.plan_repair();
+  ASSERT_FALSE(plan.empty());
+  fs.recover_rack(rack);  // chunks heal before repair lands
+  EXPECT_FALSE(fs.apply_repair(plan.tasks.front()));
+  EXPECT_EQ(fs.stats().repair_tasks_cancelled, 1u);
+}
+
+TEST(DfsCluster, RackOfflineAndRecover) {
+  Dfs fs(rs_config(), 42);
+  const std::vector<std::string> lines = big_text();
+  fs.write_text("/rs/f", lines);
+  fs.fail_rack(0);
+  EXPECT_EQ(fs.stats().racks_lost, 1u);
+  EXPECT_EQ(fs.cluster().online_count(), 6);
+  // RS(4,2) over 3 racks loses at most 2 chunks per stripe: still readable.
+  EXPECT_EQ(fs.read_text("/rs/f"), lines);
+  fs.recover_rack(0);
+  EXPECT_EQ(fs.stats().racks_recovered, 1u);
+  EXPECT_EQ(fs.cluster().online_count(), 9);
+  EXPECT_DOUBLE_EQ(fs.degraded_fraction(), 0.0);
+}
+
+TEST(DfsCluster, RackRecoveryDoesNotResurrectCrashedNodes) {
+  Dfs fs(rs_config(), 42);
+  fs.write_text("/rs/f", big_text());
+  const int victim = fs.stripe_nodes("/rs/f", 0)[0];
+  fs.fail_datanode(victim);  // permanent crash
+  const int rack = fs.cluster().rack_of(victim);
+  fs.fail_rack(rack);
+  fs.recover_rack(rack);
+  EXPECT_FALSE(fs.cluster().online(victim));
+  EXPECT_GT(fs.degraded_fraction(), 0.0);  // the crash is still outstanding
+}
+
+TEST(DfsCluster, ProvisionedFileParticipatesWithoutContent) {
+  DfsConfig config = rs_config();
+  config.block_mib = 1.0;  // 1 MiB blocks
+  Dfs fs(config, 42);
+  const FileStatus st = fs.provision("/in/huge", Bytes::mib(10));
+  EXPECT_EQ(st.blocks, 10u);
+  EXPECT_TRUE(fs.exists("/in/huge"));
+  EXPECT_THROW(fs.read_text("/in/huge"), tsx::Error);  // no bytes to read
+  fs.fail_datanode(fs.stripe_nodes("/in/huge", 0)[0]);
+  const RepairSchedule plan = fs.plan_repair();
+  EXPECT_FALSE(plan.empty());  // virtual chunks still repairable
+  for (const RepairTask& t : plan.tasks) EXPECT_TRUE(fs.apply_repair(t));
+  EXPECT_DOUBLE_EQ(fs.degraded_fraction(), 0.0);
+}
+
+TEST(DfsCluster, ReplicatedClusterSurvivesNodeLoss) {
+  DfsConfig config;
+  config.codec = CodecKind::kReplication;
+  config.replication = 3;
+  config.racks = 3;
+  config.nodes_per_rack = 2;
+  config.block_mib = 1.0 / 1024;
+  Dfs fs(config, 7);
+  const std::vector<std::string> lines = big_text();
+  fs.write_text("/rep/f", lines);
+  const std::vector<int> nodes = fs.stripe_nodes("/rep/f", 0);
+  ASSERT_EQ(nodes.size(), 3u);
+  std::set<int> racks;
+  for (const int n : nodes) racks.insert(fs.cluster().rack_of(n));
+  EXPECT_EQ(racks.size(), 3u);  // replicas rack-diverse
+  fs.fail_datanode(nodes[0]);
+  fs.fail_datanode(nodes[1]);
+  EXPECT_EQ(fs.read_text("/rep/f"), lines);  // last replica serves
+  const RepairSchedule plan = fs.plan_repair();
+  EXPECT_FALSE(plan.empty());
+  for (const RepairTask& t : plan.tasks) EXPECT_TRUE(fs.apply_repair(t));
+  EXPECT_EQ(fs.read_text("/rep/f"), lines);
+  EXPECT_DOUBLE_EQ(fs.degraded_fraction(), 0.0);
+}
+
+TEST(DfsCluster, ConfigValidationRejectsImpossibleTopology) {
+  DfsConfig config = rs_config();
+  config.racks = 1;
+  config.nodes_per_rack = 3;  // RS(4,2) needs 6 nodes
+  EXPECT_FALSE(config.validate().empty());
+  EXPECT_THROW(Dfs(config, 42), tsx::Error);
+  DfsConfig bad_k = rs_config();
+  bad_k.rs_k = 0;
+  EXPECT_FALSE(bad_k.validate().empty());
+  DfsConfig ok = rs_config();
+  EXPECT_TRUE(ok.validate().empty());
+  EXPECT_DOUBLE_EQ(ok.storage_overhead(), 1.5);
+  EXPECT_EQ(ok.stripe_width(), 6);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "core/error.hpp"
 #include "dfs/dfs.hpp"
@@ -410,6 +411,198 @@ TEST(FaultInvariants, ChaosScenarioStillValidates) {
   EXPECT_EQ(r.validation, base.validation);
 }
 
+// --- storage fault plan ---------------------------------------------------
+
+TEST(FaultPlan, DatanodeDrawsAreDeterministic) {
+  FaultConfig cfg = scenario("datanode-loss");
+  cfg.datanode_crashes = 3;
+  cfg.datanode_crash_window_s = 0.5;
+  const FaultPlan a = build_plan(cfg, 42, 4, 12);
+  const FaultPlan b = build_plan(cfg, 42, 4, 12);
+  ASSERT_EQ(a.datanode_crashes.size(), 3u);
+  ASSERT_EQ(b.datanode_crashes.size(), 3u);
+  std::set<int> victims;
+  Duration prev = Duration::zero();
+  for (std::size_t i = 0; i < a.datanode_crashes.size(); ++i) {
+    EXPECT_EQ(a.datanode_crashes[i].at.v, b.datanode_crashes[i].at.v);
+    EXPECT_EQ(a.datanode_crashes[i].node, b.datanode_crashes[i].node);
+    EXPECT_GE(a.datanode_crashes[i].at.sec(), cfg.datanode_crash_at_s);
+    EXPECT_LE(a.datanode_crashes[i].at.sec(),
+              cfg.datanode_crash_at_s + cfg.datanode_crash_window_s);
+    EXPECT_GE(a.datanode_crashes[i].at.v, prev.v);  // sorted
+    EXPECT_GE(a.datanode_crashes[i].node, 0);
+    EXPECT_LT(a.datanode_crashes[i].node, 12);
+    victims.insert(a.datanode_crashes[i].node);
+    prev = a.datanode_crashes[i].at;
+  }
+  EXPECT_EQ(victims.size(), 3u);  // drawn without replacement
+}
+
+TEST(FaultPlan, DatanodeDrawsDoNotPerturbOlderSchedules) {
+  // Storage victims are drawn after every pre-existing draw, so enabling
+  // them must not move the crash times or the UCE thresholds.
+  FaultConfig cfg = scenario("chaos");
+  FaultConfig with_nodes = cfg;
+  with_nodes.datanode_crashes = 2;
+  const FaultPlan a = build_plan(cfg, 42, 4, 8);
+  const FaultPlan b = build_plan(with_nodes, 42, 4, 8);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].at.v, b.crashes[i].at.v);
+    EXPECT_EQ(a.crashes[i].executor, b.crashes[i].executor);
+  }
+  EXPECT_EQ(a.uce_thresholds_gib, b.uce_thresholds_gib);
+  EXPECT_TRUE(a.datanode_crashes.empty());
+  EXPECT_EQ(b.datanode_crashes.size(), 2u);
+}
+
+TEST(Scenario, StorageScenariosDescribeStorageFaults) {
+  const FaultConfig dn = scenario("datanode-loss");
+  EXPECT_EQ(dn.datanode_crashes, 1);
+  const FaultConfig rack = scenario("rack-offline");
+  EXPECT_EQ(rack.rack_offline, 0);
+  EXPECT_GE(rack.rack_offline_at_s, 0.0);
+  EXPECT_GT(rack.rack_recover_after_s, 0.0);
+  const FaultConfig compound = scenario("dimm-datanode");
+  EXPECT_GE(compound.offline_tier, 0);
+  EXPECT_EQ(compound.datanode_crashes, 1);
+  const FaultConfig cr = scenario("crash-rack");
+  EXPECT_EQ(cr.executor_crashes, 1);
+  EXPECT_EQ(cr.rack_offline, 0);
+}
+
+// --- storage recovery drills ----------------------------------------------
+
+dfs::DfsConfig drill_rs_dfs() {
+  dfs::DfsConfig d;
+  d.codec = dfs::CodecKind::kRs;
+  d.rs_k = 6;
+  d.rs_m = 3;
+  d.racks = 3;
+  d.nodes_per_rack = 4;  // 12 nodes: stripes cover 9, leaving repair spares
+  return d;
+}
+
+dfs::DfsConfig drill_rep_dfs() {
+  dfs::DfsConfig d;
+  d.codec = dfs::CodecKind::kReplication;
+  d.replication = 3;
+  d.racks = 3;
+  d.nodes_per_rack = 2;  // 6 nodes: replicas cover 3, leaving spares
+  return d;
+}
+
+TEST(StorageDrills, DatanodeLossUnderReplicationKeepsResultsIdentical) {
+  RunConfig base_cfg = drill_config(App::kSort);
+  base_cfg.dfs = drill_rep_dfs();
+  const RunResult base = workloads::run_workload(base_cfg);
+  ASSERT_TRUE(base.valid);
+  EXPECT_EQ(base.dfs.datanodes_lost, 0u);
+
+  RunConfig cfg = base_cfg;
+  cfg.fault = scenario("datanode-loss");
+  const RunResult r = workloads::run_workload(cfg);
+  EXPECT_EQ(r.dfs.datanodes_lost, 1u);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.validation, base.validation);
+}
+
+TEST(StorageDrills, DatanodeLossUnderRsRepairsInBackground) {
+  RunConfig base_cfg = drill_config(App::kSort);
+  base_cfg.dfs = drill_rs_dfs();
+  const RunResult base = workloads::run_workload(base_cfg);
+  ASSERT_TRUE(base.valid);
+
+  RunConfig cfg = base_cfg;
+  cfg.fault = scenario("datanode-loss");
+  cfg.fault.datanode_crashes = 2;  // two victims: chunk loss is certain
+  const RunResult r = workloads::run_workload(cfg);
+  EXPECT_EQ(r.dfs.datanodes_lost, 2u);
+  EXPECT_GT(r.dfs.chunks_lost, 0u);
+  EXPECT_GT(r.dfs.repair_waves, 0u);
+  EXPECT_GT(r.dfs.chunks_repaired, 0u);
+  // The repair bill is itemized: bytes moved and channel time occupied.
+  EXPECT_GT(r.dfs.repair_read_bytes.b(), 0.0);
+  EXPECT_GT(r.dfs.repair_write_bytes.b(), 0.0);
+  EXPECT_GT(r.dfs.repair_seconds, 0.0);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.validation, base.validation);
+}
+
+TEST(StorageDrills, RackOfflineHealsAndCancelsStaleRepairs) {
+  RunConfig base_cfg = drill_config(App::kSort);
+  base_cfg.dfs = drill_rs_dfs();
+  const RunResult base = workloads::run_workload(base_cfg);
+
+  RunConfig cfg = base_cfg;
+  cfg.fault = scenario("rack-offline");
+  cfg.fault.rack_recover_after_s = 0.1;  // heal while the run is still live
+  const RunResult r = workloads::run_workload(cfg);
+  EXPECT_EQ(r.dfs.racks_lost, 1u);
+  EXPECT_EQ(r.dfs.racks_recovered, 1u);
+  EXPECT_GT(r.dfs.chunks_lost, 0u);
+  EXPECT_GT(r.dfs.repair_waves, 0u);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.validation, base.validation);
+}
+
+TEST(StorageDrills, DimmOfflinePlusDatanodeLossCompound) {
+  RunConfig base_cfg = drill_config(App::kSort);
+  base_cfg.tier = mem::TierId::kTier2;  // bind the heap to the NVM tier
+  base_cfg.dfs = drill_rs_dfs();
+  const RunResult base = workloads::run_workload(base_cfg);
+  ASSERT_TRUE(base.valid);
+
+  RunConfig cfg = base_cfg;
+  cfg.fault = scenario("dimm-datanode");
+  cfg.fault.offline_at_s = 0.5;  // land the DIMM loss inside the tiny run
+  const RunResult r = workloads::run_workload(cfg);
+  EXPECT_EQ(r.fault.tier_offline_events, 1u);
+  EXPECT_GT(r.fault.rerouted_requests, 0u);
+  EXPECT_EQ(r.dfs.datanodes_lost, 1u);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.validation, base.validation);
+}
+
+TEST(StorageDrills, ExecutorCrashPlusRackPartitionCompound) {
+  RunConfig base_cfg = drill_config(App::kSort);
+  base_cfg.dfs = drill_rs_dfs();
+  const RunResult base = workloads::run_workload(base_cfg);
+
+  RunConfig cfg = base_cfg;
+  cfg.fault = scenario("crash-rack");
+  const RunResult r = workloads::run_workload(cfg);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_GT(r.fault.task_failures, 0u);
+  EXPECT_EQ(r.dfs.racks_lost, 1u);
+  EXPECT_GT(r.dfs.chunks_lost, 0u);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.validation, base.validation);
+}
+
+TEST(StorageDrills, CompoundDrillReplaysBitForBit) {
+  RunConfig cfg = drill_config(App::kSort);
+  cfg.dfs = drill_rs_dfs();
+  cfg.fault = scenario("dimm-datanode");
+  cfg.fault.offline_at_s = 0.5;
+  cfg.tier = mem::TierId::kTier2;
+  const RunResult a = workloads::run_workload(cfg);
+  const RunResult b = workloads::run_workload(cfg);
+  EXPECT_TRUE(runner::results_identical(a, b));
+  EXPECT_EQ(a.dfs.chunks_lost, b.dfs.chunks_lost);
+  EXPECT_EQ(a.dfs.chunks_repaired, b.dfs.chunks_repaired);
+  EXPECT_DOUBLE_EQ(a.dfs.repair_read_bytes.b(), b.dfs.repair_read_bytes.b());
+}
+
+TEST(StorageDrills, StorageFaultsRequireARedundantCluster) {
+  RunConfig cfg = drill_config(App::kSort);
+  cfg.fault = scenario("datanode-loss");  // default dfs: 1 node, no codec
+  EXPECT_FALSE(cfg.validate().empty());
+  EXPECT_THROW(workloads::run_workload(cfg), tsx::Error);
+  cfg.dfs = drill_rep_dfs();
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
 // --- run identity ---------------------------------------------------------
 
 TEST(FaultIdentity, FaultKnobsAreInTheStableHash) {
@@ -428,6 +621,48 @@ TEST(FaultIdentity, FaultKnobsAreInTheStableHash) {
   EXPECT_TRUE(differs([](RunConfig& c) { c.fault.max_task_attempts = 2; }));
   EXPECT_NE(workloads::canonical_key(base).find("fault_enabled=0"),
             std::string::npos);
+}
+
+TEST(FaultIdentity, DfsAndStorageFaultKnobsAreInTheStableHash) {
+  const RunConfig base;
+  const auto differs = [&](auto&& tweak) {
+    RunConfig cfg;
+    tweak(cfg);
+    return workloads::stable_hash(cfg) != workloads::stable_hash(base);
+  };
+  EXPECT_TRUE(differs([](RunConfig& c) {
+    c.dfs.codec = dfs::CodecKind::kRs;
+  }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.replication = 3; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.rs_k = 4; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.rs_m = 2; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.racks = 3; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.nodes_per_rack = 4; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.block_mib = 64.0; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.repair_gbps = 1.0; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.dfs.rack_link_gbps = 2.0; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.fault.datanode_crashes = 1; }));
+  EXPECT_TRUE(differs([](RunConfig& c) { c.fault.rack_offline = 0; }));
+  EXPECT_NE(workloads::canonical_key(base).find("dfs_codec=0"),
+            std::string::npos);
+}
+
+TEST(FaultIdentity, StorageDrillResultsRoundTripThroughJson) {
+  RunConfig cfg = drill_config(App::kSort);
+  cfg.dfs = drill_rs_dfs();
+  cfg.fault = scenario("datanode-loss");
+  cfg.fault.datanode_crashes = 2;
+  const RunResult original = workloads::run_workload(cfg);
+  ASSERT_GT(original.dfs.chunks_lost, 0u);
+  RunResult decoded;
+  ASSERT_TRUE(runner::result_from_json(runner::to_json(original), &decoded));
+  EXPECT_TRUE(runner::results_identical(original, decoded));
+  EXPECT_EQ(decoded.config, original.config);
+  EXPECT_EQ(decoded.dfs.chunks_lost, original.dfs.chunks_lost);
+  EXPECT_EQ(decoded.dfs.chunks_repaired, original.dfs.chunks_repaired);
+  EXPECT_DOUBLE_EQ(decoded.dfs.repair_read_bytes.b(),
+                   original.dfs.repair_read_bytes.b());
+  EXPECT_DOUBLE_EQ(decoded.dfs.repair_seconds, original.dfs.repair_seconds);
 }
 
 TEST(FaultIdentity, FaultedResultsRoundTripThroughJson) {

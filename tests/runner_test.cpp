@@ -322,6 +322,23 @@ TEST(ResultCache, LoadRejectsPreTieringStoreVersion) {
   std::remove(path.c_str());
 }
 
+TEST(ResultCache, LoadRejectsPreDfsStoreVersion) {
+  // v6 added the cluster-DFS section to the config identity; a v5 store
+  // (written before DfsConfig existed) must fail to load rather than serve
+  // results whose configs silently lack the dfs knobs.
+  ASSERT_GE(ResultCache::kStoreVersion, 6);
+  const std::string path = ::testing::TempDir() + "/tsx_v5_cache.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"format\":\"tsx-run-cache\",\"version\":5}\n", f);
+  std::fclose(f);
+
+  ResultCache cache;
+  EXPECT_FALSE(cache.load(path));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(ResultCache, LoadRejectsGarbage) {
   const std::string path = ::testing::TempDir() + "/tsx_bad_cache.jsonl";
   std::FILE* f = std::fopen(path.c_str(), "w");
