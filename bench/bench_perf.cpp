@@ -2,9 +2,12 @@
 // §11), seeding the repo's wall-clock perf trajectory.
 //
 // Part 1 is the determinism gate: the full Fig. 2 sweep (every app x scale
-// x tier) must produce byte-identical RunResult JSON with TSX_TASK_THREADS
-// in {1, 4, 8}. Every run goes through a plain serial run_workload loop —
-// no ParallelRunner (an active sweep would clamp the inner pools through
+// x tier) runs with the observability plane on and must produce
+// byte-identical RunResult JSON, exported metrics JSONL *and* Chrome trace
+// bytes with TSX_TASK_THREADS in {1, 4, 8} — the sharded data plane
+// (DESIGN.md §16) must be invisible in every serialized artifact, span ids
+// included. Every run goes through a plain serial run_workload loop — no
+// ParallelRunner (an active sweep would clamp the inner pools through
 // the thread budget) and no ResultCache (a hit would skip the simulation
 // and make the comparison vacuous).
 //
@@ -37,12 +40,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mem/tier.hpp"
+#include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "runner/serialize.hpp"
+#include "spark/plane_stats.hpp"
 #include "workloads/scales.hpp"
 
 namespace {
@@ -92,6 +98,34 @@ std::string prior_history_entries(const std::string& path) {
   return "";
 }
 
+/// Every serialized artifact of one run, concatenated: RunResult JSON,
+/// metrics JSONL, Chrome trace bytes. The gate compares this triple so a
+/// thread-count-dependent span id or counter cannot hide in a side artifact.
+std::string run_artifacts(RunConfig cfg) {
+  cfg.obs.enabled = true;
+  const RunResult result = run_workload(cfg);
+  std::string all = runner::to_json(result);
+  all += '\x1f';
+  all += obs::metrics_jsonl(result.trace->metrics());
+  all += '\x1f';
+  all += obs::chrome_trace_json(*result.trace);
+  return all;
+}
+
+/// Abbreviated commit hash of the tree the binary was built from, for the
+/// perf-history provenance line ("unknown" outside a git checkout).
+std::string git_commit() {
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof buf, p) != nullptr) out = buf;
+  ::pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
 double wall_seconds(const RunConfig& cfg, int repeats) {
   double best = 0.0;
   for (int r = 0; r < repeats; ++r) {
@@ -113,19 +147,20 @@ int main() {
   const int kThreadCounts[] = {2, 4, 8};
 
   // --- Part 1: 84-config bit-identity gate ------------------------------
+  // Results + metrics + trace bytes, all three compared per config.
   if (std::getenv("TSX_PERF_SKIP_GATE") == nullptr) {
     const auto configs = fig2_spec().enumerate();
     set_task_threads(1);
     std::vector<std::string> reference;
     reference.reserve(configs.size());
     for (const RunConfig& cfg : configs)
-      reference.push_back(runner::to_json(run_workload(cfg)));
+      reference.push_back(run_artifacts(cfg));
 
     std::size_t mismatches = 0;
     for (const int threads : {4, 8}) {
       set_task_threads(threads);
       for (std::size_t i = 0; i < configs.size(); ++i) {
-        if (runner::to_json(run_workload(configs[i])) != reference[i]) {
+        if (run_artifacts(configs[i]) != reference[i]) {
           ++mismatches;
           std::printf("MISMATCH at %d threads: %s\n", threads,
                       configs[i].describe().c_str());
@@ -134,7 +169,8 @@ int main() {
     }
     set_task_threads(1);
     std::printf(
-        "bit-identity gate: %zu configs x {1,4,8} threads, %zu mismatches%s\n\n",
+        "bit-identity gate: %zu configs x {1,4,8} threads x "
+        "{results, metrics, trace}, %zu mismatches%s\n\n",
         configs.size(), mismatches,
         mismatches == 0 ? " (the parallel plane is invisible in the results)"
                         : "");
@@ -149,11 +185,24 @@ int main() {
   if (const char* r = std::getenv("TSX_PERF_REPEATS"))
     repeats = std::max(1, std::atoi(r));
 
+  using spark::PlaneCounters;
+  using spark::PlaneStats;
+  int task_shards = 16;
+  if (const char* s = std::getenv("TSX_TASK_SHARDS"))
+    task_shards = std::max(1, std::atoi(s));
+
   TablePrinter table({"app", "serial (s)", "2t (s)", "4t (s)", "8t (s)",
-                      "speedup@8"});
-  std::string entry = "    {\n      \"scale\": \"" + to_string(scale) +
-                      "\",\n      \"repeats\": " + std::to_string(repeats) +
-                      ",\n      \"workloads\": [\n";
+                      "speedup@8", "commit share@8"});
+  // Host provenance: speedups only mean something relative to the machine
+  // and tree that produced them.
+  std::string entry =
+      "    {\n      \"scale\": \"" + to_string(scale) +
+      "\",\n      \"repeats\": " + std::to_string(repeats) +
+      ",\n      \"host\": {\"hardware_concurrency\": " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ", \"git_commit\": \"" + git_commit() +
+      "\", \"task_shards\": " + std::to_string(task_shards) +
+      "},\n      \"workloads\": [\n";
   bool first_row = true;
   for (const App app : kAllApps) {
     RunConfig cfg;
@@ -162,26 +211,40 @@ int main() {
     set_task_threads(1);
     const double serial = wall_seconds(cfg, repeats);
     std::vector<double> parallel;
+    PlaneCounters delta8;
     for (const int threads : kThreadCounts) {
       set_task_threads(threads);
+      const PlaneCounters before = PlaneStats::global().read();
       parallel.push_back(wall_seconds(cfg, repeats));
+      if (threads == 8) delta8 = PlaneStats::global().read() - before;
     }
     set_task_threads(1);
     const double speedup8 = parallel.back() > 0.0 ? serial / parallel.back()
                                                   : 0.0;
+    // Contention attribution of the 8-thread cell: how much of the parallel
+    // stages' wall-clock the driver spent in the commit phase, and how much
+    // of that commit phase was just waiting for evaluation to publish.
+    const double stage_s = static_cast<double>(delta8.stage_ns) * 1e-9;
+    const double commit_s = static_cast<double>(delta8.commit_ns) * 1e-9;
+    const double ready_s = static_cast<double>(delta8.ready_wait_ns) * 1e-9;
+    const double commit_share = stage_s > 0.0 ? commit_s / stage_s : 0.0;
     table.add_row({to_string(app), TablePrinter::num(serial, 3),
                    TablePrinter::num(parallel[0], 3),
                    TablePrinter::num(parallel[1], 3),
                    TablePrinter::num(parallel[2], 3),
-                   TablePrinter::num(speedup8, 2) + "x"});
+                   TablePrinter::num(speedup8, 2) + "x",
+                   TablePrinter::num(commit_share * 100.0, 1) + "%"});
     if (!first_row) entry += ",\n";
     first_row = false;
     entry += strfmt(
         "        {\"app\": \"%s\", \"serial_s\": %.6f, \"threads_2_s\": "
         "%.6f, \"threads_4_s\": %.6f, \"threads_8_s\": %.6f, "
-        "\"speedup_8\": %.4f}",
+        "\"speedup_8\": %.4f, \"stage_s_8\": %.6f, \"commit_s_8\": %.6f, "
+        "\"ready_wait_s_8\": %.6f, \"commit_share_8\": %.4f, "
+        "\"lock_wait_s_8\": %.6f}",
         to_string(app).c_str(), serial, parallel[0], parallel[1], parallel[2],
-        speedup8);
+        speedup8, stage_s, commit_s, ready_s, commit_share,
+        static_cast<double>(delta8.lock_wait_ns) * 1e-9);
   }
   entry += "\n      ]";
   table.print(std::cout);
@@ -258,8 +321,69 @@ int main() {
     }
     entry += "}";
   }
-  entry += "\n      ]\n    }";
+  entry += "\n      ]";
   atable.print(std::cout);
+
+  // --- Part 5: pipelined vs barrier commit, attributed -------------------
+  // Same workload, same 8 evaluation threads; the only difference is
+  // whether the commit phase overlaps evaluation (DESIGN.md §16). The
+  // PlaneCounters deltas attribute the stage wall-clock: eval (summed task
+  // host time), commit (driver submit + step loop), ready-wait (driver
+  // blocked on unpublished buffers) and stripe-lock traffic.
+  TablePrinter ptable({"mode", "stage (s)", "eval (s)", "commit (s)",
+                       "ready wait (s)", "commit share", "lock acq",
+                       "lock wait (s)", "puts/batch"});
+  entry += ",\n      \"plane\": [\n";
+  bool first_mode = true;
+  for (const bool pipelined : {false, true}) {
+    setenv("TSX_TASK_PIPELINE", pipelined ? "1" : "0", 1);
+    set_task_threads(8);
+    RunConfig cfg;
+    cfg.app = App::kPagerank;
+    cfg.scale = scale;
+    const PlaneCounters before = PlaneStats::global().read();
+    for (int r = 0; r < repeats; ++r) (void)run_workload(cfg);
+    const PlaneCounters d = PlaneStats::global().read() - before;
+    set_task_threads(1);
+    unsetenv("TSX_TASK_PIPELINE");
+
+    const double stage_s = static_cast<double>(d.stage_ns) * 1e-9;
+    const double eval_s = static_cast<double>(d.eval_ns) * 1e-9;
+    const double commit_s = static_cast<double>(d.commit_ns) * 1e-9;
+    const double ready_s = static_cast<double>(d.ready_wait_ns) * 1e-9;
+    const double lock_s = static_cast<double>(d.lock_wait_ns) * 1e-9;
+    const double share = stage_s > 0.0 ? commit_s / stage_s : 0.0;
+    const double puts_per_batch =
+        d.shuffle_put_batches > 0
+            ? static_cast<double>(d.shuffle_puts) /
+                  static_cast<double>(d.shuffle_put_batches)
+            : 0.0;
+    const char* mode = pipelined ? "pipelined" : "barrier";
+    ptable.add_row({mode, TablePrinter::num(stage_s, 4),
+                    TablePrinter::num(eval_s, 4),
+                    TablePrinter::num(commit_s, 4),
+                    TablePrinter::num(ready_s, 4),
+                    TablePrinter::num(share * 100.0, 1) + "%",
+                    std::to_string(d.lock_acquisitions),
+                    TablePrinter::num(lock_s, 4),
+                    TablePrinter::num(puts_per_batch, 2)});
+    if (!first_mode) entry += ",\n";
+    first_mode = false;
+    entry += strfmt(
+        "        {\"mode\": \"%s\", \"app\": \"pagerank\", \"threads\": 8, "
+        "\"stage_s\": %.6f, \"eval_s\": %.6f, \"commit_s\": %.6f, "
+        "\"ready_wait_s\": %.6f, \"commit_share\": %.4f, "
+        "\"lock_acquisitions\": %llu, \"lock_contended\": %llu, "
+        "\"lock_wait_s\": %.6f, \"shuffle_puts\": %llu, "
+        "\"shuffle_put_batches\": %llu}",
+        mode, stage_s, eval_s, commit_s, ready_s, share,
+        static_cast<unsigned long long>(d.lock_acquisitions),
+        static_cast<unsigned long long>(d.lock_contended), lock_s,
+        static_cast<unsigned long long>(d.shuffle_puts),
+        static_cast<unsigned long long>(d.shuffle_put_batches));
+  }
+  entry += "\n      ]\n    }";
+  ptable.print(std::cout);
 
   const std::string prior = prior_history_entries("BENCH_perf.json");
   std::string json = "{\n  \"bench\": \"perf\",\n  \"history\": [\n";

@@ -1,6 +1,9 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
 
 namespace tsx {
 
@@ -19,6 +22,7 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  wait_batch();
   {
     std::lock_guard<std::mutex> lock(batch_mutex_);
     stop_ = true;
@@ -29,51 +33,86 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_batch(std::size_t count,
                            const std::function<void(std::size_t)>& task) {
-  if (count == 0) return;
+  launch_batch(count, task);
+  wait_batch();
+}
 
-  // Seed each worker's deque with a contiguous slice of the index range.
-  // No worker can touch the deques here: the previous batch only finished
-  // once every worker quiesced, and the next generation is unpublished.
+void ThreadPool::launch_batch(std::size_t count,
+                              std::function<void(std::size_t)> task) {
+  if (count == 0) return;
+  TSX_CHECK(!active_, "launch_batch with a batch already in flight");
+
+  // Seed each worker's deque with a contiguous slice of the index range,
+  // split into grains. No worker can touch the deques here: the previous
+  // batch only finished once every worker quiesced, and the next generation
+  // is unpublished. Grains are pushed descending so the owner's pop_back
+  // consumes its slice in ascending index order (the pipelined commit
+  // phase unblocks in that order); a thief's pop_front takes the highest —
+  // most distant — grain, which the owner would reach last anyway.
   const std::size_t n_workers = workers_.size();
   const std::size_t chunk = (count + n_workers - 1) / n_workers;
+  // Grain heuristic: a handful of steal targets per worker, so tiny stages
+  // pay one deque claim per ~quarter slice instead of one per task.
+  const std::size_t grain = std::max<std::size_t>(1, chunk / 4);
   for (std::size_t w = 0; w < n_workers; ++w) {
     const std::size_t lo = std::min(w * chunk, count);
     const std::size_t hi = std::min(lo + chunk, count);
     std::lock_guard<std::mutex> lock(workers_[w]->mutex);
-    for (std::size_t i = lo; i < hi; ++i) workers_[w]->queue.push_back(i);
+    std::size_t end = hi;
+    while (end > lo) {
+      const std::size_t start = end > lo + grain ? end - grain : lo;
+      workers_[w]->queue.push_back(Range{start, end});
+      end = start;
+    }
   }
+  unclaimed_.store(count, std::memory_order_release);
+  failed_.store(false, std::memory_order_release);
 
-  std::unique_lock<std::mutex> lock(batch_mutex_);
-  task_ = &task;
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  task_ = std::move(task);
   remaining_ = count;
   first_error_ = nullptr;
+  active_ = true;
   ++generation_;
   batch_start_.notify_all();
+}
 
+void ThreadPool::wait_batch() {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  if (!active_) return;
   // The busy_ == 0 half of the predicate is the quiescence barrier: a
   // straggler still scanning deques must park before the next batch seeds.
   batch_done_.wait(lock, [this] { return remaining_ == 0 && busy_ == 0; });
+  active_ = false;
   task_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
-bool ThreadPool::next_task(std::size_t self, std::size_t* index) {
+bool ThreadPool::next_range(std::size_t self, Range* range) {
+  // Claimed-out batches (the common drain state) cost one relaxed load.
+  if (unclaimed_.load(std::memory_order_relaxed) == 0) return false;
   {
     Worker& own = *workers_[self];
     std::lock_guard<std::mutex> lock(own.mutex);
     if (!own.queue.empty()) {
-      *index = own.queue.back();
+      *range = own.queue.back();
       own.queue.pop_back();
+      unclaimed_.fetch_sub(range->hi - range->lo, std::memory_order_relaxed);
       return true;
     }
   }
-  // Own deque drained: steal the oldest item from the first victim found.
+  // Own deque drained: steal the oldest range from the first victim found.
   for (std::size_t off = 1; off < workers_.size(); ++off) {
     Worker& victim = *workers_[(self + off) % workers_.size()];
     std::lock_guard<std::mutex> lock(victim.mutex);
     if (!victim.queue.empty()) {
-      *index = victim.queue.front();
+      *range = victim.queue.front();
       victim.queue.pop_front();
+      unclaimed_.fetch_sub(range->hi - range->lo, std::memory_order_relaxed);
       return true;
     }
   }
@@ -91,21 +130,24 @@ void ThreadPool::worker_loop(std::size_t self) {
       });
       if (stop_) return;
       seen_generation = generation_;
-      task = task_;
+      task = &task_;
       ++busy_;
     }
 
-    std::size_t index = 0;
-    while (next_task(self, &index)) {
+    Range range;
+    while (next_range(self, &range)) {
       std::exception_ptr error;
-      try {
-        (*task)(index);
-      } catch (...) {
-        error = std::current_exception();
+      for (std::size_t i = range.lo; i < range.hi; ++i) {
+        try {
+          (*task)(i);
+        } catch (...) {
+          if (!error) error = std::current_exception();
+          failed_.store(true, std::memory_order_release);
+        }
       }
       std::lock_guard<std::mutex> lock(batch_mutex_);
       if (error && !first_error_) first_error_ = error;
-      --remaining_;
+      remaining_ -= range.hi - range.lo;
     }
 
     std::lock_guard<std::mutex> lock(batch_mutex_);

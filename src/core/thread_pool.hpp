@@ -7,14 +7,24 @@
 // idle on both, so each worker owns a deque seeded with a contiguous slice
 // of the batch; it pops work from the back of its own deque and, when empty,
 // steals from the front of a victim's — the classic split that keeps owner
-// access hot and hands thieves the oldest (and, for front-loaded batches,
-// largest) chunks.
+// access hot and hands thieves the oldest chunks.
+//
+// Deques hold index *ranges*, not single indices: a tiny stage (hundreds of
+// microsecond-scale task hosts) would otherwise pay one deque lock per task.
+// The grain heuristic splits each worker's slice into a handful of ranges,
+// so dispatch cost amortizes over the grain while stealing still rebalances
+// skew at range granularity. Ranges are seeded so owners consume their slice
+// in ascending index order — the pipelined commit phase (DESIGN.md §16)
+// waits on task results in exactly that order.
 //
 // The pool is persistent: workers are spawned once and parked between
-// batches, so repeated `run_batch` calls (one per sweep, or one per stage)
-// pay no thread start-up cost.
+// batches, so repeated batches (one per sweep, or one per stage) pay no
+// thread start-up cost. `run_batch` is the blocking composite of
+// `launch_batch` + `wait_batch`; the split exists for the scheduler's
+// pipelined plane, which overlaps the batch with driver-side work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -46,16 +56,39 @@ class ThreadPool {
   void run_batch(std::size_t count,
                  const std::function<void(std::size_t)>& task);
 
+  /// Starts a batch and returns immediately; the pool owns a copy of `task`
+  /// until the matching wait_batch(). At most one batch may be in flight.
+  void launch_batch(std::size_t count, std::function<void(std::size_t)> task);
+
+  /// Blocks until the launched batch drains (quiescence barrier: every
+  /// worker has parked), then rethrows the first task exception if any.
+  /// No-op when no batch is in flight.
+  void wait_batch();
+
+  /// True once any task of the in-flight batch has thrown. Cheap enough to
+  /// poll from a spin loop; wait_batch() still owns the rethrow.
+  bool batch_failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+
  private:
-  struct Worker {
+  /// A contiguous claim of batch indices [lo, hi).
+  struct Range {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
+  /// Padded to a cache line: a worker hammers its own deque lock on every
+  /// claim, and adjacent workers must not false-share those lock words.
+  struct alignas(64) Worker {
     std::mutex mutex;
-    std::deque<std::size_t> queue;
+    std::deque<Range> queue;
   };
 
   void worker_loop(std::size_t self);
   /// Pops from the back of `self`'s deque, else steals from the front of
-  /// another worker's. Returns false when the whole batch is exhausted.
-  bool next_task(std::size_t self, std::size_t* index);
+  /// another worker's. Returns false when the whole batch is claimed.
+  bool next_range(std::size_t self, Range* range);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -63,12 +96,20 @@ class ThreadPool {
   std::mutex batch_mutex_;
   std::condition_variable batch_start_;
   std::condition_variable batch_done_;
-  const std::function<void(std::size_t)>* task_ = nullptr;
+  /// The pool's own copy of the batch task: launch_batch returns before the
+  /// batch drains, so the caller's callable may die while workers run.
+  std::function<void(std::size_t)> task_;
   std::uint64_t generation_ = 0;
-  std::size_t remaining_ = 0;
-  std::size_t busy_ = 0;  ///< workers currently inside the batch
+  std::size_t remaining_ = 0;  ///< indices not yet executed
+  std::size_t busy_ = 0;       ///< workers currently inside the batch
   std::exception_ptr first_error_;
   bool stop_ = false;
+  bool active_ = false;  ///< a launch_batch awaits its wait_batch
+
+  /// Indices not yet claimed from any deque — lets a worker whose own deque
+  /// drained skip the victim scan (and park) without taking any lock.
+  alignas(64) std::atomic<std::size_t> unclaimed_{0};
+  alignas(64) std::atomic<bool> failed_{false};
 };
 
 }  // namespace tsx

@@ -17,7 +17,7 @@ namespace tsx::spark {
 template <typename T>
 class Accumulator {
  public:
-  explicit Accumulator(T zero) : cell_(std::make_shared<T>(std::move(zero))) {}
+  explicit Accumulator(T zero) : cell_(new Cell{std::move(zero)}) {}
 
   /// Task-side: fold `amount` into the accumulator. Under parallel stage
   /// evaluation the fold is deferred to the commit phase, so the cell is
@@ -25,21 +25,29 @@ class Accumulator {
   /// floating-point sums) land in the serial engine's exact order.
   void add(const T& amount, TaskContext& ctx) const {
     if (TaskEffects* fx = TaskEffects::current()) {
-      fx->defer([cell = cell_, amount] { *cell += amount; });
+      fx->defer([cell = cell_, amount] { cell->value += amount; });
     } else {
-      *cell_ += amount;
+      cell_->value += amount;
     }
     ctx.charge_cpu_unscaled(Duration::nanos(ctx.costs().agg_cpu_ns));
   }
 
   /// Driver-side read (call after the job completes, like Spark).
-  const T& value() const { return *cell_; }
+  const T& value() const { return cell_->value; }
 
   /// Resets to a new zero (between jobs).
-  void reset(T zero) { *cell_ = std::move(zero); }
+  void reset(T zero) { cell_->value = std::move(zero); }
 
  private:
-  std::shared_ptr<T> cell_;
+  /// The cell gets its own cache line: commits fold into it on the driver
+  /// while pool workers hammer unrelated heap objects that would otherwise
+  /// share the line. (Plain new, not make_shared: the over-aligned
+  /// allocation must go through aligned operator new.)
+  struct alignas(64) Cell {
+    T value;
+  };
+
+  std::shared_ptr<Cell> cell_;
 };
 
 template <typename T>

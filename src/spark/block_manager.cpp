@@ -1,24 +1,48 @@
 #include "spark/block_manager.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/error.hpp"
+#include "spark/plane_stats.hpp"
 #include "spark/task_effects.hpp"
 
 namespace tsx::spark {
 
 BlockManager::BlockManager(mem::TieredAllocator& allocator, Bytes budget,
-                           mem::NodeId node)
-    : allocator_(allocator), budget_(budget), node_(node) {}
+                           mem::NodeId node, int shards)
+    : allocator_(allocator),
+      budget_(budget),
+      node_(node),
+      shards_(static_cast<std::size_t>(std::max(1, shards))) {}
 
 BlockManager::~BlockManager() { clear(); }
 
+void BlockManager::begin_pipelined_stage() {
+  TSX_CHECK(!pipeline_active_, "pipelined stage already open");
+  pipeline_active_ = true;
+}
+
+void BlockManager::end_pipelined_stage() {
+  pipeline_active_ = false;
+  for (Shard& shard : shards_) shard.mutated.clear();
+}
+
 bool BlockManager::has(const BlockKey& key) const {
-  if (const TaskEffects* fx = TaskEffects::current())
+  if (const TaskEffects* fx = TaskEffects::current()) {
     if (fx->has_block(key)) return true;
-  return blocks_.count(key) > 0;
+    const Shard& shard = shard_for(key);
+    if (pipeline_active_) {
+      StripeLockGuard lock(shard.mutex);
+      TSX_CHECK(shard.mutated.count(key) == 0,
+                "pipelined task read a block an earlier commit mutated");
+      return shard.blocks.count(key) > 0;
+    }
+    return shard.blocks.count(key) > 0;
+  }
+  return shard_for(key).blocks.count(key) > 0;
 }
 
 const std::any* BlockManager::get(const BlockKey& key) {
@@ -26,13 +50,26 @@ const std::any* BlockManager::get(const BlockKey& key) {
     // Parallel evaluation: serve the task's own overlay or the stage-start
     // snapshot without touching LRU/hit-miss/tiering state; the real lookup
     // (and all its bookkeeping) replays in commit order.
-    fx->defer([this, key] { (void)get(key); });
+    fx->record_block_get(this, key);
     if (const std::any* own = fx->find_block(key)) return own;
-    const auto it = blocks_.find(key);
-    return it == blocks_.end() ? nullptr : &it->second.data;
+    const Shard& shard = shard_for(key);
+    if (pipeline_active_) {
+      StripeLockGuard lock(shard.mutex);
+      TSX_CHECK(shard.mutated.count(key) == 0,
+                "pipelined task read a block an earlier commit mutated");
+      const auto it = shard.blocks.find(key);
+      if (it == shard.blocks.end()) return nullptr;
+      // The driver may evict this block (dropping the store's reference)
+      // while the task still reads through the pointer; pin it to the task.
+      fx->retain(it->second.data);
+      return it->second.data.get();
+    }
+    const auto it = shard.blocks.find(key);
+    return it == shard.blocks.end() ? nullptr : it->second.data.get();
   }
-  const auto it = blocks_.find(key);
-  if (it == blocks_.end()) {
+  Shard& shard = shard_for(key);
+  const auto it = shard.blocks.find(key);
+  if (it == shard.blocks.end()) {
     ++misses_;
     return nullptr;
   }
@@ -42,14 +79,25 @@ const std::any* BlockManager::get(const BlockKey& key) {
     tiering_->on_region_access(StreamClass::kCache,
                                cache_region(key.rdd_id, key.partition),
                                it->second.size, mem::AccessKind::kRead);
-  return &it->second.data;
+  return it->second.data.get();
 }
 
 Bytes BlockManager::size_of(const BlockKey& key) const {
-  if (const TaskEffects* fx = TaskEffects::current())
+  if (const TaskEffects* fx = TaskEffects::current()) {
     if (fx->has_block(key)) return fx->block_size(key);
-  const auto it = blocks_.find(key);
-  TSX_CHECK(it != blocks_.end(), "size_of unknown block");
+    const Shard& shard = shard_for(key);
+    if (pipeline_active_) {
+      StripeLockGuard lock(shard.mutex);
+      TSX_CHECK(shard.mutated.count(key) == 0,
+                "pipelined task read a block an earlier commit mutated");
+      const auto it = shard.blocks.find(key);
+      TSX_CHECK(it != shard.blocks.end(), "size_of unknown block");
+      return it->second.size;
+    }
+  }
+  const Shard& shard = shard_for(key);
+  const auto it = shard.blocks.find(key);
+  TSX_CHECK(it != shard.blocks.end(), "size_of unknown block");
   return it->second.size;
 }
 
@@ -62,21 +110,35 @@ bool BlockManager::put(const BlockKey& key, std::any data, Bytes size,
     // task's own view through the overlay.
     auto shared = std::make_shared<std::any>(std::move(data));
     fx->put_block(key, shared, size);
-    fx->defer([this, key, shared, size, owner] {
-      (void)put(key, std::move(*shared), size, owner);
-    });
+    fx->record_block_put(this, key, std::move(shared), size, owner);
     return true;
   }
+  return put_shared(key, std::make_shared<std::any>(std::move(data)), size,
+                    owner);
+}
+
+bool BlockManager::put_shared(const BlockKey& key,
+                              std::shared_ptr<std::any> data, Bytes size,
+                              int owner) {
+  TSX_CHECK(size.b() >= 0.0, "negative block size");
   if (has(key)) drop(key);  // overwrite semantics
   if (size > budget_) return false;
-  while (bytes_cached_ + size > budget_ && !blocks_.empty()) evict_one();
+  while (bytes_cached_ + size > budget_ && !lru_.empty()) evict_one();
   // Physical capacity on the bound node can also be the binding constraint.
   if (size > allocator_.available(node_)) return false;
 
   const mem::AllocationId alloc = allocator_.allocate(node_, size);
   lru_.push_front(key);
-  blocks_.emplace(key,
-                  Block{std::move(data), size, alloc, lru_.begin(), owner});
+  Shard& shard = shard_for(key);
+  if (pipeline_active_) {
+    StripeLockGuard lock(shard.mutex);
+    shard.blocks.emplace(
+        key, Block{std::move(data), size, alloc, lru_.begin(), owner});
+    mark_mutated(shard, key);
+  } else {
+    shard.blocks.emplace(
+        key, Block{std::move(data), size, alloc, lru_.begin(), owner});
+  }
   bytes_cached_ += size;
   if (tiering_ != nullptr) {
     const RegionId region = cache_region(key.rdd_id, key.partition);
@@ -88,19 +150,33 @@ bool BlockManager::put(const BlockKey& key, std::any data, Bytes size,
 }
 
 void BlockManager::drop(const BlockKey& key) {
-  const auto it = blocks_.find(key);
-  if (it == blocks_.end()) return;
+  Shard& shard = shard_for(key);
+  const auto it = shard.blocks.find(key);
+  if (it == shard.blocks.end()) return;
   allocator_.free(it->second.allocation);
   bytes_cached_ -= it->second.size;
   lru_.erase(it->second.lru_pos);
-  blocks_.erase(it);
+  if (pipeline_active_) {
+    StripeLockGuard lock(shard.mutex);
+    shard.blocks.erase(it);
+    mark_mutated(shard, key);
+  } else {
+    shard.blocks.erase(it);
+  }
   if (tiering_ != nullptr)
     tiering_->on_region_drop(StreamClass::kCache,
                              cache_region(key.rdd_id, key.partition));
 }
 
 void BlockManager::clear() {
-  while (!blocks_.empty()) drop(blocks_.begin()->first);
+  // Drop in global ascending key order — the iteration order of the
+  // pre-sharding single map, which the tiering observer's event stream
+  // (and thus the identity gate) depends on.
+  std::vector<BlockKey> victims;
+  for (const Shard& shard : shards_)
+    for (const auto& [key, block] : shard.blocks) victims.push_back(key);
+  std::sort(victims.begin(), victims.end());
+  for (const BlockKey& key : victims) drop(key);
 }
 
 bool BlockManager::drop_lru() {
@@ -111,10 +187,18 @@ bool BlockManager::drop_lru() {
 
 std::size_t BlockManager::drop_owned_by(int executor_id) {
   std::vector<BlockKey> victims;
-  for (const auto& [key, block] : blocks_)
-    if (block.owner == executor_id) victims.push_back(key);
+  for (const Shard& shard : shards_)
+    for (const auto& [key, block] : shard.blocks)
+      if (block.owner == executor_id) victims.push_back(key);
+  std::sort(victims.begin(), victims.end());
   for (const BlockKey& key : victims) drop(key);
   return victims.size();
+}
+
+std::size_t BlockManager::block_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.blocks.size();
+  return n;
 }
 
 void BlockManager::evict_one() {

@@ -5,13 +5,29 @@
 // the physical capacity of the memory node they are bound to (via
 // TieredAllocator). Eviction is LRU, matching Spark's MEMORY_ONLY behaviour
 // of dropping the least recently used blocks when storage is full.
+//
+// The block map is sharded by partition (shard = partition % N, DESIGN.md
+// §16): under the pipelined parallel plane, worker threads read the
+// stage-start snapshot of one shard while the driver commits earlier tasks'
+// puts and evictions into others, so reads and writes touch disjoint
+// cache-line-padded locks. The LRU list, counters and allocator stay
+// driver-only (workers never mutate), and block data is held by shared_ptr
+// so a driver-side eviction cannot free bytes a worker still reads — the
+// worker retains the pointer in its TaskEffects buffer until commit.
+// Sharding is invisible to every observable: iteration-order-sensitive
+// operations (clear, drop_owned_by) materialize the global ascending key
+// order first.
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "core/units.hpp"
 #include "mem/allocator.hpp"
@@ -25,12 +41,23 @@ struct BlockKey {
   auto operator<=>(const BlockKey&) const = default;
 };
 
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& key) const {
+    std::size_t h = static_cast<std::size_t>(key.rdd_id) *
+                    std::size_t{0x9e3779b97f4a7c15ULL};
+    h ^= key.partition + std::size_t{0x9e3779b97f4a7c15ULL} + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
 class BlockManager {
  public:
   /// `budget` is the engine-level storage budget; `node` the memory node
-  /// all blocks bind to (the executors' membind target).
+  /// all blocks bind to (the executors' membind target); `shards` the
+  /// stripe count of the block map (clamped to >= 1).
   BlockManager(mem::TieredAllocator& allocator, Bytes budget,
-               mem::NodeId node);
+               mem::NodeId node, int shards = 16);
   ~BlockManager();
 
   BlockManager(const BlockManager&) = delete;
@@ -50,6 +77,12 @@ class BlockManager {
   /// scheduler); a crash drops every block its executor owned.
   bool put(const BlockKey& key, std::any data, Bytes size, int owner = -1);
 
+  /// The direct-path put of an already type-erased shared block — the
+  /// commit replay of a buffered put, which must not re-copy the data the
+  /// task's overlay already shares.
+  bool put_shared(const BlockKey& key, std::shared_ptr<std::any> data,
+                  Bytes size, int owner);
+
   /// Drops one block (no-op if absent).
   void drop(const BlockKey& key);
 
@@ -64,12 +97,23 @@ class BlockManager {
   /// Drops everything.
   void clear();
 
+  /// Pipelined-stage window (DESIGN.md §16): between begin and end, worker
+  /// reads take the shard stripe lock, retain block data, and verify the
+  /// key was not mutated by an earlier task's commit this stage — the one
+  /// pattern whose serial/pipelined views could diverge, turned into a
+  /// loud failure instead of a silent one. Driver mutations mark keys and
+  /// lock the stripe they touch. Outside the window every path is lock-free
+  /// and byte-identical to the pre-sharding code.
+  void begin_pipelined_stage();
+  void end_pipelined_stage();
+
   Bytes bytes_cached() const { return bytes_cached_; }
   Bytes budget() const { return budget_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
-  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t block_count() const;
+  std::size_t shard_count() const { return shards_.size(); }
   mem::NodeId node() const { return node_; }
 
   /// Rebinds future blocks to `node` (tier degradation after a node goes
@@ -82,12 +126,33 @@ class BlockManager {
 
  private:
   struct Block {
-    std::any data;
+    std::shared_ptr<std::any> data;
     Bytes size;
     mem::AllocationId allocation;
     std::list<BlockKey>::iterator lru_pos;
     int owner = -1;  ///< producing executor (-1 outside the scheduler)
   };
+
+  /// One stripe: its own lock line plus the keys the driver mutated during
+  /// the current pipelined stage.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::map<BlockKey, Block> blocks;
+    std::unordered_set<BlockKey, BlockKeyHash> mutated;
+  };
+
+  Shard& shard_for(const BlockKey& key) {
+    return shards_[key.partition % shards_.size()];
+  }
+  const Shard& shard_for(const BlockKey& key) const {
+    return shards_[key.partition % shards_.size()];
+  }
+
+  /// Marks a driver-side mutation of `key` during a pipelined stage; the
+  /// caller must hold the shard lock.
+  void mark_mutated(Shard& shard, const BlockKey& key) {
+    if (pipeline_active_) shard.mutated.insert(key);
+  }
 
   void evict_one();
 
@@ -95,12 +160,13 @@ class BlockManager {
   Bytes budget_;
   mem::NodeId node_;
   Bytes bytes_cached_;
-  std::map<BlockKey, Block> blocks_;
-  std::list<BlockKey> lru_;  // front = most recently used
+  std::vector<Shard> shards_;
+  std::list<BlockKey> lru_;  // front = most recently used; driver-only
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   TieringHooks* tiering_ = nullptr;
+  bool pipeline_active_ = false;
 };
 
 }  // namespace tsx::spark

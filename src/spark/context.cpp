@@ -1,5 +1,7 @@
 #include "spark/context.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace tsx::spark {
@@ -44,7 +46,10 @@ SparkContext::SparkContext(mem::MachineModel& machine, dfs::Dfs& dfs,
   const mem::TierSpec cache_tier =
       machine_.tier(conf_.cpu_node_bind, conf_.tier_for(StreamClass::kCache));
   block_manager_ = std::make_unique<BlockManager>(
-      allocator_, Bytes::of(storage_budget), cache_tier.node);
+      allocator_, Bytes::of(storage_budget), cache_tier.node,
+      std::max(1, conf_.state_shards));
+  shuffle_store_.set_stripes(
+      static_cast<std::size_t>(std::max(1, conf_.state_shards)));
 
   for (const ExecutorSpec& spec :
        place_executors(machine_.topology(), conf_)) {

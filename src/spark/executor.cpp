@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
@@ -12,6 +13,25 @@ namespace {
 constexpr double kCacheline = 64.0;
 }
 
+/// All per-launch state, pooled and recycled (see the header note). The
+/// request/bucket vectors keep their capacity across launches; the phase
+/// cursor and measurement scratch are reset on recycle.
+struct Executor::TaskRun {
+  Work work;
+  std::shared_ptr<Flight> flight;  ///< fault mode only
+  double stretch = 1.0;
+  obs::SpanId span = 0;  ///< 0 = nothing watching this launch
+  TaskCost cost;
+  std::vector<mem::TransferRequest> requests;
+  /// Attribution bucket per request (same indexing); filled only when a
+  /// recorder is watching.
+  std::vector<obs::Bucket> buckets;
+  std::size_t next = 0;       ///< index of the next memory phase to run
+  Duration t0;                ///< start of the phase being measured
+  double mig0 = 0.0;          ///< migration-busy integral at phase start
+  Duration burn_start;
+};
+
 Executor::Executor(mem::MachineModel& machine, ExecutorSpec spec,
                    const SparkConf& conf, const CostModel& costs)
     : machine_(machine),
@@ -20,6 +40,29 @@ Executor::Executor(mem::MachineModel& machine, ExecutorSpec spec,
       costs_(costs),
       pool_(machine.simulator(), "executor" + std::to_string(spec.id),
             static_cast<std::size_t>(spec.cores)) {}
+
+Executor::~Executor() = default;
+
+Executor::TaskRun* Executor::acquire_run() {
+  if (free_runs_.empty()) {
+    runs_.push_back(std::make_unique<TaskRun>());
+    return runs_.back().get();
+  }
+  TaskRun* run = free_runs_.back();
+  free_runs_.pop_back();
+  return run;
+}
+
+void Executor::recycle(TaskRun* run) {
+  run->work = Work{};
+  run->flight.reset();
+  run->stretch = 1.0;
+  run->span = 0;
+  run->requests.clear();
+  run->buckets.clear();
+  run->next = 0;
+  free_runs_.push_back(run);
+}
 
 void Executor::submit(Work work) {
   sim::Simulator& sim = machine_.simulator();
@@ -31,62 +74,226 @@ void Executor::submit(Work work) {
       conf_.task_dispatch;
   next_dispatch_ = dispatch_at;
 
-  auto shared = std::make_shared<Work>(std::move(work));
-  std::shared_ptr<Flight> flight;
+  TaskRun* run = acquire_run();
+  run->work = std::move(work);
   if (fault_ != nullptr) {
-    flight = std::make_shared<Flight>();
-    flight->failed = shared->failed;
-    inflight_.push_back(flight);
+    run->flight = std::make_shared<Flight>();
+    run->flight->failed = run->work.failed;
+    inflight_.push_back(run->flight);
   }
-  sim.schedule_at(dispatch_at, [this, shared, flight] {
-    // A crash between submit and dispatch killed the queued task; its
-    // `failed` callback already fired at crash time.
-    if (flight != nullptr && flight->aborted) return;
-    // The straggle draw happens at dispatch so its order — and therefore
-    // the injected schedule — is a pure function of virtual time.
-    const double stretch =
-        fault_ != nullptr
-            ? fault_->straggle_factor(shared->stage_id, shared->partition,
-                                      shared->attempt)
-            : 1.0;
-    // A task needs one of this executor's slots *and* a hardware thread of
-    // the bound socket — multiple executors oversubscribing one socket
-    // queue on the shared core pool.
-    pool_.acquire([this, shared, flight, stretch] {
-      if (flight != nullptr && flight->aborted) {
-        pool_.release();
+  sim.schedule_at(dispatch_at, [this, run] { dispatch(run); });
+}
+
+void Executor::dispatch(TaskRun* run) {
+  // A crash between submit and dispatch killed the queued task; its
+  // `failed` callback already fired at crash time.
+  if (run->flight != nullptr && run->flight->aborted) {
+    recycle(run);
+    return;
+  }
+  // The straggle draw happens at dispatch so its order — and therefore
+  // the injected schedule — is a pure function of virtual time.
+  run->stretch = fault_ != nullptr
+                     ? fault_->straggle_factor(run->work.stage_id,
+                                               run->work.partition,
+                                               run->work.attempt)
+                     : 1.0;
+  // A task needs one of this executor's slots *and* a hardware thread of
+  // the bound socket — multiple executors oversubscribing one socket
+  // queue on the shared core pool.
+  pool_.acquire([this, run] {
+    if (run->flight != nullptr && run->flight->aborted) {
+      pool_.release();
+      recycle(run);
+      return;
+    }
+    machine_.socket_cores(spec_.socket).acquire(
+        [this, run] { start_task(run); });
+  });
+}
+
+void Executor::start_task(TaskRun* run) {
+  if (run->flight != nullptr && run->flight->aborted) {
+    machine_.socket_cores(spec_.socket).release();
+    pool_.release();
+    recycle(run);
+    return;
+  }
+  // Task starts: run the host computation now, then replay its cost.
+  run->span = obs_ != nullptr ? run->work.obs_span : 0;
+  if (run->span != 0) {
+    // Everything between submit and this instant was queue wait
+    // (dispatch serialization + slot/core contention).
+    obs_->task_started(run->span, machine_.simulator().now());
+    obs_->begin_host(run->span);
+  }
+  run->cost = run->work.host();
+  if (run->span != 0) obs_->end_host();
+
+  build_requests(run);
+
+  // Phase 0: fixed I/O latency + cpu burn, then disk, then memory chain.
+  // A straggling dispatch (stretch > 1) drags this host-side phase out —
+  // a GC storm or a descheduled JVM; the factor is exactly 1.0 when
+  // healthy, so the multiplication is bit-exact on the fault-free path.
+  run->burn_start = machine_.simulator().now();
+  machine_.simulator().schedule_in(
+      Duration::seconds((run->cost.io_seconds + run->cost.cpu_seconds) *
+                        run->stretch),
+      [this, run] { after_burn(run); });
+}
+
+void Executor::build_requests(TaskRun* run) {
+  // Build the memory phase list: dependent reads on the heap tier, then
+  // per-class streaming reads, per-class streaming writes, and finally
+  // dependent writes. Classes route to their bound tiers, so e.g. shuffle
+  // buffers can live on a different tier than the heap (SparkConf).
+  const bool watched = run->span != 0;
+  const auto classify = [this](StreamClass cls, mem::TierId tier) {
+    if (cls == StreamClass::kShuffle) return obs::Bucket::kShuffleService;
+    return machine_.tier(spec_.socket, tier).tech->kind ==
+                   mem::TechKind::kNvm
+               ? obs::Bucket::kNvmService
+               : obs::Bucket::kDramService;
+  };
+  // With a fault observer attached, traffic bound for an offline tier is
+  // redirected to the observer's surviving fallback tier.
+  const auto route = [this](mem::TierId tier, Bytes volume) {
+    return fault_ != nullptr ? fault_->effective_tier(tier, volume) : tier;
+  };
+  const auto add = [&](mem::AccessKind kind, Bytes volume, double mlp,
+                       StreamClass cls) {
+    if (volume.b() <= 0.0) return;
+    // A tiering observer may split the class's traffic across tiers by
+    // current region placement; an empty split is "no opinion" and falls
+    // back to the static class binding (the exact pre-tiering path).
+    if (tiering_ != nullptr) {
+      const std::vector<TierShare> split = tiering_->traffic_split(cls);
+      if (!split.empty()) {
+        for (const TierShare& share : split) {
+          const Bytes part = volume * share.fraction;
+          if (part.b() <= 0.0) continue;
+          run->requests.push_back(mem::TransferRequest{
+              spec_.socket, route(share.tier, part), kind, part, mlp});
+          if (watched)
+            run->buckets.push_back(classify(cls, run->requests.back().tier));
+        }
         return;
       }
-      machine_.socket_cores(spec_.socket).acquire([this, shared, flight,
-                                                   stretch] {
-        if (flight != nullptr && flight->aborted) {
-          machine_.socket_cores(spec_.socket).release();
-          pool_.release();
-          return;
-        }
-        // Task starts: run the host computation now, then replay its cost.
-        const obs::SpanId span = obs_ != nullptr ? shared->obs_span : 0;
-        if (span != 0) {
-          // Everything between submit and this instant was queue wait
-          // (dispatch serialization + slot/core contention).
-          obs_->task_started(span, machine_.simulator().now());
-          obs_->begin_host(span);
-        }
-        auto cost = std::make_shared<TaskCost>(shared->host());
-        if (span != 0) obs_->end_host();
-        run_phases(cost, stretch, span, [this, shared, flight, cost] {
-          machine_.socket_cores(spec_.socket).release();
-          pool_.release();
-          // A zombie of a crashed incarnation: resources return to the OS
-          // but nothing reports — the retry owns the task's outcome now.
-          if (flight != nullptr && flight->aborted) return;
-          ++tasks_completed_;
-          forget(flight);
-          shared->done(*cost);
-        });
+    }
+    run->requests.push_back(mem::TransferRequest{
+        spec_.socket, route(conf_.tier_for(cls), volume), kind, volume, mlp});
+    if (watched)
+      run->buckets.push_back(classify(cls, run->requests.back().tier));
+  };
+  add(mem::AccessKind::kRead, Bytes::of(run->cost.dep_reads * kCacheline),
+      costs_.dep_mlp, StreamClass::kHeap);
+  for (int c = 0; c < kNumStreamClasses; ++c) {
+    const auto cls = static_cast<StreamClass>(c);
+    add(mem::AccessKind::kRead, run->cost.stream_read(cls),
+        costs_.stream_mlp, cls);
+  }
+  for (int c = 0; c < kNumStreamClasses; ++c) {
+    const auto cls = static_cast<StreamClass>(c);
+    add(mem::AccessKind::kWrite, run->cost.stream_write(cls),
+        costs_.stream_mlp, cls);
+  }
+  add(mem::AccessKind::kWrite, Bytes::of(run->cost.dep_writes * kCacheline),
+      costs_.dep_mlp, StreamClass::kHeap);
+}
+
+void Executor::after_burn(TaskRun* run) {
+  if (run->span != 0) {
+    // The measured burn interval splits into its healthy share (compute)
+    // and the straggle stretch-out (recovery time the schedule lost).
+    const double burn = (machine_.simulator().now() - run->burn_start).sec();
+    const double healthy =
+        run->stretch > 1.0 ? burn / run->stretch : burn;
+    obs_->add_segment(run->span, obs::Bucket::kCompute, healthy);
+    obs_->add_segment(run->span, obs::Bucket::kRecovery, burn - healthy);
+  }
+  disk_read(run);
+}
+
+void Executor::disk_read(TaskRun* run) {
+  run->t0 = machine_.simulator().now();
+  machine_.storage_channel().start_flow(
+      run->cost.disk_read, machine_.storage_channel().capacity(),
+      [this, run] {
+        if (run->span != 0)
+          obs_->add_segment(run->span, obs::Bucket::kDisk,
+                            (machine_.simulator().now() - run->t0).sec());
+        disk_write(run);
       });
-    });
+}
+
+void Executor::disk_write(TaskRun* run) {
+  run->t0 = machine_.simulator().now();
+  machine_.storage_channel().start_flow(
+      run->cost.disk_write, machine_.storage_channel().capacity(),
+      [this, run] {
+        if (run->span != 0)
+          obs_->add_segment(run->span, obs::Bucket::kDisk,
+                            (machine_.simulator().now() - run->t0).sec());
+        advance_phase(run);
+      });
+}
+
+void Executor::advance_phase(TaskRun* run) {
+  // Each phase is a contiguous virtual-time interval, so the segments the
+  // recorder sees are exact differences of event timestamps.
+  if (run->next >= run->requests.size()) {
+    finish(run);
+    return;
+  }
+  const std::size_t i = run->next++;
+  if (run->span == 0) {
+    machine_.submit_transfer(run->requests[i],
+                             [this, run] { advance_phase(run); });
+    return;
+  }
+  // Measure the transfer and estimate its migration-stall share: the
+  // slowdown versus an idle machine, capped by how long a tiering
+  // migration was actually in flight during the transfer. The stall is
+  // carved out of the service bucket, never added on top, so the task's
+  // segment sum stays an exact interval sum.
+  run->t0 = machine_.simulator().now();
+  run->mig0 = tiering_ != nullptr ? tiering_->migration_busy_seconds() : 0.0;
+  machine_.submit_transfer(run->requests[i], [this, run] {
+    // Phases run strictly one at a time, so the phase that just completed
+    // is the one the cursor passed last.
+    const std::size_t done = run->next - 1;
+    const double actual = (machine_.simulator().now() - run->t0).sec();
+    const double idle =
+        machine_.idle_transfer_time(run->requests[done]).sec();
+    const double busy = tiering_ != nullptr
+                            ? tiering_->migration_busy_seconds() - run->mig0
+                            : 0.0;
+    const double stall =
+        std::min(std::max(actual - idle, 0.0), std::max(busy, 0.0));
+    obs_->add_segment(run->span, run->buckets[done], actual - stall);
+    obs_->add_segment(run->span, obs::Bucket::kMigrationStall, stall);
+    advance_phase(run);
   });
+}
+
+void Executor::finish(TaskRun* run) {
+  machine_.socket_cores(spec_.socket).release();
+  pool_.release();
+  // A zombie of a crashed incarnation: resources return to the OS but
+  // nothing reports — the retry owns the task's outcome now.
+  if (run->flight != nullptr && run->flight->aborted) {
+    recycle(run);
+    return;
+  }
+  ++tasks_completed_;
+  forget(run->flight);
+  // Recycle before reporting: the done callback may reentrantly submit the
+  // next task (fault-mode retries), which is then free to reuse this run.
+  auto done = std::move(run->work.done);
+  const TaskCost cost = run->cost;
+  recycle(run);
+  done(cost);
 }
 
 void Executor::crash(Duration restart_delay) {
@@ -109,158 +316,6 @@ void Executor::forget(const std::shared_ptr<Flight>& flight) {
   if (flight == nullptr) return;
   inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), flight),
                   inflight_.end());
-}
-
-void Executor::run_phases(std::shared_ptr<TaskCost> cost, double stretch,
-                          obs::SpanId span, std::function<void()> finish) {
-  sim::Simulator& sim = machine_.simulator();
-  obs::Recorder* const rec = span != 0 ? obs_ : nullptr;
-
-  // Build the memory phase list: dependent reads on the heap tier, then
-  // per-class streaming reads, per-class streaming writes, and finally
-  // dependent writes. Classes route to their bound tiers, so e.g. shuffle
-  // buffers can live on a different tier than the heap (SparkConf).
-  auto requests = std::make_shared<std::vector<mem::TransferRequest>>();
-  // Attribution bucket per request (same indexing), filled only when a
-  // recorder is watching: shuffle-class traffic is shuffle service, the
-  // rest splits by the destination tier's media technology.
-  auto buckets = std::make_shared<std::vector<obs::Bucket>>();
-  const auto classify = [this](StreamClass cls, mem::TierId tier) {
-    if (cls == StreamClass::kShuffle) return obs::Bucket::kShuffleService;
-    return machine_.tier(spec_.socket, tier).tech->kind ==
-                   mem::TechKind::kNvm
-               ? obs::Bucket::kNvmService
-               : obs::Bucket::kDramService;
-  };
-  // With a fault observer attached, traffic bound for an offline tier is
-  // redirected to the observer's surviving fallback tier.
-  const auto route = [this](mem::TierId tier, Bytes volume) {
-    return fault_ != nullptr ? fault_->effective_tier(tier, volume) : tier;
-  };
-  auto add = [&](mem::AccessKind kind, Bytes volume, double mlp,
-                 StreamClass cls) {
-    if (volume.b() <= 0.0) return;
-    // A tiering observer may split the class's traffic across tiers by
-    // current region placement; an empty split is "no opinion" and falls
-    // back to the static class binding (the exact pre-tiering path).
-    if (tiering_ != nullptr) {
-      const std::vector<TierShare> split = tiering_->traffic_split(cls);
-      if (!split.empty()) {
-        for (const TierShare& share : split) {
-          const Bytes part = volume * share.fraction;
-          if (part.b() <= 0.0) continue;
-          requests->push_back(mem::TransferRequest{
-              spec_.socket, route(share.tier, part), kind, part, mlp});
-          if (rec != nullptr)
-            buckets->push_back(classify(cls, requests->back().tier));
-        }
-        return;
-      }
-    }
-    requests->push_back(mem::TransferRequest{
-        spec_.socket, route(conf_.tier_for(cls), volume), kind, volume, mlp});
-    if (rec != nullptr)
-      buckets->push_back(classify(cls, requests->back().tier));
-  };
-  add(mem::AccessKind::kRead, Bytes::of(cost->dep_reads * kCacheline),
-      costs_.dep_mlp, StreamClass::kHeap);
-  for (int c = 0; c < kNumStreamClasses; ++c) {
-    const auto cls = static_cast<StreamClass>(c);
-    add(mem::AccessKind::kRead, cost->stream_read(cls), costs_.stream_mlp,
-        cls);
-  }
-  for (int c = 0; c < kNumStreamClasses; ++c) {
-    const auto cls = static_cast<StreamClass>(c);
-    add(mem::AccessKind::kWrite, cost->stream_write(cls), costs_.stream_mlp,
-        cls);
-  }
-  add(mem::AccessKind::kWrite, Bytes::of(cost->dep_writes * kCacheline),
-      costs_.dep_mlp, StreamClass::kHeap);
-
-  // Disk phases (shared storage channel), then the memory chain, executed
-  // sequentially through a self-advancing continuation. Each phase is a
-  // contiguous virtual-time interval, so the segments the recorder sees
-  // are exact differences of event timestamps.
-  auto state = std::make_shared<std::function<void(std::size_t)>>();
-  auto fin = std::make_shared<std::function<void()>>(std::move(finish));
-  *state = [this, requests, buckets, state, fin, rec,
-            span](std::size_t next) {
-    if (next >= requests->size()) {
-      (*fin)();
-      return;
-    }
-    if (rec == nullptr) {
-      machine_.submit_transfer((*requests)[next],
-                               [state, next] { (*state)(next + 1); });
-      return;
-    }
-    // Measure the transfer and estimate its migration-stall share: the
-    // slowdown versus an idle machine, capped by how long a tiering
-    // migration was actually in flight during the transfer. The stall is
-    // carved out of the service bucket, never added on top, so the task's
-    // segment sum stays an exact interval sum.
-    const Duration t0 = machine_.simulator().now();
-    const double mig0 =
-        tiering_ != nullptr ? tiering_->migration_busy_seconds() : 0.0;
-    machine_.submit_transfer(
-        (*requests)[next],
-        [this, state, next, requests, buckets, rec, span, t0, mig0] {
-          const double actual = (machine_.simulator().now() - t0).sec();
-          const double idle =
-              machine_.idle_transfer_time((*requests)[next]).sec();
-          const double busy =
-              tiering_ != nullptr
-                  ? tiering_->migration_busy_seconds() - mig0
-                  : 0.0;
-          const double stall = std::min(std::max(actual - idle, 0.0),
-                                        std::max(busy, 0.0));
-          rec->add_segment(span, (*buckets)[next], actual - stall);
-          rec->add_segment(span, obs::Bucket::kMigrationStall, stall);
-          (*state)(next + 1);
-        });
-  };
-
-  auto disk_write = [this, cost, state, rec, span] {
-    const Duration t0 = machine_.simulator().now();
-    machine_.storage_channel().start_flow(
-        cost->disk_write, machine_.storage_channel().capacity(),
-        [this, state, rec, span, t0] {
-          if (rec != nullptr)
-            rec->add_segment(span, obs::Bucket::kDisk,
-                             (machine_.simulator().now() - t0).sec());
-          (*state)(0);
-        });
-  };
-  auto disk_read = [this, cost, disk_write, rec, span] {
-    const Duration t0 = machine_.simulator().now();
-    machine_.storage_channel().start_flow(
-        cost->disk_read, machine_.storage_channel().capacity(),
-        [this, disk_write, rec, span, t0] {
-          if (rec != nullptr)
-            rec->add_segment(span, obs::Bucket::kDisk,
-                             (machine_.simulator().now() - t0).sec());
-          disk_write();
-        });
-  };
-  // Phase 0: fixed I/O latency + cpu burn, then disk, then memory chain.
-  // A straggling dispatch (stretch > 1) drags this host-side phase out —
-  // a GC storm or a descheduled JVM; the factor is exactly 1.0 when
-  // healthy, so the multiplication is bit-exact on the fault-free path.
-  const Duration burn_start = sim.now();
-  auto after_burn = [this, disk_read, rec, span, stretch, burn_start] {
-    if (rec != nullptr) {
-      // The measured burn interval splits into its healthy share (compute)
-      // and the straggle stretch-out (recovery time the schedule lost).
-      const double burn = (machine_.simulator().now() - burn_start).sec();
-      const double healthy = stretch > 1.0 ? burn / stretch : burn;
-      rec->add_segment(span, obs::Bucket::kCompute, healthy);
-      rec->add_segment(span, obs::Bucket::kRecovery, burn - healthy);
-    }
-    disk_read();
-  };
-  sim.schedule_in(
-      Duration::seconds((cost->io_seconds + cost->cpu_seconds) * stretch),
-      after_burn);
 }
 
 }  // namespace tsx::spark

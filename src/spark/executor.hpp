@@ -40,6 +40,7 @@ class Executor {
  public:
   Executor(mem::MachineModel& machine, ExecutorSpec spec,
            const SparkConf& conf, const CostModel& costs);
+  ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -113,10 +114,26 @@ class Executor {
     std::function<void()> failed;
   };
 
-  /// Chains the simulated phases for an already-computed cost profile.
-  /// `span` (0 = obs off) receives one measured segment per phase.
-  void run_phases(std::shared_ptr<TaskCost> cost, double stretch,
-                  obs::SpanId span, std::function<void()> finish);
+  /// One pooled launch: the Work, its cost profile, the memory-phase
+  /// request list and per-phase measurement state all live in a recycled
+  /// TaskRun, so the steady state allocates nothing per task and every
+  /// continuation captures exactly [this, run] — two pointers, inside
+  /// std::function's small-buffer (no per-phase heap closures, no
+  /// shared_ptr self-cycles). Defined in the .cpp.
+  struct TaskRun;
+
+  TaskRun* acquire_run();
+  void recycle(TaskRun* run);
+
+  // The phase chain (each step schedules the next through the simulator).
+  void dispatch(TaskRun* run);
+  void start_task(TaskRun* run);
+  void build_requests(TaskRun* run);
+  void after_burn(TaskRun* run);
+  void disk_read(TaskRun* run);
+  void disk_write(TaskRun* run);
+  void advance_phase(TaskRun* run);
+  void finish(TaskRun* run);
 
   void forget(const std::shared_ptr<Flight>& flight);
 
@@ -133,6 +150,8 @@ class Executor {
   Duration available_from_ = Duration::zero();
   std::uint64_t crashes_ = 0;
   std::vector<std::shared_ptr<Flight>> inflight_;  ///< fault mode only
+  std::vector<std::unique_ptr<TaskRun>> runs_;  ///< owns every TaskRun
+  std::vector<TaskRun*> free_runs_;             ///< recycled, ready to reuse
 };
 
 }  // namespace tsx::spark

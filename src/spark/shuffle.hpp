@@ -12,6 +12,7 @@
 #include <any>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -25,6 +26,18 @@ namespace tsx::spark {
 class RddBase;
 class ShuffleDependencyBase;
 
+/// One buffered bucket deposit, recorded by a parallel task and replayed at
+/// commit (TaskEffects batches a map task's R buckets into one put_buckets
+/// call).
+struct ShuffleBucketPut {
+  int shuffle = -1;
+  std::size_t map_part = 0;
+  std::size_t reduce_part = 0;
+  std::any records;
+  Bytes size;
+  int owner = -1;
+};
+
 class ShuffleStore {
  public:
   /// Registers a new shuffle and returns its id.
@@ -37,6 +50,16 @@ class ShuffleStore {
   /// fault observer (recovery reruns and speculative duplicates).
   void put_bucket(int shuffle, std::size_t map_part, std::size_t reduce_part,
                   std::any records, Bytes size, int owner = -1);
+
+  /// Deposits a map task's buckets in one pass — the commit replay of a
+  /// parallel task's buffered puts. All `count` ops must target one
+  /// (shuffle, map_part); each op's records are consumed. Per-bucket
+  /// mutations, accounting and tiering notifications happen in op order,
+  /// so the batch is byte-identical to `count` put_bucket calls.
+  void put_buckets(ShuffleBucketPut* ops, std::size_t count);
+
+  /// Replays a buffered read-side hotness bump (no-op without tiering).
+  void apply_read_access(int shuffle, std::size_t map_part, Bytes size);
 
   /// Bucket contents; empty std::any if the map task produced no records
   /// for this reduce partition.
@@ -98,6 +121,21 @@ class ShuffleStore {
   /// Map partitions of `shuffle` currently lost (ascending).
   std::vector<std::size_t> lost_parts(int shuffle) const;
 
+  /// Resizes the stripe-lock array (shard = map_part % n, DESIGN.md §16).
+  /// Only legal before any shuffle is registered.
+  void set_stripes(std::size_t n);
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+  /// Pipelined-stage window: between begin and end, bucket writes (driver
+  /// commits) and parallel-task bucket reads take the map partition's
+  /// stripe lock. Bucket cells are disjoint vector elements and no stage
+  /// both reads and writes one shuffle, so the locks are defensive — they
+  /// make a violated assumption a data-race TSan catches at a named lock
+  /// rather than silent corruption, and they feed the plane's contention
+  /// counters. Outside the window every path is lock-free.
+  void begin_pipelined_stage();
+  void end_pipelined_stage();
+
  private:
   struct Shuffle {
     std::size_t maps = 0;
@@ -112,18 +150,35 @@ class ShuffleStore {
     bool complete = false;
   };
 
+  /// One stripe lock on its own cache line (stripe = map_part % N).
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+  };
+
   const Shuffle& shuffle_at(int id) const;
   Shuffle& shuffle_at(int id);
+
+  const Stripe& stripe_for(std::size_t map_part) const {
+    return stripes_[map_part % stripes_.size()];
+  }
+
+  /// The direct-path cell mutation shared by put_bucket and put_buckets;
+  /// the caller holds the stripe lock when a pipelined stage is open.
+  void apply_put(Shuffle& s, int shuffle, std::size_t map_part,
+                 std::size_t reduce_part, std::any&& records, Bytes size,
+                 int owner);
 
   /// Recomputes one lost map partition through the lineage, charging `ctx`.
   void recover_map_part(int shuffle, std::size_t map_part, TaskContext& ctx);
 
   std::vector<Shuffle> shuffles_;
+  std::vector<Stripe> stripes_ = std::vector<Stripe>(16);
   Bytes bytes_held_;
   Bytes bytes_written_total_;
   TieringHooks* tiering_ = nullptr;
   FaultHooks* fault_ = nullptr;
   std::uint64_t job_seed_ = 0;
+  bool pipeline_active_ = false;
 };
 
 /// Type-erased face of a shuffle dependency, all the DAG scheduler needs:

@@ -1,16 +1,26 @@
 // Per-task side-effect buffer for the parallel data plane.
 //
 // When the scheduler evaluates a stage's host functions concurrently
-// (DESIGN.md §11), tasks must not touch shared engine state: the shuffle
-// store, the block manager, accumulators and the tiering observer all keep
-// order-sensitive bookkeeping (LRU lists, hit/miss counters, hotness
-// decay, floating-point sums) whose low bits encode mutation order. Each
-// task therefore records its writes into a TaskEffects buffer — an ordered
-// list of deferred operations — while its reads see the stage-start
-// snapshot plus its own buffered writes (the block overlay). The commit
-// phase replays every buffer through the real components at the same
-// simulated instant, in the same order, as serial execution would have
-// produced, so every counter, trace and double is bit-identical.
+// (DESIGN.md §11/§16), tasks must not touch shared engine state: the
+// shuffle store, the block manager, accumulators and the tiering observer
+// all keep order-sensitive bookkeeping (LRU lists, hit/miss counters,
+// hotness decay, floating-point sums) whose low bits encode mutation
+// order. Each task therefore records its writes into a TaskEffects buffer
+// — an ordered list of deferred operations — while its reads see the
+// stage-start snapshot plus its own buffered writes (the block overlay).
+// The commit phase replays every buffer through the real components at the
+// same simulated instant, in the same order, as serial execution would
+// have produced, so every counter, trace and double is bit-identical.
+//
+// The hot op kinds (shuffle bucket puts, block puts/gets, shuffle hotness
+// bumps) are typed records in flat vectors — no per-op std::function heap
+// allocation — with `order_` preserving the exact interleaving across
+// kinds. Consecutive puts into the same (shuffle, map partition) — the
+// shape every map task produces — commit through one merged
+// ShuffleStore::put_buckets call. Everything else (columnar stats merges,
+// kernel emits, accumulator folds) rides the generic closure fallback.
+// Buffers are owned and recycled by the scheduler across stages, so the
+// steady state allocates nothing.
 //
 // The buffer is installed per worker thread via TaskEffects::Scope;
 // components consult TaskEffects::current() — a thread_local — and fall
@@ -21,13 +31,15 @@
 
 #include <any>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/units.hpp"
 #include "spark/block_manager.hpp"
+#include "spark/shuffle.hpp"
 
 namespace tsx::spark {
 
@@ -50,15 +62,58 @@ class TaskEffects {
     TaskEffects* prev_;
   };
 
-  /// Appends one deferred mutation. Ops replay in defer order at commit —
-  /// the order the serial engine would have applied them within this task.
-  void defer(std::function<void()> op) { ops_.push_back(std::move(op)); }
+  /// Appends one deferred mutation (the generic fallback). Ops replay in
+  /// record order at commit — the order the serial engine would have
+  /// applied them within this task.
+  void defer(std::function<void()> op) {
+    order_.push_back(OpKind::kGeneric);
+    generics_.push_back(std::move(op));
+  }
+
+  // --- Typed recorders (called by the stores under an installed buffer) --
+
+  /// A block-manager read: replayed so LRU order, hit/miss counters and
+  /// cache hotness land exactly where the serial engine put them.
+  void record_block_get(BlockManager* blocks, const BlockKey& key) {
+    bind_blocks(blocks);
+    order_.push_back(OpKind::kBlockGet);
+    block_gets_.push_back(key);
+  }
+
+  /// A block-manager put (the data is already type-erased and shared with
+  /// this task's overlay).
+  void record_block_put(BlockManager* blocks, const BlockKey& key,
+                        std::shared_ptr<std::any> data, Bytes size,
+                        int owner) {
+    bind_blocks(blocks);
+    order_.push_back(OpKind::kBlockPut);
+    block_puts_.push_back(BlockPutOp{key, std::move(data), size, owner});
+  }
+
+  /// One shuffle bucket deposit. Consecutive records for one
+  /// (shuffle, map_part) merge into a single put_buckets commit pass.
+  void record_shuffle_put(ShuffleStore* store, int shuffle,
+                          std::size_t map_part, std::size_t reduce_part,
+                          std::any records, Bytes size, int owner);
+
+  /// A shuffle-region hotness bump (the read side of tiering).
+  void record_shuffle_read(ShuffleStore* store, int shuffle,
+                           std::size_t map_part, Bytes size);
+
+  /// Keeps a block's backing data alive until this task commits: under the
+  /// pipelined plane the driver may evict the block (dropping the store's
+  /// reference) while this task still reads through the returned pointer.
+  void retain(std::shared_ptr<const std::any> data) {
+    retained_.push_back(std::move(data));
+  }
+
+  // --- The task's private block overlay ----------------------------------
 
   /// Records a block this task cached, so its own later reads hit it
   /// (diamond lineages recompute a cached parent twice within one task).
   void put_block(const BlockKey& key, std::shared_ptr<std::any> data,
                  Bytes size) {
-    overlay_[key] = Overlay{std::move(data), size};
+    overlay_[key] = OverlayEntry{std::move(data), size};
   }
 
   /// The task's own buffered block, or nullptr if it never cached `key`.
@@ -74,25 +129,55 @@ class TaskEffects {
     return overlay_.at(key).size;
   }
 
-  std::size_t op_count() const { return ops_.size(); }
+  std::size_t op_count() const { return order_.size(); }
 
   /// Replays the deferred mutations in order against the real components.
   /// Runs on the driver thread with no buffer installed, so each op takes
-  /// the direct path. Idempotence is not required: commit runs once.
-  void commit() {
-    for (const auto& op : ops_) op();
-    ops_.clear();
-    overlay_.clear();
-  }
+  /// the direct path. Idempotence is not required: commit runs once. The
+  /// buffer resets (capacity kept) for reuse by a later stage.
+  void commit();
+
+  /// Drops all recorded state without applying it (capacity kept).
+  void reset();
 
  private:
-  struct Overlay {
+  enum class OpKind : std::uint8_t {
+    kBlockGet,
+    kBlockPut,
+    kShufflePut,
+    kShuffleRead,
+    kGeneric,
+  };
+
+  struct BlockPutOp {
+    BlockKey key;
+    std::shared_ptr<std::any> data;
+    Bytes size;
+    int owner = -1;
+  };
+  struct ShuffleReadOp {
+    int shuffle = -1;
+    std::size_t map_part = 0;
+    Bytes size;
+  };
+  struct OverlayEntry {
     std::shared_ptr<std::any> data;
     Bytes size;
   };
 
-  std::vector<std::function<void()>> ops_;
-  std::map<BlockKey, Overlay> overlay_;
+  void bind_blocks(BlockManager* blocks);
+  void bind_shuffles(ShuffleStore* store);
+
+  std::vector<OpKind> order_;
+  std::vector<BlockKey> block_gets_;
+  std::vector<BlockPutOp> block_puts_;
+  std::vector<ShuffleBucketPut> shuffle_puts_;
+  std::vector<ShuffleReadOp> shuffle_reads_;
+  std::vector<std::function<void()>> generics_;
+  std::vector<std::shared_ptr<const std::any>> retained_;
+  std::unordered_map<BlockKey, OverlayEntry, BlockKeyHash> overlay_;
+  BlockManager* blocks_ = nullptr;
+  ShuffleStore* shuffles_ = nullptr;
 };
 
 }  // namespace tsx::spark

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "sim/simulator.hpp"
 #include "spark/accumulator.hpp"
 #include "spark/pair_rdd.hpp"
+#include "spark/plane_stats.hpp"
 #include "workloads/runner.hpp"
 
 namespace tsx {
@@ -42,6 +45,28 @@ class TaskThreadsGuard {
   ~TaskThreadsGuard() { unsetenv("TSX_TASK_THREADS"); }
   TaskThreadsGuard(const TaskThreadsGuard&) = delete;
   TaskThreadsGuard& operator=(const TaskThreadsGuard&) = delete;
+};
+
+/// Scoped TSX_TASK_SHARDS (block/shuffle state stripes).
+class TaskShardsGuard {
+ public:
+  explicit TaskShardsGuard(int shards) {
+    setenv("TSX_TASK_SHARDS", std::to_string(shards).c_str(), 1);
+  }
+  ~TaskShardsGuard() { unsetenv("TSX_TASK_SHARDS"); }
+  TaskShardsGuard(const TaskShardsGuard&) = delete;
+  TaskShardsGuard& operator=(const TaskShardsGuard&) = delete;
+};
+
+/// Scoped TSX_TASK_PIPELINE ("0" = full evaluate/commit barrier).
+class PipelineGuard {
+ public:
+  explicit PipelineGuard(bool on) {
+    setenv("TSX_TASK_PIPELINE", on ? "1" : "0", 1);
+  }
+  ~PipelineGuard() { unsetenv("TSX_TASK_PIPELINE"); }
+  PipelineGuard(const PipelineGuard&) = delete;
+  PipelineGuard& operator=(const PipelineGuard&) = delete;
 };
 
 // ---------------------------------------------------------------------------
@@ -93,6 +118,137 @@ TEST(ParallelPlane, SmallScaleRunMatchesSerial) {
   unsetenv("TSX_TASK_THREADS");
   const std::string serial = runner::to_json(workloads::run_workload(cfg));
   TaskThreadsGuard guard(4);
+  EXPECT_EQ(serial, runner::to_json(workloads::run_workload(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded state + pipelined commit (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+class PipelinedCommitByteIdentity : public ::testing::TestWithParam<App> {};
+
+TEST_P(PipelinedCommitByteIdentity, MatchesBarrierModeExactly) {
+  // The pipelined plane overlaps worker evaluation with the driver's commit
+  // replay; with the overlap disabled (full barrier) the engine runs the
+  // two phases strictly in sequence. Both must serialize identically — the
+  // commit schedule, not the wall-clock interleaving, defines the run.
+  RunConfig cfg;
+  cfg.app = GetParam();
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier2;
+  TaskThreadsGuard threads(4);
+  std::string barrier;
+  {
+    PipelineGuard off(false);
+    barrier = runner::to_json(workloads::run_workload(cfg));
+  }
+  PipelineGuard on(true);
+  EXPECT_EQ(barrier, runner::to_json(workloads::run_workload(cfg)))
+      << workloads::to_string(cfg.app)
+      << " diverged between barrier and pipelined commit";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PipelinedCommitByteIdentity,
+                         ::testing::ValuesIn(workloads::kAllApps));
+
+TEST(ShardedState, ShardCountSweepIsByteIdentical) {
+  // Shard = partition % N only moves which stripe a key locks through; any
+  // count must produce the serial bytes. 1 collapses all striping, 7 makes
+  // partitions collide irregularly, 64 out-shards the partition count.
+  RunConfig cfg;
+  cfg.app = App::kPagerank;
+  cfg.scale = ScaleId::kTiny;
+  cfg.tier = mem::TierId::kTier2;
+  cfg.tiering.policy = tiering::PolicyKind::kLfuPromote;
+  unsetenv("TSX_TASK_THREADS");
+  unsetenv("TSX_TASK_SHARDS");
+  const std::string serial = runner::to_json(workloads::run_workload(cfg));
+  TaskThreadsGuard threads(4);
+  for (const int shards : {1, 2, 7, 64}) {
+    TaskShardsGuard guard(shards);
+    EXPECT_EQ(serial, runner::to_json(workloads::run_workload(cfg)))
+        << "diverged at " << shards << " shards";
+  }
+}
+
+TEST(ShardedState, ColumnarRunIsPipelineSafe) {
+  // The columnar runtime defers its stats merges, kernel emits and cache
+  // hotness bumps through the same effects buffer; a pipelined columnar
+  // run must match serial bytes too.
+  RunConfig cfg;
+  cfg.app = App::kSort;
+  cfg.scale = ScaleId::kTiny;
+  cfg.columnar.enabled = true;
+  unsetenv("TSX_TASK_THREADS");
+  const std::string serial = runner::to_json(workloads::run_workload(cfg));
+  TaskThreadsGuard threads(8);
+  TaskShardsGuard shards(4);
+  EXPECT_EQ(serial, runner::to_json(workloads::run_workload(cfg)));
+}
+
+TEST(ShardedState, PlaneCountersAttributeTheStage) {
+  // The contention counters live outside every serialized artifact (the
+  // identity gates above prove that); here they must still account for the
+  // work: each parallel stage is counted once in its mode, every task
+  // commits exactly once, and shuffle puts batch at map-task granularity.
+  using spark::PlaneCounters;
+  using spark::PlaneStats;
+  RunConfig cfg;
+  // Pagerank: every iteration is a multi-partition shuffle-map stage, so the
+  // parallel plane sees typed shuffle puts. (Sort at tiny scale has a single
+  // input partition — its only writing stage runs on the serial path.)
+  cfg.app = App::kPagerank;
+  cfg.scale = ScaleId::kTiny;
+
+  TaskThreadsGuard threads(4);
+  {
+    PipelineGuard on(true);
+    const PlaneCounters before = PlaneStats::global().read();
+    workloads::run_workload(cfg);
+    const PlaneCounters d = PlaneStats::global().read() - before;
+    EXPECT_GT(d.stages_pipelined, 0u);
+    EXPECT_EQ(d.stages_barrier, 0u);
+    EXPECT_GT(d.commit_tasks, 0u);
+    EXPECT_GT(d.commit_ops_typed, 0u);
+    EXPECT_GT(d.shuffle_puts, 0u);
+    EXPECT_GT(d.shuffle_put_batches, 0u);
+    // Batching merges each map task's R buckets into one store pass.
+    EXPECT_LT(d.shuffle_put_batches, d.shuffle_puts);
+    // Stripe locks only exist inside the pipelined window.
+    EXPECT_GT(d.lock_acquisitions, 0u);
+  }
+  {
+    PipelineGuard off(false);
+    const PlaneCounters before = PlaneStats::global().read();
+    workloads::run_workload(cfg);
+    const PlaneCounters d = PlaneStats::global().read() - before;
+    EXPECT_EQ(d.stages_pipelined, 0u);
+    EXPECT_GT(d.stages_barrier, 0u);
+    // Barrier mode takes no stripe locks at all.
+    EXPECT_EQ(d.lock_acquisitions, 0u);
+  }
+
+  // The snapshot renders as a standalone metrics registry.
+  const auto metrics = PlaneStats::global().read().to_metrics();
+  EXPECT_GT(metrics.value("plane.commit.tasks", {}), 0.0);
+  EXPECT_GT(metrics.value("plane.stages", {{"mode", "pipelined"}}), 0.0);
+}
+
+TEST(ParallelPlane, FaultModeIgnoresShardAndPipelineKnobs) {
+  // Recovery stages stay on the serial path; the sharding knobs must not
+  // perturb a faulted run either.
+  RunConfig cfg;
+  cfg.app = App::kSort;
+  cfg.scale = ScaleId::kTiny;
+  cfg.executors = 2;
+  cfg.cores_per_executor = 20;
+  cfg.fault = fault::scenario("crash");
+  unsetenv("TSX_TASK_THREADS");
+  unsetenv("TSX_TASK_SHARDS");
+  const std::string serial = runner::to_json(workloads::run_workload(cfg));
+  TaskThreadsGuard threads(8);
+  TaskShardsGuard shards(3);
+  PipelineGuard on(true);
   EXPECT_EQ(serial, runner::to_json(workloads::run_workload(cfg)));
 }
 
@@ -234,6 +390,47 @@ TEST(ThreadPoolReuse, ManyBatchesOnOnePool) {
     EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
               static_cast<std::ptrdiff_t>(n));
   }
+}
+
+TEST(ThreadPoolSplit, LaunchThenWaitRunsEveryIndexExactlyOnce) {
+  // The pipelined plane launches the batch and only joins after the commit
+  // loop; the split must cover every index exactly once, including batches
+  // far wider than the worker count (range chunking + stealing).
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> seen(1000);
+    pool.launch_batch(seen.size(),
+                      [&](std::size_t i) { seen[i].fetch_add(1); });
+    pool.wait_batch();
+    for (std::size_t i = 0; i < seen.size(); ++i)
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " round " << round;
+  }
+}
+
+TEST(ThreadPoolSplit, WaitWithoutLaunchIsANoOp) {
+  ThreadPool pool(2);
+  pool.wait_batch();  // must not hang or throw
+  std::atomic<int> ran{0};
+  pool.run_batch(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolSplit, FailureFlagAndRethrow) {
+  // A task exception marks the batch failed (the pipelined driver polls the
+  // flag from its ready-spin), drains the rest, and wait_batch rethrows the
+  // first error. The pool must stay usable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.launch_batch(64, [&](std::size_t i) {
+    ++ran;
+    if (i == 13) throw std::runtime_error("task 13 exploded");
+  });
+  EXPECT_THROW(pool.wait_batch(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);  // the batch drained despite the throw
+  std::atomic<int> again{0};
+  pool.run_batch(16, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 16);
+  EXPECT_FALSE(pool.batch_failed());  // next launch re-armed the flag
 }
 
 TEST(ThreadPoolReuse, NestedRunnerAndTaskParallelismStaysByteIdentical) {
